@@ -1,0 +1,213 @@
+//! End-to-end tests of the passive-view-change baselines on the simulator.
+
+use prestige_baselines::{BaselineProtocol, PassiveBftServer};
+use prestige_core::{ByzantineBehavior, ClientConfig, PrestigeClient};
+use prestige_crypto::KeyRegistry;
+use prestige_sim::{NetworkConfig, SimTime, Simulation};
+use prestige_types::{
+    Actor, ClientId, ClusterConfig, Message, ServerId, TimeoutConfig, View, ViewChangePolicy,
+};
+
+fn build_cluster(
+    seed: u64,
+    config: &ClusterConfig,
+    protocol: BaselineProtocol,
+    behaviors: &[ByzantineBehavior],
+    clients: u64,
+    concurrency: usize,
+) -> Simulation<Message> {
+    let n = config.n();
+    let registry = KeyRegistry::new(seed, n, clients);
+    let mut sim = Simulation::new(seed, NetworkConfig::lan());
+    for i in 0..n {
+        let behavior = behaviors.get(i as usize).copied().unwrap_or_default();
+        let server = PassiveBftServer::with_behavior(
+            ServerId(i),
+            config.clone(),
+            registry.clone(),
+            protocol,
+            behavior,
+        );
+        sim.add_node(Actor::Server(ServerId(i)), Box::new(server));
+    }
+    for c in 0..clients {
+        let cc = ClientConfig::new(
+            ClientId(c),
+            config.replicas.clone(),
+            config.payload_size,
+            concurrency,
+        );
+        sim.add_node(
+            Actor::Client(ClientId(c)),
+            Box::new(PrestigeClient::new(cc, &registry)),
+        );
+    }
+    sim
+}
+
+fn committed_tx(sim: &Simulation<Message>, server: u32) -> u64 {
+    sim.node_as::<PassiveBftServer>(Actor::Server(ServerId(server)))
+        .unwrap()
+        .stats()
+        .committed_tx
+}
+
+fn current_view(sim: &Simulation<Message>, server: u32) -> View {
+    sim.node_as::<PassiveBftServer>(Actor::Server(ServerId(server)))
+        .unwrap()
+        .current_view()
+}
+
+#[test]
+fn hotstuff_baseline_commits_under_normal_operation() {
+    let config = ClusterConfig::new(4).with_batch_size(50);
+    let behaviors = vec![ByzantineBehavior::Correct; 4];
+    let mut sim = build_cluster(1, &config, BaselineProtocol::HotStuff, &behaviors, 2, 100);
+    sim.run_until(SimTime::from_secs(5.0));
+    for s in 0..4 {
+        assert!(
+            committed_tx(&sim, s) > 500,
+            "server {s} committed only {}",
+            committed_tx(&sim, s)
+        );
+    }
+    let client = sim
+        .node_as::<PrestigeClient>(Actor::Client(ClientId(0)))
+        .unwrap();
+    assert!(client.stats().committed_tx > 300);
+}
+
+#[test]
+fn two_phase_prosecutor_lite_also_commits() {
+    let config = ClusterConfig::new(4).with_batch_size(50);
+    let behaviors = vec![ByzantineBehavior::Correct; 4];
+    let mut sim = build_cluster(
+        5,
+        &config,
+        BaselineProtocol::ProsecutorLite,
+        &behaviors,
+        2,
+        100,
+    );
+    sim.run_until(SimTime::from_secs(5.0));
+    assert!(committed_tx(&sim, 0) > 500);
+}
+
+#[test]
+fn three_phase_uses_strictly_more_messages_per_block() {
+    // Same substrate, same workload: the third phase is real — HotStuff-style
+    // replication exchanges pre-commit traffic and therefore more messages per
+    // committed block than the two-phase pipeline. (The end-to-end throughput
+    // consequence is measured by the Figure 6 experiment, where load is ramped
+    // to saturation.)
+    let config = ClusterConfig::new(4).with_batch_size(50);
+    let behaviors = vec![ByzantineBehavior::Correct; 4];
+    let mut three = build_cluster(9, &config, BaselineProtocol::HotStuff, &behaviors, 2, 100);
+    let mut two = build_cluster(
+        9,
+        &config,
+        BaselineProtocol::ProsecutorLite,
+        &behaviors,
+        2,
+        100,
+    );
+    three.run_until(SimTime::from_secs(5.0));
+    two.run_until(SimTime::from_secs(5.0));
+    assert!(committed_tx(&three, 0) > 500);
+    assert!(committed_tx(&two, 0) > 500);
+
+    assert!(three.stats().delivered("PreCmt") > 0);
+    assert_eq!(two.stats().delivered("PreCmt"), 0);
+
+    let blocks = |sim: &Simulation<Message>| {
+        sim.node_as::<PassiveBftServer>(Actor::Server(ServerId(1)))
+            .unwrap()
+            .stats()
+            .committed_blocks
+            .max(1)
+    };
+    let repl_msgs = |sim: &Simulation<Message>| {
+        sim.stats().delivered("Ord")
+            + sim.stats().delivered("OrdReply")
+            + sim.stats().delivered("PreCmt")
+            + sim.stats().delivered("PreCmtReply")
+            + sim.stats().delivered("Cmt")
+            + sim.stats().delivered("CmtReply")
+            + sim.stats().delivered("CommitBlock")
+    };
+    let per_block_three = repl_msgs(&three) as f64 / blocks(&three) as f64;
+    let per_block_two = repl_msgs(&two) as f64 / blocks(&two) as f64;
+    assert!(
+        per_block_three > per_block_two + 3.0,
+        "3-phase should need ~2(n-1) more messages per block: {per_block_three:.1} vs {per_block_two:.1}"
+    );
+}
+
+#[test]
+fn crashed_scheduled_leader_costs_a_timeout_but_liveness_holds() {
+    let mut config = ClusterConfig::new(4).with_batch_size(50);
+    config.timeouts = TimeoutConfig {
+        base_timeout_ms: 500.0,
+        randomization_ms: 100.0,
+        client_timeout_ms: 600.0,
+        complaint_grace_ms: 100.0,
+    };
+    let behaviors = vec![ByzantineBehavior::Correct; 4];
+    let mut sim = build_cluster(13, &config, BaselineProtocol::HotStuff, &behaviors, 2, 50);
+    sim.run_until(SimTime::from_secs(2.0));
+    // Crash the current scheduled leader (view 1 → leader S(1 mod 4) = S2).
+    sim.crash(Actor::Server(ServerId(1)));
+    sim.run_until(SimTime::from_secs(10.0));
+    // The survivors moved past the crashed leader's views and kept committing.
+    for s in [0u32, 2, 3] {
+        assert!(
+            current_view(&sim, s) > View(1),
+            "server {s} stuck in view 1"
+        );
+    }
+    assert!(committed_tx(&sim, 0) > 500);
+}
+
+#[test]
+fn quiet_fault_hurts_passive_protocol_when_scheduled() {
+    // With a timing policy rotating every 2 s, a quiet server is still given
+    // leadership by the schedule and each of its reigns stalls replication —
+    // the weakness Figure 9 quantifies.
+    let mut config = ClusterConfig::new(4)
+        .with_batch_size(50)
+        .with_policy(ViewChangePolicy::Timing { interval_ms: 2000.0 });
+    config.timeouts = TimeoutConfig {
+        base_timeout_ms: 1000.0,
+        randomization_ms: 100.0,
+        client_timeout_ms: 600.0,
+        complaint_grace_ms: 100.0,
+    };
+    let healthy = vec![ByzantineBehavior::Correct; 4];
+    let faulty = vec![
+        ByzantineBehavior::Correct,
+        ByzantineBehavior::Correct,
+        ByzantineBehavior::Quiet,
+        ByzantineBehavior::Correct,
+    ];
+    let mut good = build_cluster(17, &config, BaselineProtocol::HotStuff, &healthy, 2, 100);
+    let mut bad = build_cluster(17, &config, BaselineProtocol::HotStuff, &faulty, 2, 100);
+    good.run_until(SimTime::from_secs(12.0));
+    bad.run_until(SimTime::from_secs(12.0));
+    let good_tx = committed_tx(&good, 0);
+    let bad_tx = committed_tx(&bad, 0);
+    assert!(
+        (bad_tx as f64) < 0.95 * good_tx as f64,
+        "quiet scheduled leader should visibly hurt throughput: {bad_tx} vs {good_tx}"
+    );
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let config = ClusterConfig::new(4).with_batch_size(30);
+    let behaviors = vec![ByzantineBehavior::Correct; 4];
+    let mut a = build_cluster(23, &config, BaselineProtocol::HotStuff, &behaviors, 2, 50);
+    let mut b = build_cluster(23, &config, BaselineProtocol::HotStuff, &behaviors, 2, 50);
+    a.run_until(SimTime::from_secs(2.0));
+    b.run_until(SimTime::from_secs(2.0));
+    assert_eq!(a.stats(), b.stats());
+}

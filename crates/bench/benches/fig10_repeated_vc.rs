@@ -1,0 +1,25 @@
+//! Bench-scale version of the Figure 10 repeated view-change attacks experiment: one representative cluster run.
+//! The full sweep that regenerates the figure is `run_experiments fig10`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prestige_bench::bench_fault_config;
+use prestige_experiments::run;
+use prestige_workloads::{FaultPlan, ProtocolChoice};
+use prestige_core::AttackStrategy;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    
+    let plan = FaultPlan::RepeatedVcQuiet { count: 1, strategy: AttackStrategy::Always };
+    let config = bench_fault_config("pb_vc_quiet", 4, ProtocolChoice::Prestige, plan);
+    group.bench_function("pb_vc_quiet", |b| b.iter(|| run(&config)));
+    let config = bench_fault_config("hs_vc_quiet", 4, ProtocolChoice::HotStuff, plan);
+    group.bench_function("hs_vc_quiet", |b| b.iter(|| run(&config)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Bench-scale version of the Figure 12 experiment: the cost model that maps
+//! accumulated attacks to view-change start-up cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prestige_experiments::fig12_attack_cost;
+use prestige_experiments::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(20);
+    group.bench_function("attack_cost_projection", |b| {
+        b.iter(|| fig12_attack_cost::run(Scale::Quick))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Bench-scale version of the Figure 14 availability experiment: one representative cluster run.
+//! The full sweep that regenerates the figure is `run_experiments fig14`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prestige_bench::bench_fault_config;
+use prestige_experiments::run;
+use prestige_workloads::{FaultPlan, ProtocolChoice};
+use prestige_core::AttackStrategy;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    
+    for (label, strategy) in [("s1", AttackStrategy::Always), ("s2", AttackStrategy::WhenCompensable)] {
+        let plan = FaultPlan::RepeatedVcQuiet { count: 1, strategy };
+        let config = bench_fault_config(&format!("pb_{label}"), 4, ProtocolChoice::Prestige, plan);
+        group.bench_function(format!("pb_{label}"), |b| b.iter(|| run(&config)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

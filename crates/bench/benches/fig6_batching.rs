@@ -1,0 +1,26 @@
+//! Bench-scale version of the Figure 6 batching experiment: one representative cluster run.
+//! The full sweep that regenerates the figure is `run_experiments fig6`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prestige_bench::bench_config;
+use prestige_experiments::run;
+use prestige_workloads::{FaultPlan, ProtocolChoice};
+
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    
+    for beta in [100usize, 300, 500] {
+        let mut config = bench_config(&format!("pb_{beta}"), 4, ProtocolChoice::Prestige);
+        config.batch_size = beta;
+        group.bench_function(format!("pb_beta{beta}"), |b| b.iter(|| run(&config)));
+    }
+    let _ = FaultPlan::None;
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

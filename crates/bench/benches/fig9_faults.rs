@@ -1,0 +1,26 @@
+//! Bench-scale version of the Figure 9 quiet/equivocation faults experiment: one representative cluster run.
+//! The full sweep that regenerates the figure is `run_experiments fig9`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prestige_bench::bench_fault_config;
+use prestige_experiments::run;
+use prestige_workloads::{FaultPlan, ProtocolChoice};
+
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    
+    for (label, plan) in [("quiet", FaultPlan::Quiet { count: 1 }), ("equiv", FaultPlan::Equivocate { count: 1 })] {
+        let config = bench_fault_config(&format!("pb_{label}"), 4, ProtocolChoice::Prestige, plan);
+        group.bench_function(format!("pb_{label}"), |b| b.iter(|| run(&config)));
+        let config = bench_fault_config(&format!("hs_{label}"), 4, ProtocolChoice::HotStuff, plan);
+        group.bench_function(format!("hs_{label}"), |b| b.iter(|| run(&config)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Microbenchmarks of the cryptographic substrate: SHA-256 throughput, the
+//! reputation proof-of-work solver, and threshold-QC aggregation/verification.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use prestige_crypto::{sign_share, PowPuzzle, PowSolver, QcBuilder, Sha256, ThresholdVerifier};
+use prestige_crypto::KeyRegistry;
+use prestige_types::{Digest, QcKind, SeqNum, ServerId, View};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_sha256(c: &mut Criterion) {
+    let data_1k = vec![0xabu8; 1024];
+    let data_64k = vec![0xcdu8; 65_536];
+    c.bench_function("sha256_1KiB", |b| {
+        b.iter(|| Sha256::digest(black_box(&data_1k)))
+    });
+    c.bench_function("sha256_64KiB", |b| {
+        b.iter(|| Sha256::digest(black_box(&data_64k)))
+    });
+}
+
+fn bench_pow(c: &mut Criterion) {
+    let puzzle = PowPuzzle::new(Digest([7u8; 32]), 3);
+    let real = PowSolver::Real { bits_per_unit: 4 };
+    let modeled = PowSolver::Modeled { hash_rate: 1.0e7 };
+    c.bench_function("pow_solve_real_12bits", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| real.solve(black_box(&puzzle), &mut rng))
+    });
+    c.bench_function("pow_solve_modeled_rp3", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| modeled.solve(black_box(&puzzle), &mut rng))
+    });
+    let mut rng = StdRng::seed_from_u64(3);
+    let (solution, _) = real.solve(&puzzle, &mut rng);
+    c.bench_function("pow_verify", |b| {
+        b.iter(|| real.verify(black_box(&puzzle), black_box(&solution)))
+    });
+}
+
+fn bench_qc(c: &mut Criterion) {
+    for n in [4u32, 16, 31] {
+        let registry = KeyRegistry::new(9, n, 0);
+        let threshold = 2 * ((n - 1) / 3) + 1;
+        let digest = Digest([3u8; 32]);
+        let shares: Vec<_> = (0..threshold)
+            .map(|i| {
+                sign_share(&registry, ServerId(i), QcKind::Commit, View(2), SeqNum(5), &digest)
+                    .unwrap()
+            })
+            .collect();
+        c.bench_function(&format!("qc_aggregate_n{n}"), |b| {
+            b.iter(|| {
+                let mut builder =
+                    QcBuilder::new(QcKind::Commit, View(2), SeqNum(5), digest, threshold);
+                for s in &shares {
+                    builder.add_share(&registry, s).unwrap();
+                }
+                builder.assemble().unwrap()
+            })
+        });
+        let mut builder = QcBuilder::new(QcKind::Commit, View(2), SeqNum(5), digest, threshold);
+        for s in &shares {
+            builder.add_share(&registry, s).unwrap();
+        }
+        let qc = builder.assemble().unwrap();
+        c.bench_function(&format!("qc_verify_n{n}"), |b| {
+            b.iter(|| ThresholdVerifier::new(&registry).verify(black_box(&qc), threshold))
+        });
+    }
+}
+
+criterion_group!(benches, bench_sha256, bench_pow, bench_qc);
+criterion_main!(benches);

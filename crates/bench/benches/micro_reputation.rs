@@ -1,0 +1,25 @@
+//! Microbenchmarks of the reputation engine (Algorithm 1).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use prestige_reputation::{CalcRpInput, ReputationEngine};
+use prestige_types::{SeqNum, View};
+
+fn bench_calc_rp(c: &mut Criterion) {
+    let engine = ReputationEngine::default();
+    for history_len in [8usize, 64, 512] {
+        let input = CalcRpInput {
+            current_view: View(history_len as u64),
+            new_view: View(history_len as u64 + 1),
+            current_rp: 5,
+            current_ci: 100,
+            latest_tx_seq: SeqNum(10_000),
+            penalty_history: (0..history_len).map(|i| 1 + (i % 7) as i64).collect(),
+        };
+        c.bench_function(&format!("calc_rp_history_{history_len}"), |b| {
+            b.iter(|| engine.calc_rp(black_box(&input)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_calc_rp);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Bench-scale version of the peak-performance experiment: one representative cluster run.
+//! The full sweep that regenerates the figure is `run_experiments peak`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prestige_bench::bench_config;
+use prestige_experiments::run;
+use prestige_workloads::{FaultPlan, ProtocolChoice};
+
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("peak");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    
+    for protocol in [ProtocolChoice::Prestige, ProtocolChoice::HotStuff, ProtocolChoice::SbftLite, ProtocolChoice::ProsecutorLite] {
+        let config = bench_config(&format!("peak_{}", protocol.label()), 4, protocol);
+        group.bench_function(protocol.label(), |b| b.iter(|| run(&config)));
+    }
+    let _ = FaultPlan::None;
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,339 @@
+//! The consensus client (§4.3 "Invoking a consensus service").
+//!
+//! A client process broadcasts proposal bundles to all servers, waits for
+//! `f + 1` matching `Notif` replies per transaction before considering it
+//! committed, and — if a transaction stays unconfirmed past its timeout —
+//! broadcasts a `Compt` complaint suspecting the leader (§4.2.1), which is
+//! what arms the active view-change protocol's failure detection.
+//!
+//! One client process stands in for many logical closed-loop clients: it keeps
+//! `concurrency` transactions outstanding and issues the next bundle as soon
+//! as the previous one fully commits. This keeps the simulation's event count
+//! tractable at the paper's throughput levels while preserving the protocol
+//! interaction (every transaction is still individually ordered, committed,
+//! notified, and complain-able).
+
+use crate::pacemaker::timer_tags;
+use prestige_crypto::{digest_of, KeyPair, KeyRegistry};
+use prestige_sim::{Context, Process, SimDuration, TimerId};
+use prestige_types::{
+    Actor, ClientId, Message, Proposal, ReplicaSet, SeqNum, ServerId, Transaction, View,
+};
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+
+/// Client configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientConfig {
+    /// This client's identity.
+    pub id: ClientId,
+    /// The replica set it talks to.
+    pub replicas: ReplicaSet,
+    /// Payload size `m` in bytes (32 or 64 in the paper).
+    pub payload_size: usize,
+    /// Number of logical requests kept in flight (the closed-loop window).
+    pub concurrency: usize,
+    /// How long to wait for `f + 1` notifications before complaining (ms).
+    pub timeout_ms: f64,
+}
+
+impl ClientConfig {
+    /// A client with the given identity and window against `replicas`.
+    pub fn new(id: ClientId, replicas: ReplicaSet, payload_size: usize, concurrency: usize) -> Self {
+        ClientConfig {
+            id,
+            replicas,
+            payload_size,
+            concurrency: concurrency.max(1),
+            timeout_ms: 1000.0,
+        }
+    }
+}
+
+/// Client-side measurements.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClientStats {
+    /// Transactions confirmed by `f + 1` servers.
+    pub committed_tx: u64,
+    /// Complaints broadcast.
+    pub complaints_sent: u64,
+    /// Sum of end-to-end commit latencies (ms).
+    pub latency_sum_ms: f64,
+    /// Number of latency observations.
+    pub latency_count: u64,
+    /// A bounded sample of individual latencies (ms) for percentile reporting.
+    pub latency_samples: Vec<f64>,
+}
+
+impl ClientStats {
+    /// Mean end-to-end latency in milliseconds.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.latency_count == 0 {
+            0.0
+        } else {
+            self.latency_sum_ms / self.latency_count as f64
+        }
+    }
+
+    /// The p-th percentile (0–100) of the collected latency sample.
+    pub fn percentile_latency_ms(&self, p: f64) -> f64 {
+        if self.latency_samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latency_samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+}
+
+/// Bookkeeping for one outstanding transaction.
+#[derive(Debug, Clone)]
+struct Outstanding {
+    sent_at_ms: f64,
+    notifs: HashSet<ServerId>,
+    proposal: Proposal,
+    complained: bool,
+}
+
+/// A closed-loop consensus client.
+pub struct PrestigeClient {
+    config: ClientConfig,
+    keypair: KeyPair,
+    next_timestamp: u64,
+    outstanding: HashMap<(ClientId, u64), Outstanding>,
+    stats: ClientStats,
+    /// Highest view observed in notifications (informational).
+    observed_view: View,
+    /// Highest sequence number observed (informational).
+    observed_seq: SeqNum,
+}
+
+/// Maximum number of latency samples retained for percentile reporting.
+const MAX_LATENCY_SAMPLES: usize = 50_000;
+
+impl PrestigeClient {
+    /// Creates a client, deriving its key from the registry.
+    pub fn new(config: ClientConfig, registry: &KeyRegistry) -> Self {
+        let keypair = registry
+            .key_of(Actor::Client(config.id))
+            .expect("client key must be registered")
+            .clone();
+        PrestigeClient {
+            config,
+            keypair,
+            next_timestamp: 1,
+            outstanding: HashMap::new(),
+            stats: ClientStats::default(),
+            observed_view: View::INITIAL,
+            observed_seq: SeqNum::ZERO,
+        }
+    }
+
+    /// Client-side statistics.
+    pub fn stats(&self) -> &ClientStats {
+        &self.stats
+    }
+
+    /// Number of requests currently outstanding.
+    pub fn outstanding_count(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// The highest view this client has observed in notifications.
+    pub fn observed_view(&self) -> View {
+        self.observed_view
+    }
+
+    fn all_servers(&self) -> Vec<Actor> {
+        self.config.replicas.servers().map(Actor::Server).collect()
+    }
+
+    fn confirm_threshold(&self) -> usize {
+        (self.config.replicas.f() + 1) as usize
+    }
+
+    /// Builds and broadcasts the next bundle of proposals.
+    fn send_bundle(&mut self, ctx: &mut Context<Message>) {
+        let mut proposals = Vec::with_capacity(self.config.concurrency);
+        let now_ms = ctx.now().as_ms();
+        for _ in 0..self.config.concurrency {
+            let ts = self.next_timestamp;
+            self.next_timestamp += 1;
+            let tx = Transaction::with_size(self.config.id, ts, self.config.payload_size);
+            let digest = digest_of(&tx.payload);
+            let proposal = Proposal::new(tx, digest);
+            self.outstanding.insert(
+                (self.config.id, ts),
+                Outstanding {
+                    sent_at_ms: now_ms,
+                    notifs: HashSet::new(),
+                    proposal: proposal.clone(),
+                    complained: false,
+                },
+            );
+            proposals.push(proposal);
+        }
+        let client_sig = self.keypair.sign(b"bundle");
+        ctx.broadcast(
+            self.all_servers(),
+            Message::Prop {
+                proposals,
+                client_sig,
+            },
+        );
+    }
+
+    fn record_commit(&mut self, latency_ms: f64) {
+        self.stats.committed_tx += 1;
+        self.stats.latency_sum_ms += latency_ms;
+        self.stats.latency_count += 1;
+        if self.stats.latency_samples.len() < MAX_LATENCY_SAMPLES {
+            self.stats.latency_samples.push(latency_ms);
+        }
+    }
+}
+
+impl Process<Message> for PrestigeClient {
+    fn on_start(&mut self, ctx: &mut Context<Message>) {
+        self.send_bundle(ctx);
+        ctx.set_timer(
+            SimDuration::from_ms(self.config.timeout_ms),
+            timer_tags::CLIENT_CHECK,
+        );
+    }
+
+    fn on_message(&mut self, from: Actor, message: Message, ctx: &mut Context<Message>) {
+        let server = match from {
+            Actor::Server(s) => s,
+            Actor::Client(_) => return,
+        };
+        if let Message::Notif {
+            tx_keys,
+            seq,
+            view,
+            ..
+        } = message
+        {
+            self.observed_view = self.observed_view.max(view);
+            self.observed_seq = self.observed_seq.max(seq);
+            let now_ms = ctx.now().as_ms();
+            let threshold = self.confirm_threshold();
+            for key in tx_keys {
+                let done = match self.outstanding.get_mut(&key) {
+                    Some(entry) => {
+                        entry.notifs.insert(server);
+                        entry.notifs.len() >= threshold
+                    }
+                    None => false,
+                };
+                if done {
+                    let entry = self.outstanding.remove(&key).expect("entry present");
+                    self.record_commit(now_ms - entry.sent_at_ms);
+                }
+            }
+            if self.outstanding.is_empty() {
+                self.send_bundle(ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _id: TimerId, tag: u64, ctx: &mut Context<Message>) {
+        if tag != timer_tags::CLIENT_CHECK {
+            return;
+        }
+        // Complain about the oldest overdue transaction (one complaint per
+        // check keeps complaint traffic bounded; the view change it triggers
+        // unblocks the others too).
+        let now_ms = ctx.now().as_ms();
+        let timeout = self.config.timeout_ms;
+        let overdue = self
+            .outstanding
+            .iter()
+            .filter(|(_, o)| !o.complained && now_ms - o.sent_at_ms >= timeout)
+            .min_by(|a, b| {
+                a.1.sent_at_ms
+                    .partial_cmp(&b.1.sent_at_ms)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(k, _)| *k);
+        if let Some(key) = overdue {
+            if let Some(entry) = self.outstanding.get_mut(&key) {
+                entry.complained = true;
+                let proposal = entry.proposal.clone();
+                let client_sig = self.keypair.sign(b"complaint");
+                self.stats.complaints_sent += 1;
+                ctx.broadcast(
+                    self.all_servers(),
+                    Message::Compt {
+                        proposal,
+                        client_sig,
+                    },
+                );
+            }
+        } else {
+            // Allow re-complaining later if things stay stuck.
+            for entry in self.outstanding.values_mut() {
+                if now_ms - entry.sent_at_ms >= 3.0 * timeout {
+                    entry.complained = false;
+                }
+            }
+        }
+        ctx.set_timer(
+            SimDuration::from_ms(self.config.timeout_ms),
+            timer_tags::CLIENT_CHECK,
+        );
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_stats_latency_math() {
+        let mut stats = ClientStats::default();
+        for l in [10.0, 20.0, 30.0, 40.0] {
+            stats.latency_sum_ms += l;
+            stats.latency_count += 1;
+            stats.latency_samples.push(l);
+        }
+        assert!((stats.mean_latency_ms() - 25.0).abs() < 1e-9);
+        assert_eq!(stats.percentile_latency_ms(0.0), 10.0);
+        assert_eq!(stats.percentile_latency_ms(100.0), 40.0);
+        assert_eq!(stats.percentile_latency_ms(50.0), 30.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let stats = ClientStats::default();
+        assert_eq!(stats.mean_latency_ms(), 0.0);
+        assert_eq!(stats.percentile_latency_ms(99.0), 0.0);
+    }
+
+    #[test]
+    fn client_construction() {
+        let replicas = ReplicaSet::new(4);
+        let registry = KeyRegistry::new(3, 4, 2);
+        let config = ClientConfig::new(ClientId(0), replicas, 32, 100);
+        let client = PrestigeClient::new(config, &registry);
+        assert_eq!(client.outstanding_count(), 0);
+        assert_eq!(client.observed_view(), View(1));
+        assert_eq!(client.confirm_threshold(), 2);
+    }
+
+    #[test]
+    fn concurrency_is_at_least_one() {
+        let config = ClientConfig::new(ClientId(0), ReplicaSet::new(4), 32, 0);
+        assert_eq!(config.concurrency, 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Byzantine behaviours used by the evaluation (§6.2).
+//!
+//! The paper injects four attack families and two attack strategies:
+//!
+//! * **F1 — timeout attacks**: faulty servers mimic correct servers' timeouts
+//!   (maximizing the chance of simultaneous candidacies / split votes).
+//! * **F2 — quiet participants**: faulty servers stop responding (send
+//!   omission; behaves like a crash from the outside).
+//! * **F3 — equivocation**: faulty servers reply with erroneous messages,
+//!   consuming bandwidth and verification CPU at correct servers.
+//! * **F4 — repeated view-change attacks**: faulty servers campaign for
+//!   leadership whenever they are not the leader, the attack the active
+//!   view-change protocol specifically has to withstand.
+//! * **S1 / S2** — with F4, either attack at every opportunity (S1) or only
+//!   when the reputation engine says compensation is attainable (S2).
+//!
+//! A behaviour is attached to a [`PrestigeServer`](crate::PrestigeServer) at
+//! construction time; the server consults it at the relevant decision points.
+
+use serde::{Deserialize, Serialize};
+
+/// How an F4 attacker times its campaigns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackStrategy {
+    /// S1: campaign whenever not the leader.
+    Always,
+    /// S2: campaign only when the reputation engine projects a compensation
+    /// (i.e. the attack does not worsen the attacker's penalty).
+    WhenCompensable,
+}
+
+/// The Byzantine behaviour of a server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ByzantineBehavior {
+    /// A correct server.
+    #[default]
+    Correct,
+    /// F1: mimic correct servers' timeouts (no randomization).
+    TimeoutAttack,
+    /// F2: stop responding to any request.
+    Quiet,
+    /// F3: reply with erroneous messages.
+    Equivocate,
+    /// F4 combined with F2: repeatedly campaign for leadership and, once in
+    /// power, go quiet.
+    RepeatedVcQuiet(AttackStrategy),
+    /// F4 combined with F3: repeatedly campaign for leadership and, once in
+    /// power, equivocate.
+    RepeatedVcEquivocate(AttackStrategy),
+}
+
+impl ByzantineBehavior {
+    /// True for any non-correct behaviour.
+    pub fn is_faulty(&self) -> bool {
+        !matches!(self, ByzantineBehavior::Correct)
+    }
+
+    /// True if this behaviour suppresses all outgoing protocol responses
+    /// while *not* holding leadership (the pure F2 attack).
+    pub fn silent_as_follower(&self) -> bool {
+        matches!(self, ByzantineBehavior::Quiet)
+    }
+
+    /// True if this behaviour suppresses replication work while holding
+    /// leadership (quiet leaders never commit anything).
+    pub fn silent_as_leader(&self) -> bool {
+        matches!(
+            self,
+            ByzantineBehavior::Quiet | ByzantineBehavior::RepeatedVcQuiet(_)
+        )
+    }
+
+    /// True if this behaviour sends corrupted replies instead of real ones.
+    pub fn equivocates(&self) -> bool {
+        matches!(
+            self,
+            ByzantineBehavior::Equivocate | ByzantineBehavior::RepeatedVcEquivocate(_)
+        )
+    }
+
+    /// True if this behaviour launches repeated view-change campaigns (F4).
+    pub fn attacks_view_changes(&self) -> bool {
+        matches!(
+            self,
+            ByzantineBehavior::RepeatedVcQuiet(_) | ByzantineBehavior::RepeatedVcEquivocate(_)
+        )
+    }
+
+    /// The F4 strategy, if any.
+    pub fn strategy(&self) -> Option<AttackStrategy> {
+        match self {
+            ByzantineBehavior::RepeatedVcQuiet(s) | ByzantineBehavior::RepeatedVcEquivocate(s) => {
+                Some(*s)
+            }
+            _ => None,
+        }
+    }
+
+    /// True if this behaviour removes timeout randomization (F1).
+    pub fn mimics_timeouts(&self) -> bool {
+        matches!(self, ByzantineBehavior::TimeoutAttack)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_behaviour_is_benign() {
+        let b = ByzantineBehavior::Correct;
+        assert!(!b.is_faulty());
+        assert!(!b.silent_as_follower());
+        assert!(!b.silent_as_leader());
+        assert!(!b.equivocates());
+        assert!(!b.attacks_view_changes());
+        assert!(!b.mimics_timeouts());
+        assert_eq!(b.strategy(), None);
+    }
+
+    #[test]
+    fn quiet_is_silent_everywhere() {
+        let b = ByzantineBehavior::Quiet;
+        assert!(b.is_faulty());
+        assert!(b.silent_as_follower());
+        assert!(b.silent_as_leader());
+        assert!(!b.attacks_view_changes());
+    }
+
+    #[test]
+    fn equivocation_flags() {
+        let b = ByzantineBehavior::Equivocate;
+        assert!(b.equivocates());
+        assert!(!b.silent_as_leader());
+    }
+
+    #[test]
+    fn repeated_vc_combinations() {
+        let s1 = ByzantineBehavior::RepeatedVcQuiet(AttackStrategy::Always);
+        assert!(s1.attacks_view_changes());
+        assert!(s1.silent_as_leader());
+        assert!(!s1.silent_as_follower());
+        assert_eq!(s1.strategy(), Some(AttackStrategy::Always));
+
+        let s2 = ByzantineBehavior::RepeatedVcEquivocate(AttackStrategy::WhenCompensable);
+        assert!(s2.attacks_view_changes());
+        assert!(s2.equivocates());
+        assert_eq!(s2.strategy(), Some(AttackStrategy::WhenCompensable));
+    }
+
+    #[test]
+    fn timeout_attack_flag() {
+        assert!(ByzantineBehavior::TimeoutAttack.mimics_timeouts());
+        assert!(ByzantineBehavior::TimeoutAttack.is_faulty());
+    }
+}

@@ -1,0 +1,522 @@
+//! The two-phase replication protocol (§4.3).
+//!
+//! One consensus instance commits one `txBlock`:
+//!
+//! 1. clients broadcast `Prop` bundles; the leader batches proposals and
+//!    assigns a sequence number (`Ord`),
+//! 2. followers acknowledge the ordering (`OrdReply` shares → `ordering_QC`),
+//! 3. the leader broadcasts `Cmt` with the `ordering_QC`; followers acknowledge
+//!    (`CmtReply` shares → `commit_QC`),
+//! 4. the leader assembles the `txBlock`, broadcasts it (`CommitBlock`), and
+//!    every server notifies the owning clients (`Notif`).
+//!
+//! Servers never respond to messages from a lower view. Blocks are applied in
+//! sequence-number order on every replica so the digest chain is identical
+//! everywhere.
+
+use crate::pacemaker::timer_tags;
+use crate::server::{InflightInstance, PrestigeServer, ServerRole};
+use crate::storage::tx_block_digest;
+use prestige_crypto::{hash_many, sign_share, QcBuilder, ThresholdVerifier};
+use prestige_sim::Context;
+use prestige_types::{
+    Actor, ClientId, Digest, Message, PartialSig, Proposal, QcKind, QuorumCertificate, SeqNum,
+    TxBlock, View,
+};
+use std::collections::BTreeMap;
+
+/// CPU cost charged per transaction when hashing / validating a batch (ms).
+/// Roughly the cost of one digest computation on the paper's Skylake vCPUs.
+const PER_TX_CPU_MS: f64 = 0.0004;
+
+impl PrestigeServer {
+    /// Digest over an ordered batch that both phases' shares sign.
+    pub(crate) fn batch_digest(view: View, n: SeqNum, batch: &[Proposal]) -> Digest {
+        let mut parts: Vec<Vec<u8>> = vec![
+            b"batch".to_vec(),
+            view.0.to_be_bytes().to_vec(),
+            n.0.to_be_bytes().to_vec(),
+        ];
+        for p in batch {
+            parts.push(p.tx.client.0.to_be_bytes().to_vec());
+            parts.push(p.tx.timestamp.to_be_bytes().to_vec());
+        }
+        hash_many(parts.iter().map(|p| p.as_slice()))
+    }
+
+    // ------------------------------------------------------------------
+    // Client proposals
+    // ------------------------------------------------------------------
+
+    /// Handles a `Prop` bundle from a client: buffer new transactions and, if
+    /// this server leads and the batch is full, start a consensus instance.
+    pub(crate) fn handle_prop(
+        &mut self,
+        _from: Actor,
+        proposals: Vec<Proposal>,
+        _client_sig: [u8; 32],
+        ctx: &mut Context<Message>,
+    ) {
+        self.charge_verify_cost(ctx);
+        ctx.charge_cpu_ms(PER_TX_CPU_MS * proposals.len() as f64);
+        for proposal in proposals {
+            let key = proposal.tx.key();
+            if self.seen_tx.contains(&key) {
+                continue;
+            }
+            self.seen_tx.insert(key);
+            self.pending_proposals.push(proposal);
+        }
+        if self.role == ServerRole::Leader
+            && !self.behavior.silent_as_leader()
+            && self.pending_proposals.len() >= self.config.batch_size
+        {
+            self.flush_batch(ctx);
+        }
+    }
+
+    /// Leader batch flush: assigns the next sequence number to the pending
+    /// proposals (up to β of them) and broadcasts the `Ord` message.
+    pub(crate) fn flush_batch(&mut self, ctx: &mut Context<Message>) {
+        if self.role != ServerRole::Leader || self.behavior.silent_as_leader() {
+            return;
+        }
+        if self.rotation_pending {
+            return; // Replication quiesces ahead of a policy rotation.
+        }
+        if self.pending_proposals.is_empty() {
+            return;
+        }
+        let take = self.pending_proposals.len().min(self.config.batch_size);
+        let batch: Vec<Proposal> = self.pending_proposals.drain(..take).collect();
+        let view = self.current_view();
+        let n = self.next_seq;
+        self.next_seq = self.next_seq.next();
+
+        let digest = Self::batch_digest(view, n, &batch);
+        ctx.charge_cpu_ms(PER_TX_CPU_MS * batch.len() as f64);
+
+        let mut ordering_builder = QcBuilder::new(
+            QcKind::Ordering,
+            view,
+            n,
+            digest,
+            self.config.quorum(),
+        );
+        if let Some(share) = sign_share(&self.registry, self.id, QcKind::Ordering, view, n, &digest)
+        {
+            let _ = ordering_builder.add_share(&self.registry, &share);
+        }
+        let sig = self.sign(digest.as_ref());
+        let message = Message::Ord {
+            view,
+            n,
+            batch: batch.clone(),
+            digest,
+            sig,
+        };
+        ctx.broadcast(self.other_servers(), message);
+        self.inflight.insert(
+            n.0,
+            InflightInstance {
+                view,
+                batch,
+                digest,
+                ordering_builder,
+                ordering_qc: None,
+                commit_builder: None,
+            },
+        );
+    }
+
+    /// Leader batch timer: flush whatever is pending (even a partial batch)
+    /// and re-arm. Equivocating leaders emit garbage traffic instead.
+    pub(crate) fn on_batch_timer(&mut self, ctx: &mut Context<Message>) {
+        if self.role != ServerRole::Leader {
+            self.batch_timer_armed = false;
+            return;
+        }
+        if self.behavior.silent_as_leader() {
+            self.batch_timer_armed = false;
+            return;
+        }
+        if self.behavior.equivocates() {
+            // F3 / F4+F3: spray an invalid ordering message (bad signature) —
+            // it consumes bandwidth and verification CPU but commits nothing.
+            let view = self.current_view();
+            let n = self.next_seq;
+            let message = Message::Ord {
+                view,
+                n,
+                batch: Vec::new(),
+                digest: Digest::ZERO,
+                sig: [0xEE; 32],
+            };
+            ctx.broadcast(self.other_servers(), message);
+        } else {
+            self.flush_batch(ctx);
+        }
+        ctx.set_timer(self.pacemaker.batch_interval(), timer_tags::BATCH);
+        self.batch_timer_armed = true;
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 1: ordering
+    // ------------------------------------------------------------------
+
+    /// Follower handling of the leader's `Ord` message.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn handle_ord(
+        &mut self,
+        from: Actor,
+        view: View,
+        n: SeqNum,
+        batch: Vec<Proposal>,
+        digest: Digest,
+        sig: [u8; 32],
+        ctx: &mut Context<Message>,
+    ) {
+        // Servers never respond to a leader of a lower view, and only the
+        // current leader may order.
+        if view != self.current_view() || from != Actor::Server(self.current_leader()) {
+            return;
+        }
+        if self.rotation_pending {
+            return; // Replication quiesces ahead of a policy rotation.
+        }
+        if n <= self.store.latest_seq() {
+            return;
+        }
+        self.charge_verify_cost(ctx);
+        if !self
+            .registry
+            .verify(from, digest.as_ref(), &sig)
+        {
+            return;
+        }
+        ctx.charge_cpu_ms(PER_TX_CPU_MS * batch.len() as f64);
+        if Self::batch_digest(view, n, &batch) != digest {
+            return;
+        }
+        // A sequence number must not be reused with a different payload.
+        if let Some(existing) = self.ordered_digests.get(&n.0) {
+            if *existing != digest {
+                return;
+            }
+        }
+        self.ordered_digests.insert(n.0, digest);
+        // Remember the proposals so a later leader can re-propose them if this
+        // instance never commits.
+        for proposal in &batch {
+            let key = proposal.tx.key();
+            if self.seen_tx.insert(key) {
+                self.pending_proposals.push(proposal.clone());
+            }
+        }
+
+        let share = if self.behavior.equivocates() {
+            // F3: reply with a corrupted share.
+            PartialSig {
+                signer: self.id,
+                sig: [0xBA; 32],
+            }
+        } else {
+            match sign_share(&self.registry, self.id, QcKind::Ordering, view, n, &digest) {
+                Some(s) => s,
+                None => return,
+            }
+        };
+        ctx.send(
+            from,
+            Message::OrdReply {
+                view,
+                n,
+                digest,
+                share,
+            },
+        );
+    }
+
+    /// Leader handling of an `OrdReply` share.
+    pub(crate) fn handle_ord_reply(
+        &mut self,
+        view: View,
+        n: SeqNum,
+        digest: Digest,
+        share: PartialSig,
+        ctx: &mut Context<Message>,
+    ) {
+        if self.role != ServerRole::Leader || view != self.current_view() {
+            return;
+        }
+        self.charge_verify_cost(ctx);
+        let instance = match self.inflight.get_mut(&n.0) {
+            Some(i) if i.view == view && i.digest == digest && i.ordering_qc.is_none() => i,
+            _ => return,
+        };
+        if instance
+            .ordering_builder
+            .add_share(&self.registry, &share)
+            .is_err()
+        {
+            return;
+        }
+        if !instance.ordering_builder.complete() {
+            return;
+        }
+        let ordering_qc = match instance.ordering_builder.assemble() {
+            Ok(qc) => qc,
+            Err(_) => return,
+        };
+        instance.ordering_qc = Some(ordering_qc.clone());
+        let mut commit_builder =
+            QcBuilder::new(QcKind::Commit, view, n, digest, self.config.quorum());
+        if let Some(own) = sign_share(&self.registry, self.id, QcKind::Commit, view, n, &digest) {
+            let _ = commit_builder.add_share(&self.registry, &own);
+        }
+        instance.commit_builder = Some(commit_builder);
+        let sig = self.sign(digest.as_ref());
+        ctx.broadcast(
+            self.other_servers(),
+            Message::Cmt {
+                view,
+                n,
+                ordering_qc,
+                sig,
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 2: commit
+    // ------------------------------------------------------------------
+
+    /// Follower handling of the leader's `Cmt` message.
+    pub(crate) fn handle_cmt(
+        &mut self,
+        from: Actor,
+        view: View,
+        n: SeqNum,
+        ordering_qc: QuorumCertificate,
+        _sig: [u8; 32],
+        ctx: &mut Context<Message>,
+    ) {
+        if view != self.current_view() || from != Actor::Server(self.current_leader()) {
+            return;
+        }
+        if self.rotation_pending {
+            return;
+        }
+        self.charge_verify_cost(ctx);
+        if ordering_qc.kind != QcKind::Ordering
+            || ordering_qc.view != view
+            || ordering_qc.seq != n
+            || ThresholdVerifier::new(&self.registry)
+                .verify(&ordering_qc, self.config.quorum())
+                .is_err()
+        {
+            return;
+        }
+        let digest = ordering_qc.digest;
+        let share = if self.behavior.equivocates() {
+            PartialSig {
+                signer: self.id,
+                sig: [0xBB; 32],
+            }
+        } else {
+            match sign_share(&self.registry, self.id, QcKind::Commit, view, n, &digest) {
+                Some(s) => s,
+                None => return,
+            }
+        };
+        ctx.send(
+            from,
+            Message::CmtReply {
+                view,
+                n,
+                digest,
+                share,
+            },
+        );
+    }
+
+    /// Leader handling of a `CmtReply` share: once 2f+1 arrive, the block is
+    /// committed, broadcast, and clients are notified.
+    pub(crate) fn handle_cmt_reply(
+        &mut self,
+        view: View,
+        n: SeqNum,
+        digest: Digest,
+        share: PartialSig,
+        ctx: &mut Context<Message>,
+    ) {
+        if self.role != ServerRole::Leader || view != self.current_view() {
+            return;
+        }
+        self.charge_verify_cost(ctx);
+        let instance = match self.inflight.get_mut(&n.0) {
+            Some(i) if i.view == view && i.digest == digest => i,
+            _ => return,
+        };
+        let builder = match instance.commit_builder.as_mut() {
+            Some(b) => b,
+            None => return,
+        };
+        if builder.add_share(&self.registry, &share).is_err() || !builder.complete() {
+            return;
+        }
+        let commit_qc = match builder.assemble() {
+            Ok(qc) => qc,
+            Err(_) => return,
+        };
+        let instance = self.inflight.remove(&n.0).expect("instance present");
+        let mut block = TxBlock::new(view, n, instance.batch.iter().map(|p| p.tx.clone()).collect());
+        block.ordering_qc = instance.ordering_qc.clone();
+        block.commit_qc = Some(commit_qc);
+
+        let sig = self.sign(tx_block_digest(&block).as_ref());
+        ctx.broadcast(self.other_servers(), Message::CommitBlock {
+            block: block.clone(),
+            sig,
+        });
+        self.apply_committed_block(block, ctx);
+    }
+
+    /// Follower handling of the finalized `CommitBlock` broadcast.
+    pub(crate) fn handle_commit_block(
+        &mut self,
+        _from: Actor,
+        block: TxBlock,
+        _sig: [u8; 32],
+        ctx: &mut Context<Message>,
+    ) {
+        // Committed blocks are validated purely through their QCs: they may
+        // legitimately arrive from the leader of an earlier view during a view
+        // change, or via sync from any peer.
+        self.charge_verify_cost(ctx);
+        self.charge_verify_cost(ctx);
+        let quorum = self.config.quorum();
+        let verifier = ThresholdVerifier::new(&self.registry);
+        let valid = match (&block.ordering_qc, &block.commit_qc) {
+            (Some(o), Some(c)) => {
+                o.kind == QcKind::Ordering
+                    && c.kind == QcKind::Commit
+                    && o.seq == block.n
+                    && c.seq == block.n
+                    && verifier.verify(o, quorum).is_ok()
+                    && verifier.verify(c, quorum).is_ok()
+            }
+            _ => false,
+        };
+        if !valid {
+            return;
+        }
+        self.apply_committed_block(block, ctx);
+    }
+
+    /// Applies a committed block locally: store it, update bookkeeping, and
+    /// notify the owning clients. Blocks arriving ahead of a gap are buffered
+    /// so every replica applies the log in the same order.
+    pub(crate) fn apply_committed_block(&mut self, block: TxBlock, ctx: &mut Context<Message>) {
+        if block.n <= self.store.latest_seq() {
+            return;
+        }
+        if block.n.0 > self.store.latest_seq().0 + 1 {
+            self.pending_commit_blocks.insert(block.n.0, block);
+            return;
+        }
+        self.apply_in_order(block, ctx);
+        // Drain any buffered successors that are now contiguous.
+        while let Some((&next, _)) = self.pending_commit_blocks.iter().next() {
+            if next != self.store.latest_seq().0 + 1 {
+                break;
+            }
+            let block = self.pending_commit_blocks.remove(&next).expect("present");
+            self.apply_in_order(block, ctx);
+        }
+    }
+
+    /// Applies one block whose predecessor is already committed.
+    fn apply_in_order(&mut self, block: TxBlock, ctx: &mut Context<Message>) {
+        if !self.store.insert_tx_block(block.clone()) {
+            return;
+        }
+        self.stats.committed_blocks += 1;
+        self.stats.committed_tx += block.tx.len() as u64;
+        self.stats
+            .commit_log
+            .push((ctx.now().as_ms(), block.tx.len() as u64));
+
+        // Clear complaint state and pending proposals for committed keys.
+        let mut committed_keys: Vec<(ClientId, u64)> = Vec::with_capacity(block.tx.len());
+        for tx in &block.tx {
+            committed_keys.push(tx.key());
+        }
+        for key in &committed_keys {
+            self.complaints.remove(key);
+            self.seen_tx.insert(*key);
+        }
+        if !self.pending_proposals.is_empty() {
+            let committed: std::collections::HashSet<_> = committed_keys.iter().copied().collect();
+            self.pending_proposals
+                .retain(|p| !committed.contains(&p.tx.key()));
+        }
+        self.ordered_digests.remove(&block.n.0);
+
+        // Notify clients: one Notif per client listing its committed keys.
+        let mut by_client: BTreeMap<ClientId, Vec<(ClientId, u64)>> = BTreeMap::new();
+        for key in committed_keys {
+            by_client.entry(key.0).or_default().push(key);
+        }
+        for (client, tx_keys) in by_client {
+            let sig = self.sign(&block.n.0.to_be_bytes());
+            ctx.send(
+                Actor::Client(client),
+                Message::Notif {
+                    tx_keys,
+                    seq: block.n,
+                    view: block.view,
+                    sig,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prestige_crypto::KeyRegistry;
+    use prestige_types::{ClusterConfig, ServerId, Transaction};
+
+    #[test]
+    fn batch_digest_depends_on_contents_and_position() {
+        let p1 = Proposal::new(Transaction::with_size(ClientId(1), 1, 32), Digest::ZERO);
+        let p2 = Proposal::new(Transaction::with_size(ClientId(1), 2, 32), Digest::ZERO);
+        let a = PrestigeServer::batch_digest(View(1), SeqNum(1), &[p1.clone(), p2.clone()]);
+        let b = PrestigeServer::batch_digest(View(1), SeqNum(1), &[p2, p1.clone()]);
+        let c = PrestigeServer::batch_digest(View(1), SeqNum(2), &[p1.clone()]);
+        let d = PrestigeServer::batch_digest(View(2), SeqNum(1), &[p1]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(c, d);
+    }
+
+    #[test]
+    fn servers_share_batch_digest_function() {
+        // The leader and followers must derive identical digests or phase-1
+        // shares would never aggregate.
+        let config = ClusterConfig::new(4);
+        let registry = KeyRegistry::new(9, 4, 1);
+        let leader = PrestigeServer::new(ServerId(0), config.clone(), registry.clone(), 0);
+        let follower = PrestigeServer::new(ServerId(1), config, registry, 0);
+        let batch = vec![Proposal::new(
+            Transaction::with_size(ClientId(1), 7, 32),
+            Digest::ZERO,
+        )];
+        assert_eq!(
+            PrestigeServer::batch_digest(leader.current_view(), SeqNum(1), &batch),
+            PrestigeServer::batch_digest(follower.current_view(), SeqNum(1), &batch),
+        );
+    }
+}

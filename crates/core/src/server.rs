@@ -1,0 +1,603 @@
+//! The PrestigeBFT server: state, construction, and event dispatch.
+//!
+//! A server is one replica of the consensus group. It owns the block store
+//! (state machine), the reputation engine, the pacemaker, its key material,
+//! and the in-flight state of both protocols. The actual message handlers
+//! live in the sibling modules (`replication`, `view_change`, `sync`,
+//! `refresh_proto`), all implemented as `impl PrestigeServer` blocks; this
+//! module wires them into the simulator's [`Process`] interface and applies
+//! the configured Byzantine behaviour at the dispatch level.
+
+use crate::faults::ByzantineBehavior;
+use crate::pacemaker::{timer_tags, Pacemaker};
+use crate::storage::BlockStore;
+use prestige_crypto::{KeyPair, KeyRegistry, PowSolution, PowSolver, QcBuilder};
+use prestige_reputation::{RefreshTracker, ReputationEngine};
+use prestige_sim::{Context, Process, SimTime, TimerId};
+use prestige_types::{
+    Actor, ClientId, ClusterConfig, Digest, Message, Proposal, QuorumCertificate, SeqNum,
+    ServerId, VcBlock, View,
+};
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// The four server states of Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ServerRole {
+    /// Normal operation, following the current leader.
+    #[default]
+    Follower,
+    /// Performing reputation-determined computation before campaigning.
+    Redeemer,
+    /// Campaigning: collecting election votes.
+    Candidate,
+    /// Leading the current view.
+    Leader,
+}
+
+/// Counters and series exported to the experiment harness.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Transactions committed by this server.
+    pub committed_tx: u64,
+    /// txBlocks committed by this server.
+    pub committed_blocks: u64,
+    /// vcBlocks installed (views entered), excluding genesis.
+    pub views_installed: u64,
+    /// Elections this server won.
+    pub elections_won: u64,
+    /// Campaigns this server started (redeemer transitions).
+    pub campaigns_started: u64,
+    /// Campaigns that timed out without a winner visible to this candidate
+    /// (split votes / lost elections), counted at this server.
+    pub election_timeouts: u64,
+    /// Votes this server cast for other candidates.
+    pub votes_cast: u64,
+    /// Total simulated milliseconds spent solving reputation puzzles.
+    pub pow_ms_total: f64,
+    /// Solve time of the most recent puzzle (ms).
+    pub last_pow_ms: f64,
+    /// Complaints relayed to the leader.
+    pub complaints_relayed: u64,
+    /// View changes this server confirmed (conf_QC formed).
+    pub view_changes_confirmed: u64,
+    /// Penalty refreshes completed by this server.
+    pub refreshes: u64,
+    /// Commit log for time series: (simulated ms, transactions in the block).
+    pub commit_log: Vec<(f64, u64)>,
+    /// Per-campaign log: (simulated ms at campaign start, rp used, pow ms).
+    pub campaign_log: Vec<(f64, i64, f64)>,
+}
+
+/// A leader's in-flight replication instance (one per sequence number).
+#[derive(Debug, Clone)]
+pub(crate) struct InflightInstance {
+    pub(crate) view: View,
+    pub(crate) batch: Vec<Proposal>,
+    pub(crate) digest: Digest,
+    pub(crate) ordering_builder: QcBuilder,
+    pub(crate) ordering_qc: Option<QuorumCertificate>,
+    pub(crate) commit_builder: Option<QcBuilder>,
+}
+
+/// The state a server keeps while campaigning (redeemer / candidate).
+#[derive(Debug, Clone)]
+pub(crate) struct CampaignState {
+    /// The view the campaign was started from.
+    pub(crate) old_view: View,
+    /// The view being campaigned for (`V'`).
+    pub(crate) new_view: View,
+    /// The reputation penalty computed for the campaign.
+    pub(crate) rp: i64,
+    /// The compensation index computed for the campaign.
+    pub(crate) ci: u64,
+    /// The confirmation QC justifying the view change (None for
+    /// policy-triggered rotations).
+    pub(crate) conf_qc: Option<QuorumCertificate>,
+    /// The puzzle solution, available once the redeemer finishes.
+    pub(crate) solution: Option<PowSolution>,
+    /// The election vote collector (candidate phase).
+    pub(crate) vote_builder: Option<QcBuilder>,
+    /// The latest txBlock digest the campaign is bound to.
+    pub(crate) tx_digest: Digest,
+    /// The latest committed sequence number at campaign time.
+    pub(crate) tx_seq: SeqNum,
+}
+
+/// A relayed client complaint waiting for the leader to act.
+#[derive(Debug, Clone)]
+pub(crate) struct ComplaintState {
+    /// The complained-about proposal (kept so a future leader could re-propose
+    /// it directly from the complaint record).
+    #[allow(dead_code)]
+    pub(crate) proposal: Proposal,
+    pub(crate) view: View,
+}
+
+/// One PrestigeBFT replica.
+pub struct PrestigeServer {
+    pub(crate) id: ServerId,
+    pub(crate) config: ClusterConfig,
+    pub(crate) registry: Arc<KeyRegistry>,
+    pub(crate) keypair: KeyPair,
+    pub(crate) behavior: ByzantineBehavior,
+    pub(crate) pacemaker: Pacemaker,
+    pub(crate) engine: ReputationEngine,
+    pub(crate) pow_solver: PowSolver,
+    pub(crate) store: BlockStore,
+    pub(crate) role: ServerRole,
+
+    // --- replication state ---
+    /// Proposals received but not yet ordered (leader side).
+    pub(crate) pending_proposals: Vec<Proposal>,
+    /// Transaction keys already committed or currently pending, for dedup.
+    pub(crate) seen_tx: HashSet<(ClientId, u64)>,
+    /// The next sequence number a leader will assign.
+    pub(crate) next_seq: SeqNum,
+    /// Leader-side in-flight instances keyed by sequence number.
+    pub(crate) inflight: BTreeMap<u64, InflightInstance>,
+    /// Follower-side record of ordered digests (phase-1 acknowledgements).
+    pub(crate) ordered_digests: HashMap<u64, Digest>,
+    /// Committed blocks received out of order, waiting for their predecessors
+    /// so the digest chain stays identical on every replica.
+    pub(crate) pending_commit_blocks: BTreeMap<u64, prestige_types::TxBlock>,
+    /// Whether the leader batch timer is armed.
+    pub(crate) batch_timer_armed: bool,
+
+    // --- view-change state ---
+    /// Views this server has voted in (criterion C1).
+    pub(crate) voted_views: HashSet<u64>,
+    /// Relayed complaints awaiting leader action, keyed by transaction key.
+    pub(crate) complaints: HashMap<(ClientId, u64), ComplaintState>,
+    /// Collector of ReVC replies for the ConfVC this server broadcast, by view.
+    pub(crate) confvc_builders: HashMap<u64, QcBuilder>,
+    /// Active campaign (redeemer or candidate phase).
+    pub(crate) campaign: Option<CampaignState>,
+    /// Leader-elect state: the vcBlock being installed and its vcYes collector.
+    pub(crate) pending_vc_block: Option<(VcBlock, QcBuilder)>,
+    /// Timers for relayed complaints: timer id → transaction key.
+    pub(crate) complaint_timers: HashMap<TimerId, (ClientId, u64)>,
+    /// Timers for ConfVC collection: timer id → view.
+    pub(crate) confvc_timers: HashMap<TimerId, u64>,
+    /// The current election timer (candidate phase).
+    pub(crate) election_timer: Option<TimerId>,
+    /// The current PoW completion timer (redeemer phase).
+    pub(crate) pow_timer: Option<TimerId>,
+    /// Simulated time at which the current view was installed (ms).
+    pub(crate) view_installed_at_ms: f64,
+    /// Whether this server already initiated a policy rotation for the
+    /// current view.
+    pub(crate) policy_rotation_started: bool,
+    /// Set once a policy rotation is due: replication in the current view is
+    /// quiesced (no new batches, no ordering/commit replies) so candidates
+    /// campaign against a stable log (§4.2.2 "stop replication in V").
+    pub(crate) rotation_pending: bool,
+
+    // --- refresh state ---
+    pub(crate) refresh_tracker: RefreshTracker,
+    pub(crate) refresh_builder: Option<QcBuilder>,
+
+    // --- bookkeeping ---
+    pub(crate) stats: ServerStats,
+}
+
+impl PrestigeServer {
+    /// Creates a correct server.
+    pub fn new(id: ServerId, config: ClusterConfig, registry: KeyRegistry, seed_unused: u64) -> Self {
+        Self::with_behavior(id, config, registry, seed_unused, ByzantineBehavior::Correct)
+    }
+
+    /// Creates a server with an explicit Byzantine behaviour.
+    pub fn with_behavior(
+        id: ServerId,
+        config: ClusterConfig,
+        registry: KeyRegistry,
+        _seed: u64,
+        behavior: ByzantineBehavior,
+    ) -> Self {
+        let keypair = registry
+            .key_of(Actor::Server(id))
+            .expect("server key must be registered")
+            .clone();
+        let mut pacemaker = Pacemaker::new(config.timeouts.clone(), config.policy);
+        if behavior.mimics_timeouts() {
+            pacemaker.set_deterministic_timeout(true);
+        }
+        let engine = ReputationEngine::new(config.reputation.clone());
+        let pow_solver = PowSolver::from_config(&config.pow);
+        let store = BlockStore::new(config.n());
+        let refresh_tracker = RefreshTracker::new(config.reputation.refresh_threshold_pi, config.f());
+        PrestigeServer {
+            id,
+            config,
+            registry: Arc::new(registry),
+            keypair,
+            behavior,
+            pacemaker,
+            engine,
+            pow_solver,
+            store,
+            role: if id == ServerId(0) {
+                // S1 leads the initial view V1 (matching the paper's Figure 1).
+                ServerRole::Leader
+            } else {
+                ServerRole::Follower
+            },
+            pending_proposals: Vec::new(),
+            seen_tx: HashSet::new(),
+            next_seq: SeqNum(1),
+            inflight: BTreeMap::new(),
+            ordered_digests: HashMap::new(),
+            pending_commit_blocks: BTreeMap::new(),
+            batch_timer_armed: false,
+            voted_views: HashSet::new(),
+            complaints: HashMap::new(),
+            confvc_builders: HashMap::new(),
+            campaign: None,
+            pending_vc_block: None,
+            complaint_timers: HashMap::new(),
+            confvc_timers: HashMap::new(),
+            election_timer: None,
+            pow_timer: None,
+            view_installed_at_ms: 0.0,
+            policy_rotation_started: false,
+            rotation_pending: false,
+            refresh_tracker,
+            refresh_builder: None,
+            stats: ServerStats::default(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors used by harnesses and tests
+    // ------------------------------------------------------------------
+
+    /// This server's identifier.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// This server's current role.
+    pub fn role(&self) -> ServerRole {
+        self.role
+    }
+
+    /// This server's configured Byzantine behaviour.
+    pub fn behavior(&self) -> ByzantineBehavior {
+        self.behavior
+    }
+
+    /// The server's block store (committed state).
+    pub fn store(&self) -> &BlockStore {
+        &self.store
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// The view this server currently operates in.
+    pub fn current_view(&self) -> View {
+        self.store.current_view()
+    }
+
+    /// The server's own reputation penalty in the current view.
+    pub fn current_rp(&self) -> i64 {
+        self.store.current_rp(self.id)
+    }
+
+    /// The leader of the current view according to the latest vcBlock.
+    pub fn current_leader(&self) -> ServerId {
+        self.store.latest_vc_block().leader_id
+    }
+
+    /// Whether this server believes it is the current leader.
+    pub fn is_leader(&self) -> bool {
+        self.role == ServerRole::Leader
+    }
+
+    // ------------------------------------------------------------------
+    // Shared helpers for the protocol modules
+    // ------------------------------------------------------------------
+
+    /// All server actors except this one.
+    pub(crate) fn other_servers(&self) -> Vec<Actor> {
+        self.config
+            .replicas
+            .servers()
+            .filter(|s| *s != self.id)
+            .map(Actor::Server)
+            .collect()
+    }
+
+    /// All server actors including this one.
+    #[allow(dead_code)]
+    pub(crate) fn all_servers(&self) -> Vec<Actor> {
+        self.config.replicas.servers().map(Actor::Server).collect()
+    }
+
+    /// Signs an arbitrary byte string with this server's key.
+    pub(crate) fn sign(&self, message: &[u8]) -> [u8; 32] {
+        self.keypair.sign(message)
+    }
+
+    /// Charges the per-message processing cost to this node.
+    pub(crate) fn charge_message_cost(&self, ctx: &mut Context<Message>) {
+        ctx.charge_cpu_ms(self.config.per_message_cpu_ms);
+    }
+
+    /// Charges the cost of one signature / QC verification.
+    pub(crate) fn charge_verify_cost(&self, ctx: &mut Context<Message>) {
+        ctx.charge_cpu_ms(self.config.per_verify_cpu_ms);
+    }
+
+    /// Records installation of a new view in local bookkeeping (role, timers,
+    /// per-view vote bookkeeping, statistics).
+    pub(crate) fn note_view_installed(&mut self, ctx: &mut Context<Message>, leader: ServerId) {
+        self.stats.views_installed += 1;
+        self.view_installed_at_ms = ctx.now().as_ms();
+        self.policy_rotation_started = false;
+        self.rotation_pending = false;
+        self.campaign = None;
+        self.pending_vc_block = None;
+        self.election_timer = None;
+        self.pow_timer = None;
+        self.confvc_builders.clear();
+        self.ordered_digests.clear();
+        self.inflight.clear();
+        if leader == self.id {
+            self.role = ServerRole::Leader;
+            self.next_seq = self.store.latest_seq().next();
+            self.arm_batch_timer(ctx);
+        } else {
+            self.role = ServerRole::Follower;
+        }
+        self.arm_policy_timer(ctx);
+        // Prune vote bookkeeping for long-dead views to bound memory.
+        let current = self.store.current_view().0;
+        self.voted_views.retain(|v| *v + 64 >= current);
+    }
+
+    /// Arms the leader's batch flush timer if not already armed.
+    pub(crate) fn arm_batch_timer(&mut self, ctx: &mut Context<Message>) {
+        if self.role == ServerRole::Leader && !self.behavior.silent_as_leader() {
+            ctx.set_timer(self.pacemaker.batch_interval(), timer_tags::BATCH);
+            self.batch_timer_armed = true;
+        }
+    }
+
+    /// Arms the policy rotation timer, if a timing policy is configured.
+    pub(crate) fn arm_policy_timer(&mut self, ctx: &mut Context<Message>) {
+        if let Some(interval) = self.pacemaker.rotation_interval() {
+            ctx.set_timer(interval, timer_tags::POLICY);
+        }
+    }
+
+    /// Whether the timing policy currently justifies a rotation (used to
+    /// accept campaigns that carry no confirmation QC).
+    pub(crate) fn rotation_due(&self, now: SimTime) -> bool {
+        match self.pacemaker.rotation_interval() {
+            Some(interval) => {
+                now.as_ms() - self.view_installed_at_ms >= interval.as_ms() * 0.9
+            }
+            None => false,
+        }
+    }
+}
+
+impl Process<Message> for PrestigeServer {
+    fn on_start(&mut self, ctx: &mut Context<Message>) {
+        self.view_installed_at_ms = ctx.now().as_ms();
+        if self.role == ServerRole::Leader {
+            self.arm_batch_timer(ctx);
+        }
+        self.arm_policy_timer(ctx);
+        if self.behavior.attacks_view_changes() {
+            let period =
+                prestige_sim::SimDuration::from_ms(self.pacemaker.timeouts().base_timeout_ms);
+            ctx.set_timer(period, timer_tags::ATTACK);
+        }
+    }
+
+    fn on_message(&mut self, from: Actor, message: Message, ctx: &mut Context<Message>) {
+        // F2 quiet servers ignore everything.
+        if self.behavior.silent_as_follower() {
+            return;
+        }
+        self.charge_message_cost(ctx);
+        match message {
+            // Client interaction & replication.
+            Message::Prop {
+                proposals,
+                client_sig,
+            } => self.handle_prop(from, proposals, client_sig, ctx),
+            Message::Ord {
+                view,
+                n,
+                batch,
+                digest,
+                sig,
+            } => self.handle_ord(from, view, n, batch, digest, sig, ctx),
+            Message::OrdReply {
+                view,
+                n,
+                digest,
+                share,
+            } => self.handle_ord_reply(view, n, digest, share, ctx),
+            Message::Cmt {
+                view,
+                n,
+                ordering_qc,
+                sig,
+            } => self.handle_cmt(from, view, n, ordering_qc, sig, ctx),
+            Message::CmtReply {
+                view,
+                n,
+                digest,
+                share,
+            } => self.handle_cmt_reply(view, n, digest, share, ctx),
+            Message::CommitBlock { block, sig } => self.handle_commit_block(from, block, sig, ctx),
+            // Notifications are client-bound; a server receiving one ignores it.
+            Message::Notif { .. } => {}
+            // Baseline-protocol messages are not part of PrestigeBFT.
+            Message::PreCmt { .. }
+            | Message::PreCmtReply { .. }
+            | Message::NewView { .. }
+            | Message::NewViewAnnounce { .. } => {}
+
+            // View change.
+            Message::Compt {
+                proposal,
+                client_sig,
+            } => self.handle_compt(from, proposal, client_sig, ctx),
+            Message::ConfVC { view, tx_key, sig } => {
+                self.handle_conf_vc(from, view, tx_key, sig, ctx)
+            }
+            Message::ReVC {
+                view,
+                tx_key,
+                share,
+            } => self.handle_re_vc(view, tx_key, share, ctx),
+            Message::Camp {
+                conf_qc,
+                view,
+                new_view,
+                rp,
+                ci,
+                nonce,
+                hash_result,
+                latest_seq,
+                latest_tx_digest,
+                sig,
+            } => self.handle_camp(
+                from,
+                conf_qc,
+                view,
+                new_view,
+                rp,
+                ci,
+                nonce,
+                hash_result,
+                latest_seq,
+                latest_tx_digest,
+                sig,
+                ctx,
+            ),
+            Message::VoteCP {
+                new_view,
+                candidate,
+                share,
+            } => self.handle_vote_cp(new_view, candidate, share, ctx),
+            Message::NewVcBlock { block, sig } => self.handle_new_vc_block(from, block, sig, ctx),
+            Message::VcYes { view, digest, share } => self.handle_vc_yes(view, digest, share, ctx),
+
+            // Refresh. A `Ref` naming this server is an endorsement of its own
+            // pending refresh; any other `Ref` is a request to endorse.
+            Message::Ref { view, server, share } => {
+                if server == self.id {
+                    self.handle_refresh_endorsement(view, share, ctx)
+                } else {
+                    self.handle_ref(view, server, share, ctx)
+                }
+            }
+            Message::Rdone {
+                view,
+                server,
+                rs_qc,
+                rp,
+                ci,
+                sig,
+            } => self.handle_rdone(view, server, rs_qc, rp, ci, sig, ctx),
+
+            // Sync.
+            Message::SyncReq { kind, from: lo, to } => self.handle_sync_req(from, kind, lo, to, ctx),
+            Message::SyncResp {
+                vc_blocks,
+                tx_blocks,
+            } => self.handle_sync_resp(vc_blocks, tx_blocks, ctx),
+        }
+    }
+
+    fn on_timer(&mut self, id: TimerId, tag: u64, ctx: &mut Context<Message>) {
+        if self.behavior.silent_as_follower() {
+            return;
+        }
+        match tag {
+            timer_tags::BATCH => self.on_batch_timer(ctx),
+            timer_tags::COMPLAINT => self.on_complaint_timer(id, ctx),
+            timer_tags::CONF_VC => self.on_confvc_timer(id, ctx),
+            timer_tags::POW_DONE => self.on_pow_done(id, ctx),
+            timer_tags::ELECTION => self.on_election_timer(id, ctx),
+            timer_tags::POLICY => self.on_policy_timer(ctx),
+            timer_tags::POLICY_CAMPAIGN => self.on_policy_campaign_timer(ctx),
+            timer_tags::ATTACK => self.on_attack_timer(ctx),
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_server(n: u32, id: u32) -> PrestigeServer {
+        let config = ClusterConfig::new(n);
+        let registry = KeyRegistry::new(1, n, 4);
+        PrestigeServer::new(ServerId(id), config, registry, 0)
+    }
+
+    #[test]
+    fn initial_roles_match_figure_one() {
+        let s1 = make_server(4, 0);
+        let s2 = make_server(4, 1);
+        assert_eq!(s1.role(), ServerRole::Leader);
+        assert!(s1.is_leader());
+        assert_eq!(s2.role(), ServerRole::Follower);
+        assert_eq!(s1.current_view(), View(1));
+        assert_eq!(s1.current_leader(), ServerId(0));
+        assert_eq!(s1.current_rp(), 1);
+    }
+
+    #[test]
+    fn other_servers_excludes_self() {
+        let s2 = make_server(4, 1);
+        let others = s2.other_servers();
+        assert_eq!(others.len(), 3);
+        assert!(!others.contains(&Actor::Server(ServerId(1))));
+        assert_eq!(s2.all_servers().len(), 4);
+    }
+
+    #[test]
+    fn signatures_come_from_own_key() {
+        let s1 = make_server(4, 0);
+        let sig = s1.sign(b"hello");
+        assert!(s1.registry.verify(Actor::Server(ServerId(0)), b"hello", &sig));
+        assert!(!s1.registry.verify(Actor::Server(ServerId(1)), b"hello", &sig));
+    }
+
+    #[test]
+    fn byzantine_behavior_is_recorded() {
+        let config = ClusterConfig::new(4);
+        let registry = KeyRegistry::new(1, 4, 0);
+        let s = PrestigeServer::with_behavior(
+            ServerId(2),
+            config,
+            registry,
+            0,
+            ByzantineBehavior::Quiet,
+        );
+        assert_eq!(s.behavior(), ByzantineBehavior::Quiet);
+        assert!(s.behavior().is_faulty());
+    }
+}

@@ -1,0 +1,332 @@
+//! The state machine's block store: committed `txBlock`s and `vcBlock`s.
+//!
+//! The store is the "state machine" box of Figure 2: replication writes
+//! txBlocks, view changes write vcBlocks, and the reputation engine reads both
+//! (the penalty history across vcBlocks and the latest committed sequence
+//! number). Blocks are chained by digest; digests are computed here so every
+//! replica derives identical chain pointers.
+
+use prestige_crypto::hash_many;
+use prestige_types::{Digest, SeqNum, ServerId, TxBlock, VcBlock, View};
+use std::collections::BTreeMap;
+
+/// Computes the digest identifying a `txBlock` (over its view, sequence
+/// number, previous pointer, and transaction identities).
+pub fn tx_block_digest(block: &TxBlock) -> Digest {
+    let mut parts: Vec<Vec<u8>> = vec![
+        b"txblock".to_vec(),
+        block.view.0.to_be_bytes().to_vec(),
+        block.n.0.to_be_bytes().to_vec(),
+        block.header.prev_digest.0.to_vec(),
+    ];
+    for tx in &block.tx {
+        parts.push(tx.client.0.to_be_bytes().to_vec());
+        parts.push(tx.timestamp.to_be_bytes().to_vec());
+    }
+    hash_many(parts.iter().map(|p| p.as_slice()))
+}
+
+/// Computes the digest identifying a `vcBlock` (over its view, leader, previous
+/// pointer, and reputation fragment).
+pub fn vc_block_digest(block: &VcBlock) -> Digest {
+    let mut parts: Vec<Vec<u8>> = vec![
+        b"vcblock".to_vec(),
+        block.v.0.to_be_bytes().to_vec(),
+        (block.leader_id.0 as u64).to_be_bytes().to_vec(),
+        block.header.prev_digest.0.to_vec(),
+    ];
+    for (id, rp) in &block.rp {
+        parts.push((id.0 as u64).to_be_bytes().to_vec());
+        parts.push(rp.to_be_bytes().to_vec());
+    }
+    for (id, ci) in &block.ci {
+        parts.push((id.0 as u64).to_be_bytes().to_vec());
+        parts.push(ci.to_be_bytes().to_vec());
+    }
+    hash_many(parts.iter().map(|p| p.as_slice()))
+}
+
+/// Per-replica storage of committed blocks.
+#[derive(Debug, Clone)]
+pub struct BlockStore {
+    tx_blocks: BTreeMap<u64, TxBlock>,
+    vc_blocks: BTreeMap<u64, VcBlock>,
+}
+
+impl BlockStore {
+    /// Creates a store holding the genesis blocks for a cluster of `n`
+    /// servers: `vcBlock[V1]` with every server at `rp = ci = 1`, and the
+    /// empty `txBlock[T0]`.
+    pub fn new(n: u32) -> Self {
+        let mut tx_genesis = TxBlock::genesis();
+        tx_genesis.header.digest = tx_block_digest(&tx_genesis);
+        let mut vc_genesis = VcBlock::genesis(n);
+        vc_genesis.header.digest = vc_block_digest(&vc_genesis);
+
+        let mut tx_blocks = BTreeMap::new();
+        tx_blocks.insert(tx_genesis.n.0, tx_genesis);
+        let mut vc_blocks = BTreeMap::new();
+        vc_blocks.insert(vc_genesis.v.0, vc_genesis);
+        BlockStore {
+            tx_blocks,
+            vc_blocks,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction blocks
+    // ------------------------------------------------------------------
+
+    /// The latest committed transaction block.
+    pub fn latest_tx_block(&self) -> &TxBlock {
+        self.tx_blocks
+            .values()
+            .next_back()
+            .expect("store always holds the genesis txBlock")
+    }
+
+    /// The latest committed sequence number (`ti` in the reputation engine).
+    pub fn latest_seq(&self) -> SeqNum {
+        self.latest_tx_block().n
+    }
+
+    /// The digest of the latest committed txBlock (the PoW puzzle input).
+    pub fn latest_tx_digest(&self) -> Digest {
+        self.latest_tx_block().header.digest
+    }
+
+    /// Inserts a committed txBlock, filling in its chain pointers and digest.
+    /// Returns `false` (and stores nothing) if a different block already
+    /// occupies that sequence number.
+    pub fn insert_tx_block(&mut self, mut block: TxBlock) -> bool {
+        if let Some(existing) = self.tx_blocks.get(&block.n.0) {
+            // Compare contents with the chain pointer normalized, so the same
+            // block re-delivered (e.g. via sync) is accepted idempotently.
+            block.header.prev_digest = existing.header.prev_digest;
+            let same = tx_block_digest(existing) == tx_block_digest(&block);
+            return same;
+        }
+        let prev = self
+            .tx_blocks
+            .get(&(block.n.0.saturating_sub(1)))
+            .map(|b| b.header.digest)
+            .unwrap_or(Digest::ZERO);
+        block.header.prev_digest = prev;
+        block.header.digest = tx_block_digest(&block);
+        self.tx_blocks.insert(block.n.0, block);
+        true
+    }
+
+    /// Returns the txBlock at a given sequence number, if committed.
+    pub fn tx_block(&self, n: SeqNum) -> Option<&TxBlock> {
+        self.tx_blocks.get(&n.0)
+    }
+
+    /// Returns the committed txBlocks in the inclusive range `[from, to]`.
+    pub fn tx_blocks_in(&self, from: u64, to: u64) -> Vec<TxBlock> {
+        self.tx_blocks
+            .range(from..=to)
+            .map(|(_, b)| b.clone())
+            .collect()
+    }
+
+    /// Total number of transactions committed across all txBlocks.
+    pub fn committed_tx_count(&self) -> u64 {
+        self.tx_blocks.values().map(|b| b.tx.len() as u64).sum()
+    }
+
+    /// Number of committed txBlocks (excluding genesis).
+    pub fn committed_block_count(&self) -> u64 {
+        (self.tx_blocks.len() as u64).saturating_sub(1)
+    }
+
+    // ------------------------------------------------------------------
+    // View-change blocks
+    // ------------------------------------------------------------------
+
+    /// The vcBlock of the highest installed view.
+    pub fn latest_vc_block(&self) -> &VcBlock {
+        self.vc_blocks
+            .values()
+            .next_back()
+            .expect("store always holds the genesis vcBlock")
+    }
+
+    /// The currently installed view.
+    pub fn current_view(&self) -> View {
+        self.latest_vc_block().v
+    }
+
+    /// Inserts a vcBlock, filling in chain pointers and digest. Returns
+    /// `false` if a different block is already installed for that view.
+    pub fn insert_vc_block(&mut self, mut block: VcBlock) -> bool {
+        if let Some(existing) = self.vc_blocks.get(&block.v.0) {
+            block.header.prev_digest = existing.header.prev_digest;
+            let same = vc_block_digest(existing) == vc_block_digest(&block);
+            return same;
+        }
+        let prev = self
+            .vc_blocks
+            .range(..block.v.0)
+            .next_back()
+            .map(|(_, b)| b.header.digest)
+            .unwrap_or(Digest::ZERO);
+        block.header.prev_digest = prev;
+        block.header.digest = vc_block_digest(&block);
+        self.vc_blocks.insert(block.v.0, block);
+        true
+    }
+
+    /// Returns the vcBlock installing `view`, if any.
+    pub fn vc_block(&self, view: View) -> Option<&VcBlock> {
+        self.vc_blocks.get(&view.0)
+    }
+
+    /// Returns the vcBlocks whose view lies in the inclusive range `[from, to]`.
+    pub fn vc_blocks_in(&self, from: u64, to: u64) -> Vec<VcBlock> {
+        self.vc_blocks
+            .range(from..=to)
+            .map(|(_, b)| b.clone())
+            .collect()
+    }
+
+    /// Number of installed vcBlocks (including genesis).
+    pub fn vc_block_count(&self) -> u64 {
+        self.vc_blocks.len() as u64
+    }
+
+    /// Applies a penalty refresh (§4.2.5): overwrite `server`'s rp/ci in the
+    /// *current* vcBlock. The refresh is authorized by an `rs_QC` checked by
+    /// the caller; it deliberately mutates the live reputation fragment rather
+    /// than installing a new block, matching the paper's description.
+    pub fn refresh_reputation(&mut self, server: ServerId, rp: i64, ci: u64) {
+        if let Some((_, block)) = self.vc_blocks.iter_mut().next_back() {
+            block.rp.insert(server, rp);
+            block.ci.insert(server, ci);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reputation engine inputs
+    // ------------------------------------------------------------------
+
+    /// The penalty history `P` of `server`: its recorded penalty in every
+    /// installed vcBlock, ordered by view (Algorithm 1 lines 4–7).
+    pub fn penalty_history(&self, server: ServerId) -> Vec<i64> {
+        self.vc_blocks.values().map(|b| b.rp_of(server)).collect()
+    }
+
+    /// The server's current penalty (from the latest vcBlock).
+    pub fn current_rp(&self, server: ServerId) -> i64 {
+        self.latest_vc_block().rp_of(server)
+    }
+
+    /// The server's current compensation index (from the latest vcBlock).
+    pub fn current_ci(&self, server: ServerId) -> u64 {
+        self.latest_vc_block().ci_of(server)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prestige_types::{ClientId, Transaction};
+
+    fn batch(n: usize) -> Vec<Transaction> {
+        (0..n)
+            .map(|i| Transaction::with_size(ClientId(1), i as u64, 32))
+            .collect()
+    }
+
+    #[test]
+    fn genesis_state() {
+        let store = BlockStore::new(4);
+        assert_eq!(store.latest_seq(), SeqNum(0));
+        assert_eq!(store.current_view(), View(1));
+        assert_eq!(store.committed_tx_count(), 0);
+        assert_eq!(store.committed_block_count(), 0);
+        assert_eq!(store.vc_block_count(), 1);
+        assert_eq!(store.penalty_history(ServerId(2)), vec![1]);
+        assert_eq!(store.current_rp(ServerId(0)), 1);
+        assert_eq!(store.current_ci(ServerId(0)), 1);
+    }
+
+    #[test]
+    fn tx_blocks_chain_by_digest() {
+        let mut store = BlockStore::new(4);
+        let genesis_digest = store.latest_tx_digest();
+        assert!(store.insert_tx_block(TxBlock::new(View(1), SeqNum(1), batch(3))));
+        assert!(store.insert_tx_block(TxBlock::new(View(1), SeqNum(2), batch(2))));
+        let b1 = store.tx_block(SeqNum(1)).unwrap();
+        let b2 = store.tx_block(SeqNum(2)).unwrap();
+        assert_eq!(b1.header.prev_digest, genesis_digest);
+        assert_eq!(b2.header.prev_digest, b1.header.digest);
+        assert_eq!(store.latest_seq(), SeqNum(2));
+        assert_eq!(store.committed_tx_count(), 5);
+        assert_eq!(store.committed_block_count(), 2);
+    }
+
+    #[test]
+    fn conflicting_tx_block_is_rejected_idempotent_accepted() {
+        let mut store = BlockStore::new(4);
+        let block = TxBlock::new(View(1), SeqNum(1), batch(3));
+        assert!(store.insert_tx_block(block.clone()));
+        // Same block again: accepted as idempotent.
+        assert!(store.insert_tx_block(block));
+        // A different block at the same sequence number: rejected.
+        let conflicting = TxBlock::new(View(2), SeqNum(1), batch(1));
+        assert!(!store.insert_tx_block(conflicting));
+        assert_eq!(store.tx_block(SeqNum(1)).unwrap().tx.len(), 3);
+    }
+
+    #[test]
+    fn vc_blocks_track_views_and_history() {
+        let mut store = BlockStore::new(4);
+        let genesis = store.latest_vc_block().clone();
+        let v2 = genesis.successor(View(2), ServerId(1), 2, 1, None, None);
+        assert!(store.insert_vc_block(v2));
+        let v5 = store
+            .latest_vc_block()
+            .successor(View(5), ServerId(1), 5, 1, None, None);
+        assert!(store.insert_vc_block(v5));
+        assert_eq!(store.current_view(), View(5));
+        assert_eq!(store.penalty_history(ServerId(1)), vec![1, 2, 5]);
+        assert_eq!(store.penalty_history(ServerId(0)), vec![1, 1, 1]);
+        assert_eq!(store.current_rp(ServerId(1)), 5);
+        // Chain pointers skip the missing views.
+        let b5 = store.vc_block(View(5)).unwrap();
+        let b2 = store.vc_block(View(2)).unwrap();
+        assert_eq!(b5.header.prev_digest, b2.header.digest);
+    }
+
+    #[test]
+    fn conflicting_vc_block_is_rejected() {
+        let mut store = BlockStore::new(4);
+        let genesis = store.latest_vc_block().clone();
+        assert!(store.insert_vc_block(genesis.successor(View(2), ServerId(1), 2, 1, None, None)));
+        let conflicting = genesis.successor(View(2), ServerId(2), 2, 1, None, None);
+        assert!(!store.insert_vc_block(conflicting));
+        assert_eq!(store.vc_block(View(2)).unwrap().leader_id, ServerId(1));
+    }
+
+    #[test]
+    fn range_queries() {
+        let mut store = BlockStore::new(4);
+        for n in 1..=5u64 {
+            store.insert_tx_block(TxBlock::new(View(1), SeqNum(n), batch(1)));
+        }
+        assert_eq!(store.tx_blocks_in(2, 4).len(), 3);
+        assert_eq!(store.vc_blocks_in(1, 10).len(), 1);
+    }
+
+    #[test]
+    fn digests_depend_on_contents() {
+        let a = TxBlock::new(View(1), SeqNum(1), batch(2));
+        let b = TxBlock::new(View(1), SeqNum(2), batch(2));
+        assert_ne!(tx_block_digest(&a), tx_block_digest(&b));
+
+        let va = VcBlock::genesis(4);
+        let vb = va.successor(View(2), ServerId(0), 2, 1, None, None);
+        assert_ne!(vc_block_digest(&va), vc_block_digest(&vb));
+    }
+}

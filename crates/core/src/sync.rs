@@ -1,0 +1,118 @@
+//! The `SyncUp` function (§4.2.3): stale servers acquire missing blocks.
+//!
+//! Because quorum certificates only require `2f + 1` signers, up to `f`
+//! correct servers can lag behind in either log. Before such a server can
+//! validate a campaign it must acquire the missing `vcBlock`s (and, to catch
+//! its state machine up, the missing `txBlock`s). Blocks obtained through sync
+//! are validated through their quorum certificates exactly like blocks
+//! received live.
+
+use crate::server::PrestigeServer;
+use prestige_crypto::ThresholdVerifier;
+use prestige_sim::Context;
+use prestige_types::{Actor, Message, QcKind, SyncKind, TxBlock, VcBlock};
+
+/// Upper bound on blocks returned by one sync response, to keep individual
+/// messages bounded (a requester simply asks again for the remainder).
+const MAX_SYNC_BLOCKS: usize = 256;
+
+impl PrestigeServer {
+    /// Serves a peer's request for missing blocks.
+    pub(crate) fn handle_sync_req(
+        &mut self,
+        from: Actor,
+        kind: SyncKind,
+        lo: u64,
+        hi: u64,
+        ctx: &mut Context<Message>,
+    ) {
+        if hi < lo {
+            return;
+        }
+        let response = match kind {
+            SyncKind::ViewChange => {
+                let mut blocks = self.store.vc_blocks_in(lo, hi);
+                blocks.truncate(MAX_SYNC_BLOCKS);
+                Message::SyncResp {
+                    vc_blocks: blocks,
+                    tx_blocks: Vec::new(),
+                }
+            }
+            SyncKind::Transaction => {
+                let mut blocks = self.store.tx_blocks_in(lo, hi);
+                blocks.truncate(MAX_SYNC_BLOCKS);
+                Message::SyncResp {
+                    vc_blocks: Vec::new(),
+                    tx_blocks: blocks,
+                }
+            }
+        };
+        ctx.send(from, response);
+    }
+
+    /// Installs blocks received through sync after validating their QCs.
+    pub(crate) fn handle_sync_resp(
+        &mut self,
+        vc_blocks: Vec<VcBlock>,
+        tx_blocks: Vec<TxBlock>,
+        ctx: &mut Context<Message>,
+    ) {
+        let verifier_quorum = self.config.quorum();
+
+        // Transaction blocks: validate commit QCs, then apply in order through
+        // the same path as live commits (which also notifies clients and
+        // resolves complaints).
+        let mut txs = tx_blocks;
+        txs.sort_by_key(|b| b.n.0);
+        for block in txs {
+            if block.n <= self.store.latest_seq() {
+                continue;
+            }
+            self.charge_verify_cost(ctx);
+            let ok = match (&block.ordering_qc, &block.commit_qc) {
+                (Some(o), Some(c)) => {
+                    o.kind == QcKind::Ordering
+                        && c.kind == QcKind::Commit
+                        && ThresholdVerifier::new(&self.registry)
+                            .verify(c, verifier_quorum)
+                            .is_ok()
+                        && ThresholdVerifier::new(&self.registry)
+                            .verify(o, verifier_quorum)
+                            .is_ok()
+                }
+                _ => false,
+            };
+            if ok {
+                self.apply_committed_block(block, ctx);
+            }
+        }
+
+        // View-change blocks: validate vc_QCs and install; installing a higher
+        // view also updates the local role/timers.
+        let mut vcs = vc_blocks;
+        vcs.sort_by_key(|b| b.v.0);
+        let mut highest_installed = None;
+        for block in vcs {
+            if block.v <= self.store.current_view() {
+                continue;
+            }
+            self.charge_verify_cost(ctx);
+            let ok = match &block.vc_qc {
+                Some(qc) => {
+                    qc.kind == QcKind::ViewChange
+                        && qc.view == block.v
+                        && ThresholdVerifier::new(&self.registry)
+                            .verify(qc, verifier_quorum)
+                            .is_ok()
+                }
+                None => false,
+            };
+            if ok && self.store.insert_vc_block(block.clone()) {
+                highest_installed = Some(block.leader_id);
+            }
+        }
+        if let Some(leader) = highest_installed {
+            self.note_view_installed(ctx, leader);
+        }
+    }
+}

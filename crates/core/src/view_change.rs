@@ -1,0 +1,857 @@
+//! The active view-change protocol (§4.2).
+//!
+//! Handlers for the full Figure-5 state machine:
+//!
+//! * **failure detection** — client complaints (`Compt`) are relayed to the
+//!   leader; unresolved complaints trigger an inspection (`ConfVC`), and
+//!   `f + 1` matching `ReVC` replies form a `conf_QC` that justifies a view
+//!   change;
+//! * **redeemer** — the campaigner consults the reputation engine, then solves
+//!   the reputation-determined puzzle (modeled or real proof of work);
+//! * **candidate** — broadcasts a `Camp` message; voters enforce the criteria
+//!   C1–C5 (one vote per view, confirmed view change, up-to-date log,
+//!   reproducible reputation penalty, verified computation); `2f + 1` votes
+//!   form the `vc_QC`;
+//! * **leader** — prepares the new `vcBlock` (only the winner's rp/ci change),
+//!   collects `2f + 1` `vcYes` acknowledgements, and resumes replication;
+//! * **policy rotations** — the timing policies (r10 / r30) of §6.2, where
+//!   campaigns carry no `conf_QC` and voters check rotation due-ness locally;
+//! * **Byzantine attack hooks** — F4 repeated campaigns under strategies S1/S2.
+
+use crate::faults::AttackStrategy;
+use crate::pacemaker::timer_tags;
+use crate::server::{CampaignState, ComplaintState, PrestigeServer, ServerRole};
+use crate::storage::vc_block_digest;
+use prestige_crypto::{hash_many, sign_share, PowPuzzle, PowSolution, PowSolver, QcBuilder, ThresholdVerifier};
+use prestige_reputation::CalcRpInput;
+use prestige_sim::{Context, TimerId};
+use prestige_types::{
+    Actor, ClientId, Digest, Message, PartialSig, Proposal, QcKind, QuorumCertificate, SeqNum,
+    ServerId, SyncKind, VcBlock, View,
+};
+
+impl PrestigeServer {
+    /// The digest signed by `ReVC` shares confirming that a view change away
+    /// from `view` is necessary.
+    pub(crate) fn confvc_digest(view: View) -> Digest {
+        hash_many([b"confvc".as_slice(), &view.0.to_be_bytes()])
+    }
+
+    /// The digest signed by election votes (`VoteCP` shares) for a candidate.
+    pub(crate) fn campaign_digest(
+        candidate: ServerId,
+        new_view: View,
+        rp: i64,
+        nonce: u64,
+        hash_result: &Digest,
+    ) -> Digest {
+        hash_many([
+            b"camp".as_slice(),
+            &(candidate.0 as u64).to_be_bytes(),
+            &new_view.0.to_be_bytes(),
+            &rp.to_be_bytes(),
+            &nonce.to_be_bytes(),
+            hash_result.as_ref(),
+        ])
+    }
+
+    /// Evaluates Algorithm 1 for a campaigner (`who`) targeting `new_view`,
+    /// reading every input from the local state machine.
+    pub(crate) fn calc_rp_for(&self, who: ServerId, new_view: View) -> prestige_reputation::RpOutcome {
+        let input = CalcRpInput {
+            current_view: self.store.current_view(),
+            new_view,
+            current_rp: self.store.current_rp(who),
+            current_ci: self.store.current_ci(who),
+            latest_tx_seq: self.store.latest_seq(),
+            penalty_history: self.store.penalty_history(who),
+        };
+        self.engine.calc_rp(&input)
+    }
+
+    // ------------------------------------------------------------------
+    // Failure detection (§4.2.1)
+    // ------------------------------------------------------------------
+
+    /// Handles a client complaint: relay it to the leader, arm the grace
+    /// timer, and keep the proposal so a later leader can commit it.
+    pub(crate) fn handle_compt(
+        &mut self,
+        _from: Actor,
+        proposal: Proposal,
+        client_sig: [u8; 32],
+        ctx: &mut Context<Message>,
+    ) {
+        self.charge_verify_cost(ctx);
+        let key = proposal.tx.key();
+        // Already committed? Nothing to inspect.
+        if self.store.latest_seq() > SeqNum(0) && self.complaints.contains_key(&key) {
+            // Complaint already being tracked.
+            return;
+        }
+        // Keep the proposal so it can be committed by this or a later leader.
+        if self.seen_tx.insert(key) {
+            self.pending_proposals.push(proposal.clone());
+        }
+        if self.role == ServerRole::Leader && !self.behavior.silent_as_leader() {
+            // The leader treats the complaint as a (re-)proposal; it will be
+            // committed by the normal batching path.
+            return;
+        }
+        self.stats.complaints_relayed += 1;
+        let view = self.current_view();
+        self.complaints
+            .insert(key, ComplaintState { proposal: proposal.clone(), view });
+        // Relay to the leader.
+        ctx.send(
+            Actor::Server(self.current_leader()),
+            Message::Compt {
+                proposal,
+                client_sig,
+            },
+        );
+        // Wait for the leader to commit before suspecting it. Attackers use a
+        // zero grace period to push view changes as aggressively as possible.
+        let grace = if self.behavior.attacks_view_changes() {
+            prestige_sim::SimDuration::ZERO
+        } else {
+            self.pacemaker.complaint_grace()
+        };
+        let timer = ctx.set_timer(grace, timer_tags::COMPLAINT);
+        self.complaint_timers.insert(timer, key);
+    }
+
+    /// Complaint grace timer: if the complained-about transaction is still
+    /// uncommitted, broadcast a `ConfVC` inspection.
+    pub(crate) fn on_complaint_timer(&mut self, id: TimerId, ctx: &mut Context<Message>) {
+        let key = match self.complaint_timers.remove(&id) {
+            Some(k) => k,
+            None => return,
+        };
+        if !self.complaints.contains_key(&key) {
+            return; // Committed in the meantime: the leader is correct.
+        }
+        let view = self.current_view();
+        let digest = Self::confvc_digest(view);
+        // Start collecting ReVC replies (including our own share).
+        let builder = self.confvc_builders.entry(view.0).or_insert_with(|| {
+            QcBuilder::new(
+                QcKind::Confirm,
+                view,
+                SeqNum(0),
+                digest,
+                self.config.replicas.confirm_quorum(),
+            )
+        });
+        if let Some(share) =
+            sign_share(&self.registry, self.id, QcKind::Confirm, view, SeqNum(0), &digest)
+        {
+            let _ = builder.add_share(&self.registry, &share);
+        }
+        let sig = self.sign(digest.as_ref());
+        ctx.broadcast(
+            self.other_servers(),
+            Message::ConfVC {
+                view,
+                tx_key: key,
+                sig,
+            },
+        );
+        let timeout = self.pacemaker.election_timeout(ctx.rng());
+        let timer = ctx.set_timer(timeout, timer_tags::CONF_VC);
+        self.confvc_timers.insert(timer, view.0);
+    }
+
+    /// Handles a peer's `ConfVC` inspection: endorse it only if this server
+    /// received the same complaint (which is what stops faulty clients and
+    /// servers from manufacturing view changes under a correct leader).
+    pub(crate) fn handle_conf_vc(
+        &mut self,
+        from: Actor,
+        view: View,
+        tx_key: (ClientId, u64),
+        sig: [u8; 32],
+        ctx: &mut Context<Message>,
+    ) {
+        if view < self.current_view() {
+            return;
+        }
+        self.charge_verify_cost(ctx);
+        let digest = Self::confvc_digest(view);
+        if !self.registry.verify(from, digest.as_ref(), &sig) {
+            return;
+        }
+        if !self.complaints.contains_key(&tx_key) {
+            return;
+        }
+        if let Some(share) =
+            sign_share(&self.registry, self.id, QcKind::Confirm, view, SeqNum(0), &digest)
+        {
+            ctx.send(
+                from,
+                Message::ReVC {
+                    view,
+                    tx_key,
+                    share,
+                },
+            );
+        }
+    }
+
+    /// Handles a `ReVC` endorsement: `f + 1` of them form the `conf_QC` and
+    /// the server transitions to redeemer.
+    pub(crate) fn handle_re_vc(
+        &mut self,
+        view: View,
+        _tx_key: (ClientId, u64),
+        share: PartialSig,
+        ctx: &mut Context<Message>,
+    ) {
+        if view != self.current_view() {
+            return;
+        }
+        self.charge_verify_cost(ctx);
+        let builder = match self.confvc_builders.get_mut(&view.0) {
+            Some(b) => b,
+            None => return,
+        };
+        if builder.add_share(&self.registry, &share).is_err() || !builder.complete() {
+            return;
+        }
+        let conf_qc = match builder.assemble() {
+            Ok(qc) => qc,
+            Err(_) => return,
+        };
+        self.confvc_builders.remove(&view.0);
+        self.stats.view_changes_confirmed += 1;
+        self.start_campaign(view.next(), Some(conf_qc), ctx);
+    }
+
+    /// ConfVC collection timeout: the inspection failed to gather `f + 1`
+    /// endorsements, so the complaining client is tagged as faulty.
+    pub(crate) fn on_confvc_timer(&mut self, id: TimerId, ctx: &mut Context<Message>) {
+        let view = match self.confvc_timers.remove(&id) {
+            Some(v) => v,
+            None => return,
+        };
+        let _ = ctx;
+        if let Some(builder) = self.confvc_builders.get(&view) {
+            if !builder.complete() {
+                self.confvc_builders.remove(&view);
+                // Per §4.2.1 the complaining client is tagged; the complaint
+                // entries for the stale view are dropped.
+                self.complaints.retain(|_, c| c.view.0 != view);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Redeemer (§4.2.2)
+    // ------------------------------------------------------------------
+
+    /// Transitions to redeemer and starts the reputation-determined work for
+    /// a campaign targeting `new_view`.
+    pub(crate) fn start_campaign(
+        &mut self,
+        new_view: View,
+        conf_qc: Option<QuorumCertificate>,
+        ctx: &mut Context<Message>,
+    ) {
+        if self.role == ServerRole::Leader && !self.behavior.attacks_view_changes() {
+            return; // A correct current leader does not campaign against itself.
+        }
+        if new_view <= self.store.current_view() {
+            return;
+        }
+        if let Some(c) = &self.campaign {
+            if c.new_view >= new_view {
+                return; // Already campaigning for this view or a later one.
+            }
+        }
+        let outcome = self.calc_rp_for(self.id, new_view);
+        // S2 attackers only strike when the engine projects a compensation.
+        if self.behavior.strategy() == Some(AttackStrategy::WhenCompensable) && !outcome.compensated
+        {
+            return;
+        }
+        let rp = outcome.new_rp;
+        let ci = outcome.new_ci;
+        let tx_digest = self.store.latest_tx_digest();
+        let tx_seq = self.store.latest_seq();
+
+        // Replication stops while campaigning (§4.2.2 line 34).
+        self.role = ServerRole::Redeemer;
+        self.stats.campaigns_started += 1;
+
+        // Solve the puzzle. The solver either iterates SHA-256 for real (the
+        // cost is charged as CPU time) or models the solve duration from the
+        // geometric attempt distribution (DESIGN.md §1).
+        let puzzle = PowPuzzle::new(tx_digest, rp);
+        let (solution, attempts) = self.pow_solver.solve(&puzzle, ctx.rng().rng());
+        let fallback_rate = 1.0e7;
+        let solve_ms = self.pow_solver.attempts_to_ms(attempts, fallback_rate);
+        self.stats.last_pow_ms = solve_ms;
+        self.stats.pow_ms_total += solve_ms;
+        self.stats
+            .campaign_log
+            .push((ctx.now().as_ms(), rp, solve_ms));
+
+        // A campaigner whose required work exceeds the configured bound cannot
+        // afford the puzzle (its computation capability γ is exhausted).
+        if let Some(max_ms) = self.config.pow.max_solve_ms {
+            if solve_ms > max_ms {
+                self.role = ServerRole::Follower;
+                self.campaign = None;
+                return;
+            }
+        }
+
+        self.campaign = Some(CampaignState {
+            old_view: self.store.current_view(),
+            new_view,
+            rp,
+            ci,
+            conf_qc,
+            solution: Some(solution),
+            vote_builder: None,
+            tx_digest,
+            tx_seq,
+        });
+        match self.pow_solver {
+            PowSolver::Real { .. } => {
+                // The real solver already burned the attempts; charge them as
+                // CPU time and move on immediately.
+                ctx.charge_cpu_ms(solve_ms);
+                let timer = ctx.set_timer(prestige_sim::SimDuration::ZERO, timer_tags::POW_DONE);
+                self.pow_timer = Some(timer);
+            }
+            PowSolver::Modeled { .. } => {
+                let timer = ctx.set_timer(
+                    prestige_sim::SimDuration::from_ms(solve_ms),
+                    timer_tags::POW_DONE,
+                );
+                self.pow_timer = Some(timer);
+            }
+        }
+    }
+
+    /// Puzzle finished: transition redeemer → candidate and broadcast the
+    /// campaign.
+    pub(crate) fn on_pow_done(&mut self, id: TimerId, ctx: &mut Context<Message>) {
+        if self.pow_timer != Some(id) || self.role != ServerRole::Redeemer {
+            return;
+        }
+        self.pow_timer = None;
+        let campaign = match self.campaign.as_mut() {
+            Some(c) => c,
+            None => return,
+        };
+        // A higher view may have been installed while computing.
+        if campaign.new_view <= self.store.current_view() {
+            self.campaign = None;
+            self.role = ServerRole::Follower;
+            return;
+        }
+        self.role = ServerRole::Candidate;
+        let solution = campaign.solution.expect("redeemer stored a solution");
+        let digest = Self::campaign_digest(
+            self.id,
+            campaign.new_view,
+            campaign.rp,
+            solution.nonce,
+            &solution.hash_result,
+        );
+        let mut vote_builder = QcBuilder::new(
+            QcKind::ViewChange,
+            campaign.new_view,
+            SeqNum(0),
+            digest,
+            self.config.quorum(),
+        );
+        if let Some(share) = sign_share(
+            &self.registry,
+            self.id,
+            QcKind::ViewChange,
+            campaign.new_view,
+            SeqNum(0),
+            &digest,
+        ) {
+            let _ = vote_builder.add_share(&self.registry, &share);
+        }
+        campaign.vote_builder = Some(vote_builder);
+        self.voted_views.insert(campaign.new_view.0);
+
+        let message = Message::Camp {
+            conf_qc: campaign.conf_qc.clone(),
+            view: campaign.old_view,
+            new_view: campaign.new_view,
+            rp: campaign.rp,
+            ci: campaign.ci,
+            nonce: solution.nonce,
+            hash_result: solution.hash_result,
+            latest_seq: campaign.tx_seq,
+            latest_tx_digest: campaign.tx_digest,
+            sig: self.sign(digest.as_ref()),
+        };
+        ctx.broadcast(self.other_servers(), message);
+        let timeout = self.pacemaker.election_timeout(ctx.rng());
+        self.election_timer = Some(ctx.set_timer(timeout, timer_tags::ELECTION));
+    }
+
+    // ------------------------------------------------------------------
+    // Voting (§4.2.3, criteria C1–C5)
+    // ------------------------------------------------------------------
+
+    /// Handles a candidate's campaign message.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn handle_camp(
+        &mut self,
+        from: Actor,
+        conf_qc: Option<QuorumCertificate>,
+        view: View,
+        new_view: View,
+        rp: i64,
+        ci: u64,
+        nonce: u64,
+        hash_result: Digest,
+        latest_seq: SeqNum,
+        latest_tx_digest: Digest,
+        sig: [u8; 32],
+        ctx: &mut Context<Message>,
+    ) {
+        let candidate = match from {
+            Actor::Server(s) => s,
+            Actor::Client(_) => return,
+        };
+        // Stale campaigns are ignored.
+        if new_view <= self.store.current_view() {
+            return;
+        }
+        // C1: vote at most once per view.
+        if self.voted_views.contains(&new_view.0) {
+            return;
+        }
+        self.charge_verify_cost(ctx);
+        let campaign_digest = Self::campaign_digest(candidate, new_view, rp, nonce, &hash_result);
+        if !self.registry.verify(from, campaign_digest.as_ref(), &sig) {
+            return;
+        }
+
+        // C2: the view change must be justified — either by a conf_QC of
+        // threshold f+1, or (for campaigns without one) by the local policy
+        // clock saying a rotation is due.
+        match &conf_qc {
+            Some(qc) => {
+                self.charge_verify_cost(ctx);
+                if qc.kind != QcKind::Confirm
+                    || ThresholdVerifier::new(&self.registry)
+                        .verify(qc, self.config.replicas.confirm_quorum())
+                        .is_err()
+                {
+                    return;
+                }
+            }
+            None => {
+                if !self.rotation_due(ctx.now()) {
+                    return;
+                }
+            }
+        }
+
+        // Sync view-change blocks if the candidate is operating in a higher
+        // view than we know about; the vote is retried after the sync.
+        if view > self.store.current_view() {
+            ctx.send(
+                from,
+                Message::SyncReq {
+                    kind: SyncKind::ViewChange,
+                    from: self.store.current_view().0 + 1,
+                    to: view.0,
+                },
+            );
+            return;
+        }
+
+        // C3: the candidate's replication must be at least as up-to-date.
+        if latest_seq < self.store.latest_seq() {
+            return;
+        }
+        if latest_seq > self.store.latest_seq() {
+            // We are behind: ask the candidate for the missing txBlocks so our
+            // state machine catches up (the vote itself does not need them).
+            ctx.send(
+                from,
+                Message::SyncReq {
+                    kind: SyncKind::Transaction,
+                    from: self.store.latest_seq().0 + 1,
+                    to: latest_seq.0,
+                },
+            );
+        }
+
+        // C4: the claimed reputation penalty and compensation index must be
+        // reproducible from the candidate's recorded history.
+        let input = CalcRpInput {
+            current_view: view,
+            new_view,
+            current_rp: self.store.current_rp(candidate),
+            current_ci: self.store.current_ci(candidate),
+            latest_tx_seq: latest_seq,
+            penalty_history: self.store.penalty_history(candidate),
+        };
+        let outcome = self.engine.calc_rp(&input);
+        if outcome.new_rp != rp || outcome.new_ci != ci {
+            return;
+        }
+
+        // C5: the performed computation must match the penalty (one hash).
+        self.charge_verify_cost(ctx);
+        let puzzle = PowPuzzle::new(latest_tx_digest, rp);
+        let solution = PowSolution {
+            nonce,
+            hash_result,
+        };
+        if self.pow_solver.verify(&puzzle, &solution).is_err() {
+            return;
+        }
+
+        // All criteria satisfied: vote.
+        self.voted_views.insert(new_view.0);
+        self.stats.votes_cast += 1;
+        if let Some(share) = sign_share(
+            &self.registry,
+            self.id,
+            QcKind::ViewChange,
+            new_view,
+            SeqNum(0),
+            &campaign_digest,
+        ) {
+            ctx.send(
+                from,
+                Message::VoteCP {
+                    new_view,
+                    candidate,
+                    share,
+                },
+            );
+        }
+    }
+
+    /// Handles an election vote; `2f + 1` votes elect this candidate.
+    pub(crate) fn handle_vote_cp(
+        &mut self,
+        new_view: View,
+        candidate: ServerId,
+        share: PartialSig,
+        ctx: &mut Context<Message>,
+    ) {
+        if candidate != self.id || self.role != ServerRole::Candidate {
+            return;
+        }
+        self.charge_verify_cost(ctx);
+        let campaign = match self.campaign.as_mut() {
+            Some(c) if c.new_view == new_view => c,
+            _ => return,
+        };
+        let builder = match campaign.vote_builder.as_mut() {
+            Some(b) => b,
+            None => return,
+        };
+        if builder.add_share(&self.registry, &share).is_err() || !builder.complete() {
+            return;
+        }
+        let vc_qc = match builder.assemble() {
+            Ok(qc) => qc,
+            Err(_) => return,
+        };
+        self.become_leader(vc_qc, ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Leader-elect (§4.2.4)
+    // ------------------------------------------------------------------
+
+    /// The candidate won: prepare and broadcast the new `vcBlock`, then wait
+    /// for `2f + 1` adoption acknowledgements.
+    pub(crate) fn become_leader(&mut self, vc_qc: QuorumCertificate, ctx: &mut Context<Message>) {
+        let campaign = match self.campaign.clone() {
+            Some(c) => c,
+            None => return,
+        };
+        self.stats.elections_won += 1;
+        let block = self.store.latest_vc_block().successor(
+            campaign.new_view,
+            self.id,
+            campaign.rp,
+            campaign.ci,
+            campaign.conf_qc.clone(),
+            Some(vc_qc),
+        );
+        let digest = vc_block_digest(&block);
+        let mut builder = QcBuilder::new(
+            QcKind::ViewChange,
+            campaign.new_view,
+            SeqNum(1),
+            digest,
+            self.config.quorum(),
+        );
+        if let Some(share) = sign_share(
+            &self.registry,
+            self.id,
+            QcKind::ViewChange,
+            campaign.new_view,
+            SeqNum(1),
+            &digest,
+        ) {
+            let _ = builder.add_share(&self.registry, &share);
+        }
+        let sig = self.sign(digest.as_ref());
+        ctx.broadcast(
+            self.other_servers(),
+            Message::NewVcBlock {
+                block: block.clone(),
+                sig,
+            },
+        );
+        self.pending_vc_block = Some((block, builder));
+    }
+
+    /// Handles the elected leader's `vcBlock`: validate, adopt, acknowledge.
+    pub(crate) fn handle_new_vc_block(
+        &mut self,
+        from: Actor,
+        block: VcBlock,
+        sig: [u8; 32],
+        ctx: &mut Context<Message>,
+    ) {
+        if block.v <= self.store.current_view() {
+            return;
+        }
+        if from != Actor::Server(block.leader_id) {
+            return;
+        }
+        self.charge_verify_cost(ctx);
+        let digest = vc_block_digest(&block);
+        if !self.registry.verify(from, digest.as_ref(), &sig) {
+            return;
+        }
+        // Leadership legitimacy: a vc_QC of 2f+1 election votes.
+        let vc_qc = match &block.vc_qc {
+            Some(qc) => qc,
+            None => return,
+        };
+        self.charge_verify_cost(ctx);
+        if vc_qc.kind != QcKind::ViewChange
+            || vc_qc.view != block.v
+            || ThresholdVerifier::new(&self.registry)
+                .verify(vc_qc, self.config.quorum())
+                .is_err()
+        {
+            return;
+        }
+        // Reputation fragment: only the elected leader's rp/ci may change
+        // relative to our current vcBlock (checked when the views are
+        // adjacent; larger gaps are reconciled through sync).
+        if block.v.0 == self.store.current_view().0 + 1
+            && !self
+                .store
+                .latest_vc_block()
+                .reputation_delta_only_for(&block, block.leader_id)
+        {
+            return;
+        }
+        // Adopt.
+        let leader = block.leader_id;
+        let view = block.v;
+        if !self.store.insert_vc_block(block) {
+            return;
+        }
+        if let Some(share) = sign_share(
+            &self.registry,
+            self.id,
+            QcKind::ViewChange,
+            view,
+            SeqNum(1),
+            &digest,
+        ) {
+            ctx.send(
+                from,
+                Message::VcYes {
+                    view,
+                    digest,
+                    share,
+                },
+            );
+        }
+        self.note_view_installed(ctx, leader);
+        self.maybe_request_refresh(ctx);
+    }
+
+    /// Handles an adoption acknowledgement; `2f + 1` of them complete the view
+    /// change and the leader resumes replication in the new view.
+    pub(crate) fn handle_vc_yes(
+        &mut self,
+        view: View,
+        digest: Digest,
+        share: PartialSig,
+        ctx: &mut Context<Message>,
+    ) {
+        self.charge_verify_cost(ctx);
+        let (block, builder) = match self.pending_vc_block.as_mut() {
+            Some((b, q)) if b.v == view && vc_block_digest(b) == digest => {
+                (b.clone(), q)
+            }
+            _ => return,
+        };
+        if builder.add_share(&self.registry, &share).is_err() || !builder.complete() {
+            return;
+        }
+        // Consensus for the new view is reached: install and lead.
+        self.pending_vc_block = None;
+        if !self.store.insert_vc_block(block) {
+            return;
+        }
+        self.note_view_installed(ctx, self.id);
+        self.maybe_request_refresh(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Election timeouts, policy rotations, attacks
+    // ------------------------------------------------------------------
+
+    /// Candidate election timeout: split votes or a lost election. Per the
+    /// paper, the candidate transitions back to redeemer with `V' + 1`.
+    pub(crate) fn on_election_timer(&mut self, id: TimerId, ctx: &mut Context<Message>) {
+        if self.election_timer != Some(id) {
+            return;
+        }
+        self.election_timer = None;
+        if self.role != ServerRole::Candidate {
+            return;
+        }
+        let campaign = match self.campaign.take() {
+            Some(c) => c,
+            None => return,
+        };
+        self.stats.election_timeouts += 1;
+        self.role = ServerRole::Follower;
+        let retry_view = campaign.new_view.next();
+        self.start_campaign(retry_view, campaign.conf_qc, ctx);
+    }
+
+    /// Policy rotation timer: if the current view has run its course under a
+    /// timing policy, schedule a (jittered) campaign.
+    pub(crate) fn on_policy_timer(&mut self, ctx: &mut Context<Message>) {
+        let interval = match self.pacemaker.rotation_interval() {
+            Some(i) => i,
+            None => return,
+        };
+        if !self.rotation_due(ctx.now()) {
+            return; // A newer view was installed; its own timer is armed.
+        }
+        // Re-arm so a failed rotation is retried.
+        ctx.set_timer(interval, timer_tags::POLICY);
+        // Quiesce replication in the outgoing view so candidates campaign
+        // against a stable log (C3 would otherwise race in-flight commits).
+        self.rotation_pending = true;
+        if self.policy_rotation_started {
+            return;
+        }
+        self.policy_rotation_started = true;
+        if self.role == ServerRole::Leader && !self.behavior.attacks_view_changes() {
+            return; // The incumbent does not campaign for its own succession.
+        }
+        if self.behavior.attacks_view_changes() {
+            // F4 attackers race: campaign immediately with no back-off.
+            let next = self.store.current_view().next();
+            self.start_campaign(next, None, ctx);
+            return;
+        }
+        let jitter = ctx
+            .rng()
+            .uniform(0.0, self.pacemaker.timeouts().randomization_ms.max(1.0));
+        ctx.set_timer(
+            prestige_sim::SimDuration::from_ms(jitter),
+            timer_tags::POLICY_CAMPAIGN,
+        );
+    }
+
+    /// Jittered policy campaign: start the campaign unless someone else
+    /// already rotated the view.
+    pub(crate) fn on_policy_campaign_timer(&mut self, ctx: &mut Context<Message>) {
+        if !self.rotation_due(ctx.now()) {
+            return;
+        }
+        if self.role == ServerRole::Leader {
+            return;
+        }
+        let next = self.store.current_view().next();
+        self.start_campaign(next, None, ctx);
+    }
+
+    /// Periodic attack trigger for F4 behaviours: campaign whenever not the
+    /// leader (strategy permitting).
+    pub(crate) fn on_attack_timer(&mut self, ctx: &mut Context<Message>) {
+        if !self.behavior.attacks_view_changes() {
+            return;
+        }
+        // Re-arm.
+        let period = prestige_sim::SimDuration::from_ms(self.pacemaker.timeouts().base_timeout_ms);
+        ctx.set_timer(period, timer_tags::ATTACK);
+        if self.role == ServerRole::Leader {
+            return;
+        }
+        if self.rotation_due(ctx.now()) {
+            let next = self.store.current_view().next();
+            self.start_campaign(next, None, ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prestige_crypto::KeyRegistry;
+    use prestige_types::ClusterConfig;
+
+    fn server(n: u32, id: u32) -> PrestigeServer {
+        let config = ClusterConfig::new(n);
+        let registry = KeyRegistry::new(5, n, 2);
+        PrestigeServer::new(ServerId(id), config, registry, 0)
+    }
+
+    #[test]
+    fn digests_are_deterministic_and_distinct() {
+        let d1 = PrestigeServer::confvc_digest(View(3));
+        let d2 = PrestigeServer::confvc_digest(View(3));
+        let d3 = PrestigeServer::confvc_digest(View(4));
+        assert_eq!(d1, d2);
+        assert_ne!(d1, d3);
+
+        let c1 = PrestigeServer::campaign_digest(ServerId(1), View(2), 2, 7, &Digest::ZERO);
+        let c2 = PrestigeServer::campaign_digest(ServerId(2), View(2), 2, 7, &Digest::ZERO);
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn calc_rp_for_initial_campaign_matches_engine() {
+        let s = server(4, 1);
+        let outcome = s.calc_rp_for(ServerId(1), View(2));
+        // From genesis: rp 1 → 2 with no possible compensation (ti = 0).
+        assert_eq!(outcome.new_rp, 2);
+        assert_eq!(outcome.new_ci, 1);
+        assert!(!outcome.compensated);
+    }
+
+    #[test]
+    fn voters_and_candidates_agree_on_rp() {
+        // Criterion C4 requires that any server recomputes the same rp/ci for
+        // a given candidate from the same stored state.
+        let s2 = server(4, 1);
+        let s3 = server(4, 2);
+        let a = s2.calc_rp_for(ServerId(3), View(2));
+        let b = s3.calc_rp_for(ServerId(3), View(2));
+        assert_eq!(a.new_rp, b.new_rp);
+        assert_eq!(a.new_ci, b.new_ci);
+    }
+}

@@ -1,0 +1,79 @@
+//! Hashing helpers producing [`Digest`] values.
+//!
+//! These are thin conveniences over [`Sha256`] used throughout
+//! the protocol code: hashing a single byte string, hashing a pair (block
+//! digest + nonce for the PoW puzzle), and hashing an ordered list of parts
+//! (message digests, block contents).
+
+use crate::sha256::Sha256;
+use prestige_types::Digest;
+
+/// Hashes a single byte string into a [`Digest`].
+pub fn digest_of(data: &[u8]) -> Digest {
+    Digest(Sha256::digest(data))
+}
+
+/// Hashes the concatenation of two parts with length framing, so that
+/// `hash_pair(a, b)` never collides with `hash_pair(a', b')` for a different
+/// split of the same concatenated bytes.
+pub fn hash_pair(a: &[u8], b: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&(a.len() as u64).to_be_bytes());
+    h.update(a);
+    h.update(&(b.len() as u64).to_be_bytes());
+    h.update(b);
+    Digest(h.finalize())
+}
+
+/// Hashes an ordered sequence of parts with length framing.
+pub fn hash_many<'a, I>(parts: I) -> Digest
+where
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    let mut h = Sha256::new();
+    for part in parts {
+        h.update(&(part.len() as u64).to_be_bytes());
+        h.update(part);
+    }
+    Digest(h.finalize())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_of_is_sha256() {
+        assert_eq!(digest_of(b"abc").0, Sha256::digest(b"abc"));
+    }
+
+    #[test]
+    fn hash_pair_is_framing_safe() {
+        // Without framing these would collide: "ab" + "c" vs "a" + "bc".
+        assert_ne!(hash_pair(b"ab", b"c"), hash_pair(b"a", b"bc"));
+    }
+
+    #[test]
+    fn hash_many_matches_hash_pair_for_two_parts() {
+        assert_eq!(
+            hash_many([b"view".as_slice(), b"block".as_slice()]),
+            hash_pair(b"view", b"block")
+        );
+    }
+
+    #[test]
+    fn hash_many_order_sensitive() {
+        assert_ne!(
+            hash_many([b"a".as_slice(), b"b".as_slice()]),
+            hash_many([b"b".as_slice(), b"a".as_slice()])
+        );
+    }
+
+    #[test]
+    fn empty_parts_are_distinguished() {
+        assert_ne!(
+            hash_many([b"".as_slice(), b"x".as_slice()]),
+            hash_many([b"x".as_slice(), b"".as_slice()])
+        );
+    }
+}

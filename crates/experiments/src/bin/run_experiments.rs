@@ -1,0 +1,68 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! run_experiments [--full] [experiment ids...]
+//! run_experiments --list
+//! ```
+//!
+//! Without arguments every experiment runs at the quick scale and the report
+//! tables are printed to stdout (plain text) and written to
+//! `experiment_results.md` (Markdown) in the current directory.
+
+use prestige_experiments::{all_experiments, Scale};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: run_experiments [--full] [--list] [experiment ids...]");
+        println!("experiments:");
+        for e in all_experiments() {
+            println!("  {:6} {}", e.id, e.description);
+        }
+        return;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for e in all_experiments() {
+            println!("{:6} {}", e.id, e.description);
+        }
+        return;
+    }
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+
+    let mut markdown = String::from("# Regenerated experiment results\n\n");
+    for experiment in all_experiments() {
+        if !selected.is_empty() && !selected.iter().any(|s| s == experiment.id) {
+            continue;
+        }
+        eprintln!(
+            ">> running {} ({}) at {:?} scale",
+            experiment.id, experiment.description, scale
+        );
+        let start = std::time::Instant::now();
+        let tables = (experiment.run)(scale);
+        eprintln!(
+            "   done in {:.1} s wall clock",
+            start.elapsed().as_secs_f64()
+        );
+        for table in &tables {
+            println!("{}", table.to_text());
+            markdown.push_str(&table.to_markdown());
+            markdown.push('\n');
+        }
+    }
+    let mut file = std::fs::File::create("experiment_results.md")
+        .expect("create experiment_results.md in the current directory");
+    file.write_all(markdown.as_bytes())
+        .expect("write experiment results");
+    eprintln!("wrote experiment_results.md");
+}

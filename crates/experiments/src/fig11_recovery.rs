@@ -1,0 +1,71 @@
+//! Figure 11 — throughput recovery over time under F4+F2 (pb_r10_quiet).
+//!
+//! Paper result to reproduce (shape): right after the attack begins the
+//! system makes little progress; as the reputation engine penalizes the
+//! attackers their campaigns become unaffordable, correct servers regain
+//! leadership, and normalized throughput climbs back toward the fault-free
+//! level (≈87% at t = 1000 s in the paper).
+
+use crate::fig9_benign_byz::fault_experiment_config;
+use crate::runner::run as run_one;
+use crate::Scale;
+use prestige_core::AttackStrategy;
+use prestige_metrics::{throughput_series, Table};
+use prestige_workloads::{FaultPlan, ProtocolChoice};
+
+/// Runs the recovery time series.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let (duration, rotation_ms, window_ms, fault_counts): (f64, f64, f64, Vec<u32>) = match scale {
+        Scale::Quick => (40.0, 3000.0, 5000.0, vec![0, 1, 3]),
+        Scale::Full => (1000.0, 10_000.0, 50_000.0, vec![0, 1, 3, 5]),
+    };
+    let n = 16;
+    let mut table = Table::new(
+        "Figure 11 — normalized throughput recovery under F4+F2 (pb_r10_quiet, n=16)",
+        &["time (s)", "f=0", "f=1", "f=3", "f=5"],
+    );
+
+    // One run per fault count; the f=0 run defines the normalization base.
+    let mut series: Vec<Vec<(f64, f64)>> = Vec::new();
+    let mut base_tps = 1.0;
+    for &f in &fault_counts {
+        let plan = if f == 0 {
+            FaultPlan::None
+        } else {
+            FaultPlan::RepeatedVcQuiet {
+                count: f,
+                strategy: AttackStrategy::Always,
+            }
+        };
+        let mut config = fault_experiment_config(
+            format!("pb_r10_quiet_f{f}"),
+            n,
+            ProtocolChoice::Prestige,
+            rotation_ms,
+            plan,
+            duration,
+        );
+        config.seed = 91 + f as u64;
+        let outcome = run_one(&config);
+        let s = throughput_series(&outcome.commit_log, duration * 1000.0, window_ms);
+        if f == 0 {
+            base_tps = outcome.tps.max(1.0);
+        }
+        series.push(s);
+    }
+
+    let windows = series.iter().map(|s| s.len()).min().unwrap_or(0);
+    for w in 0..windows {
+        let time_s = series[0][w].0 / 1000.0 + window_ms / 1000.0;
+        let mut row = vec![format!("{time_s:.0}")];
+        for s in &series {
+            row.push(format!("{:.0}%", 100.0 * s[w].1 / base_tps));
+        }
+        // Pad missing fault counts (quick mode runs fewer of them).
+        while row.len() < 5 {
+            row.push("—".to_string());
+        }
+        table.push_row(row);
+    }
+    vec![table]
+}

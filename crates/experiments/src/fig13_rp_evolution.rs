@@ -1,0 +1,77 @@
+//! Figure 13 — evolution of server reputation penalties under f=3 attacks.
+//!
+//! Paper result to reproduce (shape): the three attackers' penalties climb as
+//! they repossess leadership without replicating, until the required
+//! computation locks them out; correct servers' penalties stay near the
+//! initial value (occasionally compensated back down after they reclaim
+//! leadership).
+
+use crate::fig9_benign_byz::fault_experiment_config;
+use crate::runner::run as run_one;
+use crate::Scale;
+use prestige_core::AttackStrategy;
+use prestige_metrics::Table;
+use prestige_workloads::{FaultPlan, ProtocolChoice};
+
+/// Runs the reputation-evolution experiment (n=16, f=3, F4+F2).
+pub fn run(scale: Scale) -> Vec<Table> {
+    let (duration, rotation_ms) = match scale {
+        Scale::Quick => (40.0, 3000.0),
+        Scale::Full => (300.0, 10_000.0),
+    };
+    let n = 16u32;
+    let mut config = fault_experiment_config(
+        "fig13_pb_f3".to_string(),
+        n,
+        ProtocolChoice::Prestige,
+        rotation_ms,
+        FaultPlan::RepeatedVcQuiet {
+            count: 3,
+            strategy: AttackStrategy::Always,
+        },
+        duration,
+    );
+    config.seed = 133;
+    let outcome = run_one(&config);
+
+    let mut table = Table::new(
+        "Figure 13 — final reputation penalties after repeated VC attacks (n=16, f=3; S14–S16 faulty)",
+        &["server", "behaviour", "final rp", "elections won", "campaigns", "total puzzle time (ms)"],
+    );
+    for (id, server) in &outcome.servers {
+        let faulty = *id >= n - 3;
+        table.push_row(vec![
+            format!("S{}", id + 1),
+            if faulty { "faulty".into() } else { "correct".into() },
+            server.final_rp.to_string(),
+            server.elections_won.to_string(),
+            server.campaigns.to_string(),
+            format!("{:.1}", server.pow_ms_total),
+        ]);
+    }
+
+    // A second table with the attackers' penalty trajectory over their
+    // campaigns (the x-axis of the paper's Figure 13).
+    let mut trajectory = Table::new(
+        "Figure 13 (series) — attackers' penalty per campaign",
+        &["campaign #", "S14 rp", "S15 rp", "S16 rp"],
+    );
+    let logs: Vec<&Vec<(f64, i64, f64)>> = (n - 3..n)
+        .map(|i| &outcome.servers[&i].campaign_log)
+        .collect();
+    let rounds = logs.iter().map(|l| l.len()).max().unwrap_or(0);
+    for r in 0..rounds {
+        let cell = |log: &Vec<(f64, i64, f64)>| {
+            log.get(r)
+                .map(|(_, rp, _)| rp.to_string())
+                .unwrap_or_else(|| "—".to_string())
+        };
+        trajectory.push_row(vec![
+            (r + 1).to_string(),
+            cell(logs[0]),
+            cell(logs[1]),
+            cell(logs[2]),
+        ]);
+    }
+    vec![table, trajectory]
+}

@@ -1,0 +1,111 @@
+//! Figure 9 — throughput under quiet (F2) and equivocation (F3) faults with
+//! frequent, policy-driven view changes.
+//!
+//! Paper result to reproduce (shape): HotStuff's throughput drops sharply as
+//! soon as faulty servers appear (they are still handed leadership by the
+//! rotation schedule, and each of their reigns stalls replication for a full
+//! timeout), and drops more with more frequent rotations. PrestigeBFT is
+//! essentially unaffected — quiet servers even free up bandwidth.
+
+use crate::runner::{run as run_one, ExperimentConfig};
+use crate::Scale;
+use prestige_metrics::Table;
+use prestige_types::{TimeoutConfig, ViewChangePolicy};
+use prestige_workloads::{FaultPlan, ProtocolChoice, WorkloadSpec};
+
+/// Shared cluster/timer settings for the fault experiments: the paper's
+/// §6.2 setup (HotStuff timeout 1 s, PrestigeBFT timeouts in [800, 1200] ms),
+/// with rotation intervals scaled down in quick mode.
+pub(crate) fn fault_experiment_config(
+    name: String,
+    n: u32,
+    protocol: ProtocolChoice,
+    rotation_ms: f64,
+    faults: FaultPlan,
+    duration_s: f64,
+) -> ExperimentConfig {
+    let mut config = ExperimentConfig::new(name, n, protocol);
+    config.batch_size = 200;
+    config.workload = WorkloadSpec::new(4, 200, 32);
+    config.policy = ViewChangePolicy::Timing {
+        interval_ms: rotation_ms,
+    };
+    config.timeouts = TimeoutConfig {
+        base_timeout_ms: 800.0,
+        randomization_ms: 400.0,
+        client_timeout_ms: 1000.0,
+        complaint_grace_ms: 200.0,
+    };
+    config.faults = faults;
+    config.duration_s = duration_s;
+    config.warmup_s = duration_s * 0.05;
+    config
+}
+
+/// Runs the F2/F3 fault sweep.
+pub fn run(scale: Scale) -> Vec<Table> {
+    // r10/r30 at full scale; proportionally shorter rotations in quick mode so
+    // several rotations still happen within the shorter run.
+    let (duration, r_fast, r_slow, fault_counts_n16): (f64, f64, f64, Vec<u32>) = match scale {
+        Scale::Quick => (20.0, 3000.0, 6000.0, vec![0, 3]),
+        Scale::Full => (120.0, 10_000.0, 30_000.0, vec![0, 1, 2, 3]),
+    };
+    let mut tables = Vec::new();
+    for (n, fault_counts) in [(4u32, vec![0u32, 1]), (16u32, fault_counts_n16)] {
+        let mut table = Table::new(
+            format!("Figure 9 — throughput under F2/F3 (n={n})"),
+            &["series", "f", "throughput (TPS)", "drop vs f=0"],
+        );
+        for protocol in [ProtocolChoice::Prestige, ProtocolChoice::HotStuff] {
+            for (rotation_label, rotation_ms) in [("r10", r_fast), ("r30", r_slow)] {
+                for (attack_label, make_plan) in [
+                    ("quiet", FaultPlan::Quiet { count: 0 }),
+                    ("equiv", FaultPlan::Equivocate { count: 0 }),
+                ] {
+                    let mut baseline_tps = None;
+                    for &f in &fault_counts {
+                        let plan = match make_plan {
+                            FaultPlan::Quiet { .. } => FaultPlan::Quiet { count: f },
+                            _ => FaultPlan::Equivocate { count: f },
+                        };
+                        let plan = if f == 0 { FaultPlan::None } else { plan };
+                        let name = format!(
+                            "{}_{}_{}",
+                            protocol.label(),
+                            rotation_label,
+                            attack_label
+                        );
+                        let mut config = fault_experiment_config(
+                            format!("{name}_f{f}"),
+                            n,
+                            protocol,
+                            rotation_ms,
+                            plan,
+                            duration,
+                        );
+                        config.seed = 7 + n as u64 + f as u64;
+                        let outcome = run_one(&config);
+                        let drop = match baseline_tps {
+                            None => {
+                                baseline_tps = Some(outcome.tps);
+                                "—".to_string()
+                            }
+                            Some(base) if base > 0.0 => {
+                                format!("{:.0}%", 100.0 * (base - outcome.tps) / base)
+                            }
+                            _ => "—".to_string(),
+                        };
+                        table.push_row(vec![
+                            name.clone(),
+                            f.to_string(),
+                            format!("{:.0}", outcome.tps),
+                            drop,
+                        ]);
+                    }
+                }
+            }
+        }
+        tables.push(table);
+    }
+    tables
+}

@@ -1,0 +1,67 @@
+//! Availability over time (Figure 14).
+//!
+//! The paper reports availability as the fraction of time the system makes
+//! progress. Here a window counts as available if at least one transaction
+//! committed within it; the series reports the cumulative availability up to
+//! each window, which is what the paper's Figure 14 plots over `10^4` seconds.
+
+/// Cumulative availability per window: for each `window_ms` window up to
+/// `end_ms`, the fraction of windows so far in which at least one commit
+/// landed. Returns `(window end in ms, cumulative availability in [0, 1])`.
+pub fn availability_series(commit_log: &[(f64, u64)], end_ms: f64, window_ms: f64) -> Vec<(f64, f64)> {
+    if window_ms <= 0.0 || end_ms <= 0.0 {
+        return Vec::new();
+    }
+    let windows = (end_ms / window_ms).ceil() as usize;
+    let mut active = vec![false; windows];
+    for (t, c) in commit_log {
+        if *t < 0.0 || *t >= end_ms || *c == 0 {
+            continue;
+        }
+        let idx = (*t / window_ms) as usize;
+        if idx < windows {
+            active[idx] = true;
+        }
+    }
+    let mut out = Vec::with_capacity(windows);
+    let mut up = 0usize;
+    for (i, a) in active.iter().enumerate() {
+        if *a {
+            up += 1;
+        }
+        out.push(((i + 1) as f64 * window_ms, up as f64 / (i + 1) as f64));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_available_system() {
+        let log: Vec<(f64, u64)> = (0..10).map(|i| (i as f64 * 1000.0 + 10.0, 5)).collect();
+        let series = availability_series(&log, 10_000.0, 1000.0);
+        assert_eq!(series.len(), 10);
+        assert!(series.iter().all(|(_, a)| (*a - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn outage_reduces_cumulative_availability() {
+        // Commits only in the second half.
+        let log: Vec<(f64, u64)> = (5..10).map(|i| (i as f64 * 1000.0 + 10.0, 5)).collect();
+        let series = availability_series(&log, 10_000.0, 1000.0);
+        assert!((series[4].1 - 0.0).abs() < 1e-9);
+        assert!((series[9].1 - 0.5).abs() < 1e-9);
+        // Availability recovers (increases) over time once commits resume.
+        assert!(series[9].1 > series[5].1);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(availability_series(&[], 0.0, 1000.0).is_empty());
+        assert!(availability_series(&[(1.0, 1)], 1000.0, 0.0).is_empty());
+        let empty_log = availability_series(&[], 3000.0, 1000.0);
+        assert!(empty_log.iter().all(|(_, a)| *a == 0.0));
+    }
+}

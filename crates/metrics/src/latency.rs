@@ -1,0 +1,87 @@
+//! Latency statistics over client-observed commit latencies.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics over a set of latency observations (milliseconds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct LatencyStats {
+    /// Number of observations.
+    pub count: u64,
+    /// Mean latency (ms).
+    pub mean_ms: f64,
+    /// Median latency (ms).
+    pub p50_ms: f64,
+    /// 95th percentile latency (ms).
+    pub p95_ms: f64,
+    /// 99th percentile latency (ms).
+    pub p99_ms: f64,
+    /// Maximum observed latency (ms).
+    pub max_ms: f64,
+}
+
+impl LatencyStats {
+    /// Computes statistics from raw samples.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let count = sorted.len() as u64;
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        let pct = |p: f64| -> f64 {
+            let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+            sorted[rank.min(sorted.len() - 1)]
+        };
+        LatencyStats {
+            count,
+            mean_ms: mean,
+            p50_ms: pct(50.0),
+            p95_ms: pct(95.0),
+            p99_ms: pct(99.0),
+            max_ms: *sorted.last().unwrap(),
+        }
+    }
+
+    /// Merges samples from several clients into one summary.
+    pub fn from_many<'a, I: IntoIterator<Item = &'a [f64]>>(sets: I) -> Self {
+        let mut all: Vec<f64> = Vec::new();
+        for s in sets {
+            all.extend_from_slice(s);
+        }
+        Self::from_samples(&all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statistics() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let stats = LatencyStats::from_samples(&samples);
+        assert_eq!(stats.count, 100);
+        assert!((stats.mean_ms - 50.5).abs() < 1e-9);
+        assert_eq!(stats.p50_ms, 51.0);
+        assert_eq!(stats.p95_ms, 95.0);
+        assert_eq!(stats.p99_ms, 99.0);
+        assert_eq!(stats.max_ms, 100.0);
+    }
+
+    #[test]
+    fn empty_samples_give_zeroes() {
+        let stats = LatencyStats::from_samples(&[]);
+        assert_eq!(stats.count, 0);
+        assert_eq!(stats.mean_ms, 0.0);
+    }
+
+    #[test]
+    fn merging_sample_sets() {
+        let a = vec![1.0, 2.0];
+        let b = vec![3.0, 4.0];
+        let stats = LatencyStats::from_many([a.as_slice(), b.as_slice()]);
+        assert_eq!(stats.count, 4);
+        assert!((stats.mean_ms - 2.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,20 @@
+//! # prestige-metrics
+//!
+//! Measurement toolkit for the experiment harness: throughput computation
+//! from commit logs, latency statistics, availability tracking over time, and
+//! plain-text report tables matching the rows/series the paper's figures
+//! report.
+
+#![warn(missing_docs)]
+
+pub mod availability;
+pub mod latency;
+pub mod report;
+pub mod throughput;
+pub mod timeseries;
+
+pub use availability::availability_series;
+pub use latency::LatencyStats;
+pub use report::Table;
+pub use throughput::{throughput_series, total_tps};
+pub use timeseries::bucketize;

@@ -1,0 +1,133 @@
+//! Plain-text report tables.
+//!
+//! The experiment harness prints one table per paper figure; this type keeps
+//! the formatting consistent (aligned columns, a title row, and a Markdown
+//! rendering used to fill EXPERIMENTS.md).
+
+use serde::{Deserialize, Serialize};
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Table {
+    /// Table title (e.g. "Figure 9 — throughput under F2/F3, n = 4").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (converted to strings by the caller).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        widths
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn to_text(&self) -> String {
+        let widths = self.widths();
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as a Markdown table (used for EXPERIMENTS.md).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Demo", &["protocol", "tps", "latency"]);
+        t.push_row(vec!["pb".into(), "80000".into(), "12.5".into()]);
+        t.push_row(vec!["hs".into(), "32000".into(), "40.1".into()]);
+        t
+    }
+
+    #[test]
+    fn text_rendering_is_aligned() {
+        let text = sample().to_text();
+        assert!(text.contains("== Demo =="));
+        assert!(text.contains("protocol"));
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = sample().to_markdown();
+        assert!(md.starts_with("### Demo"));
+        assert!(md.contains("| pb | 80000 | 12.5 |"));
+        assert!(md.contains("|---|---|---|"));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new("Empty", &["a"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.to_text().contains("Empty"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Throughput computation from per-block commit logs.
+//!
+//! Servers record `(commit time in ms, transactions in the block)` pairs;
+//! these helpers turn that log into the numbers the paper reports: total
+//! transactions per second over a measurement interval, and a time series of
+//! TPS per window (used by the recovery and availability figures).
+
+/// Total transactions per second committed within `[start_ms, end_ms)`.
+pub fn total_tps(commit_log: &[(f64, u64)], start_ms: f64, end_ms: f64) -> f64 {
+    if end_ms <= start_ms {
+        return 0.0;
+    }
+    let total: u64 = commit_log
+        .iter()
+        .filter(|(t, _)| *t >= start_ms && *t < end_ms)
+        .map(|(_, c)| *c)
+        .sum();
+    total as f64 / ((end_ms - start_ms) / 1000.0)
+}
+
+/// TPS per `window_ms` window across `[0, end_ms)`. Returns one
+/// `(window start in ms, tps)` pair per window.
+pub fn throughput_series(commit_log: &[(f64, u64)], end_ms: f64, window_ms: f64) -> Vec<(f64, f64)> {
+    if window_ms <= 0.0 || end_ms <= 0.0 {
+        return Vec::new();
+    }
+    let windows = (end_ms / window_ms).ceil() as usize;
+    let mut counts = vec![0u64; windows];
+    for (t, c) in commit_log {
+        if *t < 0.0 || *t >= end_ms {
+            continue;
+        }
+        let idx = (*t / window_ms) as usize;
+        if idx < windows {
+            counts[idx] += c;
+        }
+    }
+    counts
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (i as f64 * window_ms, *c as f64 / (window_ms / 1000.0)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log() -> Vec<(f64, u64)> {
+        vec![(100.0, 50), (600.0, 50), (1100.0, 100), (1900.0, 100)]
+    }
+
+    #[test]
+    fn total_tps_over_interval() {
+        // 300 transactions over 2 seconds.
+        assert!((total_tps(&log(), 0.0, 2000.0) - 150.0).abs() < 1e-9);
+        // Only the first second.
+        assert!((total_tps(&log(), 0.0, 1000.0) - 100.0).abs() < 1e-9);
+        // Empty / degenerate intervals.
+        assert_eq!(total_tps(&log(), 2000.0, 2000.0), 0.0);
+        assert_eq!(total_tps(&[], 0.0, 1000.0), 0.0);
+    }
+
+    #[test]
+    fn series_buckets_by_window() {
+        let series = throughput_series(&log(), 2000.0, 1000.0);
+        assert_eq!(series.len(), 2);
+        assert!((series[0].1 - 100.0).abs() < 1e-9);
+        assert!((series[1].1 - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_ignores_out_of_range_entries() {
+        let series = throughput_series(&[(5000.0, 10)], 2000.0, 1000.0);
+        assert!(series.iter().all(|(_, tps)| *tps == 0.0));
+        assert!(throughput_series(&log(), 0.0, 1000.0).is_empty());
+        assert!(throughput_series(&log(), 1000.0, 0.0).is_empty());
+    }
+}

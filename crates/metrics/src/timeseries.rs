@@ -1,0 +1,50 @@
+//! Generic time-series bucketing.
+
+/// Sums the values of `(time_ms, value)` points into buckets of `window_ms`,
+/// returning `(bucket start in ms, sum)` per bucket covering `[0, end_ms)`.
+pub fn bucketize(points: &[(f64, f64)], end_ms: f64, window_ms: f64) -> Vec<(f64, f64)> {
+    if window_ms <= 0.0 || end_ms <= 0.0 {
+        return Vec::new();
+    }
+    let windows = (end_ms / window_ms).ceil() as usize;
+    let mut sums = vec![0.0; windows];
+    for (t, v) in points {
+        if *t < 0.0 || *t >= end_ms {
+            continue;
+        }
+        let idx = (*t / window_ms) as usize;
+        if idx < windows {
+            sums[idx] += v;
+        }
+    }
+    sums.iter()
+        .enumerate()
+        .map(|(i, s)| (i as f64 * window_ms, *s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_into_buckets() {
+        let points = vec![(100.0, 1.0), (200.0, 2.0), (1100.0, 5.0)];
+        let buckets = bucketize(&points, 2000.0, 1000.0);
+        assert_eq!(buckets.len(), 2);
+        assert!((buckets[0].1 - 3.0).abs() < 1e-9);
+        assert!((buckets[1].1 - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_points_are_dropped() {
+        let buckets = bucketize(&[(-5.0, 1.0), (9999.0, 1.0)], 1000.0, 500.0);
+        assert!(buckets.iter().all(|(_, s)| *s == 0.0));
+    }
+
+    #[test]
+    fn degenerate_windows() {
+        assert!(bucketize(&[(1.0, 1.0)], 0.0, 100.0).is_empty());
+        assert!(bucketize(&[(1.0, 1.0)], 100.0, 0.0).is_empty());
+    }
+}

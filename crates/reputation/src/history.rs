@@ -1,0 +1,148 @@
+//! The penalty history set `P` and its statistics.
+//!
+//! Algorithm 1 (lines 4–7) walks the chain of vcBlocks back to genesis and
+//! collects the server's recorded penalty in each one into a set `P`
+//! (including the current penalty). Eq. 3 then uses the mean and standard
+//! deviation of `P` to compute the z-score of the current penalty: a penalty
+//! that is not racing ahead of its own history earns a larger compensation.
+
+use serde::{Deserialize, Serialize};
+
+/// A server's penalty history: the multiset of `rp` values recorded for it in
+/// every vcBlock from the current one back to genesis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PenaltyHistory {
+    values: Vec<i64>,
+}
+
+impl PenaltyHistory {
+    /// Creates a history from the collected penalty values (current first or
+    /// last — order does not matter for the statistics).
+    pub fn new(values: Vec<i64>) -> Self {
+        PenaltyHistory { values }
+    }
+
+    /// History containing only the initial penalty (a fresh server).
+    pub fn initial(initial_rp: i64) -> Self {
+        PenaltyHistory {
+            values: vec![initial_rp],
+        }
+    }
+
+    /// Appends a newly recorded penalty (used as vcBlocks accumulate).
+    pub fn push(&mut self, rp: i64) {
+        self.values.push(rp);
+    }
+
+    /// The raw values.
+    pub fn values(&self) -> &[i64] {
+        &self.values
+    }
+
+    /// Number of recorded penalties.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no penalties are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Mean `μ_P` of the history.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<i64>() as f64 / self.values.len() as f64
+    }
+
+    /// Population standard deviation `σ_P` of the history.
+    ///
+    /// The paper's worked examples (Appendix C) use the population form:
+    /// for `P = {1,2,3,4,5}` it reports `σ_P = 1.41` (= √2).
+    pub fn std_dev(&self) -> f64 {
+        if self.values.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .values
+            .iter()
+            .map(|v| {
+                let d = *v as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / self.values.len() as f64;
+        var.sqrt()
+    }
+
+    /// The z-score of `rp` against this history; zero when the history has no
+    /// spread (σ_P = 0), which makes δvc a neutral 0.5.
+    pub fn z_score(&self, rp: i64) -> f64 {
+        let sd = self.std_dev();
+        if sd == 0.0 {
+            0.0
+        } else {
+            (rp as f64 - self.mean()) / sd
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn appendix_c_first_history() {
+        // P = {1,2,3,4,5}: μ = 3, σ = 1.41 (paper's numbers).
+        let p = PenaltyHistory::new(vec![1, 2, 3, 4, 5]);
+        assert!((p.mean() - 3.0).abs() < 1e-12);
+        assert!((p.std_dev() - 1.4142).abs() < 1e-3);
+    }
+
+    #[test]
+    fn appendix_c_second_history() {
+        // P = {1,2,3,4,5,5}: μ = 3.33, σ = 1.49.
+        let p = PenaltyHistory::new(vec![1, 2, 3, 4, 5, 5]);
+        assert!((p.mean() - 3.3333).abs() < 1e-3);
+        assert!((p.std_dev() - 1.49).abs() < 0.01);
+    }
+
+    #[test]
+    fn appendix_c_long_history() {
+        // P5 = {1,2,3,4} plus ten 5s: μ = 4.28, σ = 1.27.
+        let mut vals = vec![1, 2, 3, 4];
+        vals.extend(std::iter::repeat(5).take(10));
+        let p = PenaltyHistory::new(vals);
+        assert!((p.mean() - 4.2857).abs() < 1e-3);
+        assert!((p.std_dev() - 1.278).abs() < 0.01);
+    }
+
+    #[test]
+    fn degenerate_histories_have_zero_spread() {
+        assert_eq!(PenaltyHistory::initial(1).std_dev(), 0.0);
+        assert_eq!(PenaltyHistory::new(vec![3, 3, 3]).std_dev(), 0.0);
+        assert_eq!(PenaltyHistory::new(vec![3, 3, 3]).z_score(3), 0.0);
+        assert_eq!(PenaltyHistory::default().mean(), 0.0);
+        assert!(PenaltyHistory::default().is_empty());
+    }
+
+    #[test]
+    fn push_extends_history() {
+        let mut p = PenaltyHistory::initial(1);
+        p.push(2);
+        p.push(3);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.values(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn z_score_sign() {
+        let p = PenaltyHistory::new(vec![1, 2, 3, 4, 5]);
+        assert!(p.z_score(5) > 0.0);
+        assert!(p.z_score(1) < 0.0);
+        assert_eq!(p.z_score(3), 0.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! The event queue: time-ordered, deterministic.
+//!
+//! Two event kinds drive a simulation: message deliveries and timer
+//! expirations. Events scheduled for the same instant are processed in the
+//! order they were scheduled (a strictly increasing tie-break sequence), so a
+//! run is a pure function of the seed and the initial configuration.
+
+use crate::time::SimTime;
+use prestige_types::Actor;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Identifier of a scheduled timer (unique within a simulation run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerId(pub u64);
+
+/// What happens when an event fires.
+#[derive(Debug, Clone)]
+pub enum EventPayload<M> {
+    /// Deliver a message to `to`.
+    Deliver {
+        /// Sender of the message.
+        from: Actor,
+        /// The message payload.
+        message: M,
+    },
+    /// Fire a timer previously set by the node.
+    Timer {
+        /// The timer's identifier.
+        id: TimerId,
+        /// The protocol-defined tag distinguishing timer kinds.
+        tag: u64,
+    },
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone)]
+pub struct Event<M> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// The node the event is addressed to.
+    pub target: Actor,
+    /// The payload.
+    pub payload: EventPayload<M>,
+    /// Tie-break sequence number (assigned by the queue).
+    pub seq: u64,
+}
+
+struct HeapEntry<M>(Event<M>);
+
+impl<M> PartialEq for HeapEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.at == other.0.at && self.0.seq == other.0.seq
+    }
+}
+impl<M> Eq for HeapEntry<M> {}
+
+impl<M> Ord for HeapEntry<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first,
+        // breaking ties by insertion order.
+        other
+            .0
+            .at
+            .cmp(&self.0.at)
+            .then_with(|| other.0.seq.cmp(&self.0.seq))
+    }
+}
+impl<M> PartialOrd for HeapEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+pub struct EventQueue<M> {
+    heap: BinaryHeap<HeapEntry<M>>,
+    next_seq: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `payload` for `target` at time `at`.
+    pub fn push(&mut self, at: SimTime, target: Actor, payload: EventPayload<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry(Event {
+            at,
+            target,
+            payload,
+            seq,
+        }));
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop().map(|e| e.0)
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.0.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prestige_types::ServerId;
+
+    fn actor(i: u32) -> Actor {
+        Actor::Server(ServerId(i))
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.push(
+            SimTime::from_ms(5.0),
+            actor(0),
+            EventPayload::Timer {
+                id: TimerId(1),
+                tag: 0,
+            },
+        );
+        q.push(
+            SimTime::from_ms(1.0),
+            actor(1),
+            EventPayload::Timer {
+                id: TimerId(2),
+                tag: 0,
+            },
+        );
+        q.push(
+            SimTime::from_ms(3.0),
+            actor(2),
+            EventPayload::Timer {
+                id: TimerId(3),
+                tag: 0,
+            },
+        );
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.as_ms()).collect();
+        assert_eq!(order, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        for i in 0..10u32 {
+            q.push(
+                SimTime::from_ms(1.0),
+                actor(i),
+                EventPayload::Deliver {
+                    from: actor(99),
+                    message: i,
+                },
+            );
+        }
+        let targets: Vec<Actor> = std::iter::from_fn(|| q.pop()).map(|e| e.target).collect();
+        let expected: Vec<Actor> = (0..10).map(actor).collect();
+        assert_eq!(targets, expected);
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(
+            SimTime::from_ms(2.0),
+            actor(0),
+            EventPayload::Timer {
+                id: TimerId(0),
+                tag: 7,
+            },
+        );
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ms(2.0)));
+    }
+}

@@ -1,0 +1,530 @@
+//! The simulation runtime: event loop, CPU accounting, fault injection.
+//!
+//! The runtime owns the clock, the event queue, the nodes, the network model,
+//! and the statistics. A run proceeds by repeatedly popping the earliest
+//! event, handing it to the addressed node, and converting the node's buffered
+//! effects (sends, timers, CPU charges) into future events.
+//!
+//! Determinism: all randomness flows from the constructor seed (one derived
+//! stream per node plus one for the network), events at equal times fire in
+//! scheduling order, and nodes are started in insertion order.
+
+use crate::event::{EventPayload, EventQueue, TimerId};
+use crate::network::{LinkState, NetworkConfig};
+use crate::process::{Context, Outputs, Process};
+use crate::rng::SimRng;
+use crate::stats::NetStats;
+use crate::time::{SimDuration, SimTime};
+use prestige_types::{Actor, Wire};
+use std::collections::{HashMap, HashSet};
+
+/// A deterministic discrete-event simulation of a message-passing cluster.
+pub struct Simulation<M: Wire + 'static> {
+    now: SimTime,
+    queue: EventQueue<M>,
+    nodes: HashMap<Actor, Box<dyn Process<M>>>,
+    node_order: Vec<Actor>,
+    node_rngs: HashMap<Actor, SimRng>,
+    net_rng: SimRng,
+    seed: u64,
+    network: NetworkConfig,
+    links: LinkState,
+    nic_free: HashMap<Actor, SimTime>,
+    cpu_free: HashMap<Actor, SimTime>,
+    cancelled: HashSet<TimerId>,
+    next_timer_id: u64,
+    stats: NetStats,
+    started: bool,
+}
+
+impl<M: Wire + 'static> Simulation<M> {
+    /// Creates a simulation with the given seed and network model.
+    pub fn new(seed: u64, network: NetworkConfig) -> Self {
+        Simulation {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            nodes: HashMap::new(),
+            node_order: Vec::new(),
+            node_rngs: HashMap::new(),
+            net_rng: SimRng::new(seed ^ 0xBADC_0FFE_E0DD_F00D),
+            seed,
+            network,
+            links: LinkState::new(),
+            nic_free: HashMap::new(),
+            cpu_free: HashMap::new(),
+            cancelled: HashSet::new(),
+            next_timer_id: 0,
+            stats: NetStats::default(),
+            started: false,
+        }
+    }
+
+    /// Registers a node. Must be called before [`Simulation::start`].
+    pub fn add_node(&mut self, actor: Actor, node: Box<dyn Process<M>>) {
+        let salt = match actor {
+            Actor::Server(s) => s.0 as u64,
+            Actor::Client(c) => 0x1_0000_0000u64 + c.0,
+        };
+        self.node_rngs
+            .insert(actor, SimRng::new(self.seed).derive(salt));
+        self.nodes.insert(actor, node);
+        self.node_order.push(actor);
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Replaces the network model (e.g. to inject extra delay mid-run).
+    pub fn set_network(&mut self, network: NetworkConfig) {
+        self.network = network;
+    }
+
+    /// The current network model.
+    pub fn network(&self) -> &NetworkConfig {
+        &self.network
+    }
+
+    /// Crashes an actor: it stops receiving and sending.
+    pub fn crash(&mut self, actor: Actor) {
+        self.links.crash(actor);
+    }
+
+    /// Recovers a crashed actor.
+    pub fn recover(&mut self, actor: Actor) {
+        self.links.recover(actor);
+    }
+
+    /// Whether an actor is currently crashed.
+    pub fn is_down(&self, actor: Actor) -> bool {
+        self.links.is_down(actor)
+    }
+
+    /// Blocks traffic in both directions between two actors.
+    pub fn partition(&mut self, a: Actor, b: Actor) {
+        self.links.block_both(a, b);
+    }
+
+    /// Restores traffic in both directions between two actors.
+    pub fn heal(&mut self, a: Actor, b: Actor) {
+        self.links.unblock_both(a, b);
+    }
+
+    /// Removes every partition.
+    pub fn heal_all(&mut self) {
+        self.links.heal_all();
+    }
+
+    /// Downcasts a node to its concrete type for inspection.
+    pub fn node_as<T: 'static>(&self, actor: Actor) -> Option<&T> {
+        self.nodes
+            .get(&actor)
+            .and_then(|n| n.as_any().downcast_ref::<T>())
+    }
+
+    /// Mutable downcast of a node to its concrete type.
+    pub fn node_as_mut<T: 'static>(&mut self, actor: Actor) -> Option<&mut T> {
+        self.nodes
+            .get_mut(&actor)
+            .and_then(|n| n.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// The actors registered, in insertion order.
+    pub fn actors(&self) -> &[Actor] {
+        &self.node_order
+    }
+
+    /// Calls `on_start` on every node (in insertion order). Idempotent.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let actors = self.node_order.clone();
+        for actor in actors {
+            let mut outputs = Outputs::new();
+            {
+                let node = self.nodes.get_mut(&actor).expect("registered node");
+                let rng = self.node_rngs.get_mut(&actor).expect("node rng");
+                let mut ctx =
+                    Context::new(self.now, actor, rng, &mut self.next_timer_id, &mut outputs);
+                node.on_start(&mut ctx);
+            }
+            self.apply_outputs(actor, outputs);
+        }
+    }
+
+    /// Runs until the queue is exhausted or `deadline` is reached; the clock
+    /// ends at `deadline` (or the last event time if the queue drained first).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        if !self.started {
+            self.start();
+        }
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs for an additional duration of simulated time.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let deadline = self.now + duration;
+        self.run_until(deadline);
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let event = match self.queue.pop() {
+            Some(e) => e,
+            None => return false,
+        };
+        self.now = self.now.max(event.at);
+        self.stats.events_processed += 1;
+        let actor = event.target;
+
+        match event.payload {
+            EventPayload::Deliver { from, message } => {
+                // A crashed recipient silently loses the message.
+                if self.links.is_down(actor) {
+                    self.stats.blocked += 1;
+                    return true;
+                }
+                // CPU saturation: if the node is still busy, the message waits.
+                let busy_until = self.cpu_free.get(&actor).copied().unwrap_or(SimTime::ZERO);
+                if busy_until > event.at {
+                    self.queue
+                        .push(busy_until, actor, EventPayload::Deliver { from, message });
+                    return true;
+                }
+                self.stats
+                    .record_delivery(message.kind(), message.wire_size());
+                let mut outputs = Outputs::new();
+                {
+                    let node = match self.nodes.get_mut(&actor) {
+                        Some(n) => n,
+                        None => return true,
+                    };
+                    let rng = self.node_rngs.get_mut(&actor).expect("node rng");
+                    let mut ctx =
+                        Context::new(self.now, actor, rng, &mut self.next_timer_id, &mut outputs);
+                    node.on_message(from, message, &mut ctx);
+                }
+                self.apply_outputs(actor, outputs);
+            }
+            EventPayload::Timer { id, tag } => {
+                if self.cancelled.remove(&id) {
+                    self.stats.timers_cancelled += 1;
+                    return true;
+                }
+                if self.links.is_down(actor) {
+                    return true;
+                }
+                self.stats.timers_fired += 1;
+                let mut outputs = Outputs::new();
+                {
+                    let node = match self.nodes.get_mut(&actor) {
+                        Some(n) => n,
+                        None => return true,
+                    };
+                    let rng = self.node_rngs.get_mut(&actor).expect("node rng");
+                    let mut ctx =
+                        Context::new(self.now, actor, rng, &mut self.next_timer_id, &mut outputs);
+                    node.on_timer(id, tag, &mut ctx);
+                }
+                self.apply_outputs(actor, outputs);
+            }
+        }
+        true
+    }
+
+    /// Number of events still pending.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Turns a handler's buffered effects into future events.
+    fn apply_outputs(&mut self, from: Actor, outputs: Outputs<M>) {
+        // CPU charge: the node is busy for `cpu` after this handler.
+        if outputs.cpu > SimDuration::ZERO {
+            let free = self.cpu_free.entry(from).or_insert(SimTime::ZERO);
+            let base = (*free).max(self.now);
+            *free = base + outputs.cpu;
+        }
+
+        // Timer cancellations.
+        for id in outputs.cancels {
+            self.cancelled.insert(id);
+        }
+
+        // Timers.
+        for (id, delay, tag) in outputs.timers {
+            self.queue
+                .push(self.now + delay, from, EventPayload::Timer { id, tag });
+        }
+
+        // Message sends: NIC serialization + propagation latency.
+        for (to, message) in outputs.sends {
+            self.stats.sent_total += 1;
+            if !self.links.can_deliver(from, to) {
+                self.stats.blocked += 1;
+                continue;
+            }
+            if self.network.should_drop(&mut self.net_rng) {
+                self.stats.dropped += 1;
+                continue;
+            }
+            let serialization = self.network.serialization_delay(message.wire_size());
+            let nic = self.nic_free.entry(from).or_insert(SimTime::ZERO);
+            let departure = (*nic).max(self.now) + serialization;
+            *nic = departure;
+            let latency = self.network.propagation_delay(&mut self.net_rng);
+            let arrival = departure + latency;
+            self.queue
+                .push(arrival, to, EventPayload::Deliver { from, message });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::LatencyModel;
+    use prestige_types::ServerId;
+    use std::any::Any;
+
+    /// A tiny ping-pong protocol used to exercise the runtime.
+    #[derive(Debug, Clone)]
+    enum PingMsg {
+        Ping(u64),
+        Pong(u64),
+    }
+
+    impl Wire for PingMsg {
+        fn wire_size(&self) -> usize {
+            64
+        }
+        fn kind(&self) -> &'static str {
+            match self {
+                PingMsg::Ping(_) => "Ping",
+                PingMsg::Pong(_) => "Pong",
+            }
+        }
+    }
+
+    struct Pinger {
+        peer: Actor,
+        rounds: u64,
+        completed: u64,
+        tick_count: u64,
+    }
+
+    impl Process<PingMsg> for Pinger {
+        fn on_start(&mut self, ctx: &mut Context<PingMsg>) {
+            ctx.send(self.peer, PingMsg::Ping(0));
+            ctx.set_timer(SimDuration::from_ms(1000.0), 1);
+        }
+        fn on_message(&mut self, from: Actor, message: PingMsg, ctx: &mut Context<PingMsg>) {
+            if let PingMsg::Pong(i) = message {
+                self.completed = i + 1;
+                if i + 1 < self.rounds {
+                    ctx.send(from, PingMsg::Ping(i + 1));
+                }
+            }
+        }
+        fn on_timer(&mut self, _id: TimerId, tag: u64, _ctx: &mut Context<PingMsg>) {
+            if tag == 1 {
+                self.tick_count += 1;
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    struct Ponger {
+        cpu_ms: f64,
+    }
+
+    impl Process<PingMsg> for Ponger {
+        fn on_message(&mut self, from: Actor, message: PingMsg, ctx: &mut Context<PingMsg>) {
+            if let PingMsg::Ping(i) = message {
+                ctx.charge_cpu_ms(self.cpu_ms);
+                ctx.send(from, PingMsg::Pong(i));
+            }
+        }
+        fn on_timer(&mut self, _id: TimerId, _tag: u64, _ctx: &mut Context<PingMsg>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn s(i: u32) -> Actor {
+        Actor::Server(ServerId(i))
+    }
+
+    fn build(seed: u64, rounds: u64, cpu_ms: f64) -> Simulation<PingMsg> {
+        let net = NetworkConfig {
+            latency: LatencyModel::Constant { ms: 1.0 },
+            bandwidth_bytes_per_sec: f64::INFINITY,
+            drop_probability: 0.0,
+        };
+        let mut sim = Simulation::new(seed, net);
+        sim.add_node(
+            s(0),
+            Box::new(Pinger {
+                peer: s(1),
+                rounds,
+                completed: 0,
+                tick_count: 0,
+            }),
+        );
+        sim.add_node(s(1), Box::new(Ponger { cpu_ms }));
+        sim
+    }
+
+    #[test]
+    fn ping_pong_completes_all_rounds() {
+        let mut sim = build(1, 10, 0.0);
+        sim.run_until(SimTime::from_ms(100.0));
+        let pinger: &Pinger = sim.node_as(s(0)).unwrap();
+        assert_eq!(pinger.completed, 10);
+        assert_eq!(sim.stats().delivered("Ping"), 10);
+        assert_eq!(sim.stats().delivered("Pong"), 10);
+    }
+
+    #[test]
+    fn timer_fires_and_clock_advances_to_deadline() {
+        let mut sim = build(1, 1, 0.0);
+        sim.run_until(SimTime::from_ms(2500.0));
+        let pinger: &Pinger = sim.node_as(s(0)).unwrap();
+        assert_eq!(pinger.tick_count, 1);
+        assert_eq!(sim.now(), SimTime::from_ms(2500.0));
+        assert!(sim.stats().timers_fired >= 1);
+    }
+
+    #[test]
+    fn same_seed_same_outcome() {
+        let mut a = build(7, 50, 0.1);
+        let mut b = build(7, 50, 0.1);
+        a.run_until(SimTime::from_ms(500.0));
+        b.run_until(SimTime::from_ms(500.0));
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn cpu_cost_slows_down_processing() {
+        let mut fast = build(1, 100, 0.0);
+        let mut slow = build(1, 100, 5.0);
+        fast.run_until(SimTime::from_ms(300.0));
+        slow.run_until(SimTime::from_ms(300.0));
+        let fast_done = fast.node_as::<Pinger>(s(0)).unwrap().completed;
+        let slow_done = slow.node_as::<Pinger>(s(0)).unwrap().completed;
+        assert_eq!(fast_done, 100);
+        assert!(
+            slow_done < 70,
+            "5 ms CPU per round should cap progress well below 100, got {slow_done}"
+        );
+    }
+
+    #[test]
+    fn crashed_node_stops_responding() {
+        let mut sim = build(1, 100, 0.0);
+        sim.start();
+        sim.run_until(SimTime::from_ms(10.0));
+        sim.crash(s(1));
+        let before = sim.node_as::<Pinger>(s(0)).unwrap().completed;
+        sim.run_until(SimTime::from_ms(100.0));
+        let after = sim.node_as::<Pinger>(s(0)).unwrap().completed;
+        assert!(sim.is_down(s(1)));
+        // At most one in-flight pong can arrive after the crash point.
+        assert!(after <= before + 1);
+        assert!(sim.stats().blocked > 0);
+    }
+
+    #[test]
+    fn partition_blocks_and_heal_restores() {
+        let mut sim = build(1, 1000, 0.0);
+        sim.start();
+        sim.partition(s(0), s(1));
+        sim.run_until(SimTime::from_ms(50.0));
+        assert_eq!(sim.node_as::<Pinger>(s(0)).unwrap().completed, 0);
+        sim.heal(s(0), s(1));
+        // The ping was lost during the partition; nothing restarts it in this
+        // toy protocol, so just confirm the link state works.
+        assert!(sim.stats().blocked > 0);
+        sim.heal_all();
+    }
+
+    #[test]
+    fn dropped_messages_are_counted() {
+        let net = NetworkConfig {
+            latency: LatencyModel::Constant { ms: 1.0 },
+            bandwidth_bytes_per_sec: f64::INFINITY,
+            drop_probability: 1.0,
+        };
+        let mut sim = Simulation::new(3, net);
+        sim.add_node(
+            s(0),
+            Box::new(Pinger {
+                peer: s(1),
+                rounds: 5,
+                completed: 0,
+                tick_count: 0,
+            }),
+        );
+        sim.add_node(s(1), Box::new(Ponger { cpu_ms: 0.0 }));
+        sim.run_until(SimTime::from_ms(100.0));
+        assert_eq!(sim.stats().dropped, 1);
+        assert_eq!(sim.node_as::<Pinger>(s(0)).unwrap().completed, 0);
+    }
+
+    #[test]
+    fn bandwidth_serializes_back_to_back_sends() {
+        // 64-byte messages over a 64 byte/s NIC take 1 s each to serialize.
+        let net = NetworkConfig {
+            latency: LatencyModel::Constant { ms: 0.0 },
+            bandwidth_bytes_per_sec: 64.0,
+            drop_probability: 0.0,
+        };
+        let mut sim = Simulation::new(4, net);
+        sim.add_node(
+            s(0),
+            Box::new(Pinger {
+                peer: s(1),
+                rounds: 3,
+                completed: 0,
+                tick_count: 0,
+            }),
+        );
+        sim.add_node(s(1), Box::new(Ponger { cpu_ms: 0.0 }));
+        sim.run_until(SimTime::from_secs(2.5));
+        // Round trips now cost ~2 s of serialization each; only the first can
+        // finish by 2.5 s.
+        assert_eq!(sim.node_as::<Pinger>(s(0)).unwrap().completed, 1);
+    }
+
+    #[test]
+    fn actors_and_pending_events_reporting() {
+        let mut sim = build(1, 1, 0.0);
+        assert_eq!(sim.actors(), &[s(0), s(1)]);
+        sim.start();
+        assert!(sim.pending_events() > 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Network and execution statistics collected by the runtime.
+//!
+//! The counters feed the experiment reports: per-message-kind counts show the
+//! message-complexity difference between protocols, byte counts feed the
+//! bandwidth discussion (e.g. quiet faulty servers freeing bandwidth in
+//! Figure 9), and drop/blocked counts validate fault-injection scenarios.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregated statistics for one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Messages delivered, per message kind.
+    pub delivered_by_kind: BTreeMap<String, u64>,
+    /// Bytes delivered, per message kind.
+    pub bytes_by_kind: BTreeMap<String, u64>,
+    /// Total messages sent (including dropped/blocked).
+    pub sent_total: u64,
+    /// Messages dropped by the loss model.
+    pub dropped: u64,
+    /// Messages suppressed by partitions or crashed endpoints.
+    pub blocked: u64,
+    /// Timer events fired.
+    pub timers_fired: u64,
+    /// Timer events discarded because they were cancelled.
+    pub timers_cancelled: u64,
+    /// Total events processed.
+    pub events_processed: u64,
+}
+
+impl NetStats {
+    /// Records a successful delivery of a message of `kind` and `size` bytes.
+    pub fn record_delivery(&mut self, kind: &str, size: usize) {
+        *self.delivered_by_kind.entry(kind.to_string()).or_insert(0) += 1;
+        *self.bytes_by_kind.entry(kind.to_string()).or_insert(0) += size as u64;
+    }
+
+    /// Total messages delivered across all kinds.
+    pub fn delivered_total(&self) -> u64 {
+        self.delivered_by_kind.values().sum()
+    }
+
+    /// Total bytes delivered across all kinds.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_by_kind.values().sum()
+    }
+
+    /// Delivered message count for one kind.
+    pub fn delivered(&self, kind: &str) -> u64 {
+        self.delivered_by_kind.get(kind).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut s = NetStats::default();
+        s.record_delivery("Ord", 100);
+        s.record_delivery("Ord", 150);
+        s.record_delivery("Cmt", 50);
+        assert_eq!(s.delivered("Ord"), 2);
+        assert_eq!(s.delivered("Cmt"), 1);
+        assert_eq!(s.delivered("VoteCP"), 0);
+        assert_eq!(s.delivered_total(), 3);
+        assert_eq!(s.bytes_total(), 300);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let s = NetStats::default();
+        assert_eq!(s.delivered_total(), 0);
+        assert_eq!(s.bytes_total(), 0);
+        assert_eq!(s.sent_total, 0);
+    }
+}

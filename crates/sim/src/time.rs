@@ -1,0 +1,185 @@
+//! Virtual time: instants and durations with nanosecond resolution.
+//!
+//! All experiment parameters in the paper are given in milliseconds or
+//! seconds; the conversion helpers keep the protocol code readable
+//! (`SimDuration::from_ms(800.0)`) while the simulator operates on integer
+//! nanoseconds so event ordering is exact and deterministic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (nanoseconds since simulation start).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time (nanoseconds).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// This instant expressed in milliseconds.
+    pub fn as_ms(&self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// This instant expressed in seconds.
+    pub fn as_secs(&self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Constructs an instant from milliseconds.
+    pub fn from_ms(ms: f64) -> Self {
+        SimTime((ms.max(0.0) * 1_000_000.0) as u64)
+    }
+
+    /// Constructs an instant from seconds.
+    pub fn from_secs(secs: f64) -> Self {
+        SimTime((secs.max(0.0) * 1_000_000_000.0) as u64)
+    }
+
+    /// Duration elapsed since `earlier` (saturating at zero).
+    pub fn since(&self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Constructs a duration from milliseconds.
+    pub fn from_ms(ms: f64) -> Self {
+        SimDuration((ms.max(0.0) * 1_000_000.0) as u64)
+    }
+
+    /// Constructs a duration from seconds.
+    pub fn from_secs(secs: f64) -> Self {
+        SimDuration((secs.max(0.0) * 1_000_000_000.0) as u64)
+    }
+
+    /// Constructs a duration from microseconds.
+    pub fn from_us(us: f64) -> Self {
+        SimDuration((us.max(0.0) * 1_000.0) as u64)
+    }
+
+    /// This duration in milliseconds.
+    pub fn as_ms(&self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// This duration in seconds.
+    pub fn as_secs(&self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating multiplication by a non-negative factor.
+    pub fn mul_f64(&self, factor: f64) -> SimDuration {
+        SimDuration((self.0 as f64 * factor.max(0.0)) as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_ms())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_ms())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let t = SimTime::from_ms(1.5);
+        assert!((t.as_ms() - 1.5).abs() < 1e-9);
+        let d = SimDuration::from_secs(2.0);
+        assert!((d.as_secs() - 2.0).abs() < 1e-9);
+        assert!((SimDuration::from_us(250.0).as_ms() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ms(10.0) + SimDuration::from_ms(5.0);
+        assert!((t.as_ms() - 15.0).abs() < 1e-9);
+        let d = SimTime::from_ms(15.0) - SimTime::from_ms(10.0);
+        assert!((d.as_ms() - 5.0).abs() < 1e-9);
+        // Subtraction saturates rather than wrapping.
+        let d = SimTime::from_ms(1.0) - SimTime::from_ms(5.0);
+        assert_eq!(d, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn negative_inputs_clamp_to_zero() {
+        assert_eq!(SimDuration::from_ms(-3.0), SimDuration::ZERO);
+        assert_eq!(SimTime::from_secs(-1.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        assert!(SimTime::from_ms(1.0) < SimTime::from_ms(2.0));
+        assert!(SimDuration::from_ms(1.0) < SimDuration::from_ms(1.001));
+    }
+
+    #[test]
+    fn mul_f64_scales() {
+        let d = SimDuration::from_ms(10.0).mul_f64(2.5);
+        assert!((d.as_ms() - 25.0).abs() < 1e-9);
+        assert_eq!(SimDuration::from_ms(10.0).mul_f64(-1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn since_and_display() {
+        let a = SimTime::from_ms(3.0);
+        let b = SimTime::from_ms(10.0);
+        assert!((b.since(a).as_ms() - 7.0).abs() < 1e-9);
+        assert_eq!(a.since(b), SimDuration::ZERO);
+        assert_eq!(format!("{}", SimTime::from_ms(1.0)), "1.000ms");
+    }
+}

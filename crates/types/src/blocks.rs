@@ -1,0 +1,270 @@
+//! Consensus block types: `txBlock` and `vcBlock` (Figure 3 of the paper).
+//!
+//! Both block kinds are deterministic consensus results. A `TxBlock` records
+//! the outcome of one replication instance (a batch of transactions, the
+//! ordering and commit quorum certificates, and chain pointers). A `VcBlock`
+//! records the outcome of one view-change instance (the elected leader, the
+//! confirmation and election QCs, and the *reputation fragment*: the per-server
+//! reputation penalty map `rp` and compensation index map `ci`).
+
+use crate::ids::{SeqNum, ServerId, View};
+use crate::qc::QuorumCertificate;
+use crate::transaction::{Digest, Transaction};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Chain pointers shared by both block kinds: the digest of this block and of
+/// its predecessor ("addresses of this block and the previous block").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct BlockHeader {
+    /// Digest identifying this block.
+    pub digest: Digest,
+    /// Digest of the previous block of the same kind (`Digest::ZERO` for the
+    /// genesis block).
+    pub prev_digest: Digest,
+}
+
+/// A transaction block — the result of one replication consensus instance
+/// ("TX consensus" in Figure 3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxBlock {
+    /// Chain pointers.
+    pub header: BlockHeader,
+    /// View in which the block was committed.
+    pub view: View,
+    /// Block index (sequence number).
+    pub n: SeqNum,
+    /// The batch of transactions contained in this block; `tx.len()` is the
+    /// batch size β.
+    pub tx: Vec<Transaction>,
+    /// Per-transaction consensus result (the paper models this as a Boolean
+    /// list parallel to `tx`).
+    pub status: Vec<bool>,
+    /// QC collected for the ordering action (phase 1).
+    pub ordering_qc: Option<QuorumCertificate>,
+    /// QC collected for the commit action (phase 2).
+    pub commit_qc: Option<QuorumCertificate>,
+}
+
+impl TxBlock {
+    /// The genesis transaction block: sequence number 0, empty batch. Having
+    /// a genesis block means `ti` (the latest committed sequence number) is
+    /// always defined.
+    pub fn genesis() -> Self {
+        TxBlock {
+            header: BlockHeader::default(),
+            view: View::INITIAL,
+            n: SeqNum::ZERO,
+            tx: Vec::new(),
+            status: Vec::new(),
+            ordering_qc: None,
+            commit_qc: None,
+        }
+    }
+
+    /// Creates a block at `n` in `view` carrying `batch`.
+    pub fn new(view: View, n: SeqNum, batch: Vec<Transaction>) -> Self {
+        let status = vec![true; batch.len()];
+        TxBlock {
+            header: BlockHeader::default(),
+            view,
+            n,
+            tx: batch,
+            status,
+            ordering_qc: None,
+            commit_qc: None,
+        }
+    }
+
+    /// Number of transactions in the block.
+    pub fn batch_size(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// Serialized size in bytes (header + metadata + payloads + QCs), used by
+    /// the bandwidth model when blocks are broadcast or synced.
+    pub fn wire_size(&self) -> usize {
+        let payload: usize = self.tx.iter().map(|t| t.wire_size()).sum();
+        let qcs: usize = self.ordering_qc.as_ref().map(|q| q.wire_size()).unwrap_or(0)
+            + self.commit_qc.as_ref().map(|q| q.wire_size()).unwrap_or(0);
+        64 + 8 + 8 + payload + self.status.len() + qcs
+    }
+}
+
+/// A view-change block — the result of one view-change consensus instance
+/// ("VC consensus" in Figure 3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VcBlock {
+    /// Chain pointers.
+    pub header: BlockHeader,
+    /// The view this block installs.
+    pub v: View,
+    /// The elected leader's ID.
+    pub leader_id: ServerId,
+    /// QC collected for confirming leader failure (`conf_QC`, threshold f+1).
+    /// `None` only for the genesis vcBlock and for policy-triggered rotations
+    /// where no failure confirmation is required.
+    pub conf_qc: Option<QuorumCertificate>,
+    /// QC collected for confirming leadership legitimacy (`vc_QC`, 2f+1).
+    pub vc_qc: Option<QuorumCertificate>,
+    /// Reputation fragment: reputation penalty per server in this view.
+    pub rp: BTreeMap<ServerId, i64>,
+    /// Reputation fragment: compensation index per server (the number of
+    /// txBlocks already consumed by past compensation).
+    pub ci: BTreeMap<ServerId, u64>,
+}
+
+impl VcBlock {
+    /// The genesis view-change block for a cluster of `n` servers: view `V1`,
+    /// leader `S1`, and every server's `rp = 1`, `ci = 1` (the paper's "Init"
+    /// convention in §3 and Appendix C).
+    pub fn genesis(n: u32) -> Self {
+        let mut rp = BTreeMap::new();
+        let mut ci = BTreeMap::new();
+        for i in 0..n {
+            rp.insert(ServerId(i), 1);
+            ci.insert(ServerId(i), 1);
+        }
+        VcBlock {
+            header: BlockHeader::default(),
+            v: View::INITIAL,
+            leader_id: ServerId(0),
+            conf_qc: None,
+            vc_qc: None,
+            rp,
+            ci,
+        }
+    }
+
+    /// The reputation penalty recorded for `id` in this block (initial value 1
+    /// if the server is unknown, matching the paper's init convention).
+    pub fn rp_of(&self, id: ServerId) -> i64 {
+        self.rp.get(&id).copied().unwrap_or(1)
+    }
+
+    /// The compensation index recorded for `id` in this block (initial 1).
+    pub fn ci_of(&self, id: ServerId) -> u64 {
+        self.ci.get(&id).copied().unwrap_or(1)
+    }
+
+    /// Builds the successor vcBlock that an elected leader prepares (§4.2.4):
+    /// it inherits the previous view's reputation fragment and updates only the
+    /// elected leader's `rp` and `ci`.
+    pub fn successor(
+        &self,
+        new_view: View,
+        leader: ServerId,
+        leader_rp: i64,
+        leader_ci: u64,
+        conf_qc: Option<QuorumCertificate>,
+        vc_qc: Option<QuorumCertificate>,
+    ) -> VcBlock {
+        let mut rp = self.rp.clone();
+        let mut ci = self.ci.clone();
+        rp.insert(leader, leader_rp);
+        ci.insert(leader, leader_ci);
+        VcBlock {
+            header: BlockHeader {
+                digest: Digest::ZERO,
+                prev_digest: self.header.digest,
+            },
+            v: new_view,
+            leader_id: leader,
+            conf_qc,
+            vc_qc,
+            rp,
+            ci,
+        }
+    }
+
+    /// Checks that `other` differs from this block only in the allowed ways
+    /// (the "Receiving(newVcBlock)" validation of §4.2.4): the view advanced,
+    /// and in the reputation fragment only the new leader's `rp`/`ci` changed.
+    pub fn reputation_delta_only_for(&self, other: &VcBlock, leader: ServerId) -> bool {
+        if other.v <= self.v {
+            return false;
+        }
+        for (id, rp) in &other.rp {
+            if *id != leader && self.rp_of(*id) != *rp {
+                return false;
+            }
+        }
+        for (id, ci) in &other.ci {
+            if *id != leader && self.ci_of(*id) != *ci {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Serialized size in bytes, used by the bandwidth model.
+    pub fn wire_size(&self) -> usize {
+        let qcs: usize = self.conf_qc.as_ref().map(|q| q.wire_size()).unwrap_or(0)
+            + self.vc_qc.as_ref().map(|q| q.wire_size()).unwrap_or(0);
+        64 + 8 + 4 + qcs + self.rp.len() * 12 + self.ci.len() * 12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ClientId;
+
+    #[test]
+    fn genesis_vcblock_initializes_reputation() {
+        let g = VcBlock::genesis(4);
+        assert_eq!(g.v, View::INITIAL);
+        for i in 0..4 {
+            assert_eq!(g.rp_of(ServerId(i)), 1);
+            assert_eq!(g.ci_of(ServerId(i)), 1);
+        }
+    }
+
+    #[test]
+    fn successor_updates_only_leader_reputation() {
+        let g = VcBlock::genesis(4);
+        let next = g.successor(View(2), ServerId(0), 2, 1, None, None);
+        assert_eq!(next.rp_of(ServerId(0)), 2);
+        assert_eq!(next.rp_of(ServerId(1)), 1);
+        assert_eq!(next.header.prev_digest, g.header.digest);
+        assert!(g.reputation_delta_only_for(&next, ServerId(0)));
+    }
+
+    #[test]
+    fn reputation_delta_rejects_foreign_changes() {
+        let g = VcBlock::genesis(4);
+        let mut bad = g.successor(View(2), ServerId(0), 2, 1, None, None);
+        bad.rp.insert(ServerId(2), 9);
+        assert!(!g.reputation_delta_only_for(&bad, ServerId(0)));
+    }
+
+    #[test]
+    fn reputation_delta_rejects_stale_view() {
+        let g = VcBlock::genesis(4);
+        let same_view = g.successor(View(1), ServerId(0), 2, 1, None, None);
+        assert!(!g.reputation_delta_only_for(&same_view, ServerId(0)));
+    }
+
+    #[test]
+    fn txblock_genesis_and_batch() {
+        let g = TxBlock::genesis();
+        assert_eq!(g.n, SeqNum::ZERO);
+        assert_eq!(g.batch_size(), 0);
+
+        let batch = vec![
+            Transaction::with_size(ClientId(1), 1, 32),
+            Transaction::with_size(ClientId(2), 1, 32),
+        ];
+        let b = TxBlock::new(View(1), SeqNum(1), batch);
+        assert_eq!(b.batch_size(), 2);
+        assert!(b.status.iter().all(|s| *s));
+        assert!(b.wire_size() > 64);
+    }
+
+    #[test]
+    fn unknown_server_defaults_to_initial_reputation() {
+        let g = VcBlock::genesis(4);
+        assert_eq!(g.rp_of(ServerId(99)), 1);
+        assert_eq!(g.ci_of(ServerId(99)), 1);
+    }
+}

@@ -1,0 +1,301 @@
+//! Cluster, timeout, reputation, and proof-of-work configuration.
+//!
+//! All durations in this module are expressed in **milliseconds of simulated
+//! time** (`f64`), matching the units the paper reports (timeout ranges like
+//! `[300, 600 ms]`, netem delays of `10 ± 5 ms`, rotation policies of 10 / 30
+//! seconds). The simulator converts them into its internal tick representation.
+
+use crate::ids::ReplicaSet;
+use serde::{Deserialize, Serialize};
+
+/// Timer configuration for failure detection and elections (§4.2.1, §6.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeoutConfig {
+    /// Lower bound of the randomized follower/candidate timeout (ms).
+    pub base_timeout_ms: f64,
+    /// Amount of randomization ε added on top of the base timeout (ms); the
+    /// effective timeout is drawn uniformly from `[base, base + randomization]`.
+    pub randomization_ms: f64,
+    /// How long a client waits for `f + 1` Notifs before complaining (ms).
+    pub client_timeout_ms: f64,
+    /// How long a follower waits for the leader to commit a complained-about
+    /// transaction before broadcasting `ConfVC` (ms).
+    pub complaint_grace_ms: f64,
+}
+
+impl Default for TimeoutConfig {
+    fn default() -> Self {
+        // The paper's §6.2 setting: timeouts drawn from [800, 1200] ms,
+        // 1 s client patience.
+        TimeoutConfig {
+            base_timeout_ms: 800.0,
+            randomization_ms: 400.0,
+            client_timeout_ms: 1000.0,
+            complaint_grace_ms: 300.0,
+        }
+    }
+}
+
+impl TimeoutConfig {
+    /// The paper's normal-operation example range `[300, 600] ms` for Δ=30 ms.
+    pub fn fast() -> Self {
+        TimeoutConfig {
+            base_timeout_ms: 300.0,
+            randomization_ms: 300.0,
+            client_timeout_ms: 400.0,
+            complaint_grace_ms: 100.0,
+        }
+    }
+}
+
+/// Reputation engine configuration (§3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReputationConfig {
+    /// The constant `Cδ` of Eq. 4 adjusting the effect of δtx·δvc.
+    pub c_delta: f64,
+    /// Initial reputation penalty (`rp(1) = 1`).
+    pub initial_rp: i64,
+    /// Initial compensation index (`ci = 1`).
+    pub initial_ci: u64,
+    /// Refresh threshold π (§4.2.5): once at least f+1 servers exceed this
+    /// penalty, a refresh may be initiated.
+    pub refresh_threshold_pi: i64,
+    /// Whether the refresh mechanism is enabled.
+    pub refresh_enabled: bool,
+}
+
+impl Default for ReputationConfig {
+    fn default() -> Self {
+        ReputationConfig {
+            c_delta: 1.0,
+            initial_rp: 1,
+            initial_ci: 1,
+            refresh_threshold_pi: 8,
+            refresh_enabled: true,
+        }
+    }
+}
+
+/// How the proof-of-work reputation puzzle is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PowMode {
+    /// Actually iterate SHA-256 until the required prefix is found. The
+    /// difficulty unit is `bits_per_unit` leading zero *bits* per point of
+    /// `rp` (the paper uses 8 bits — one byte — per point; tests use smaller
+    /// units so they finish quickly).
+    Real {
+        /// Leading-zero bits required per unit of reputation penalty.
+        bits_per_unit: u32,
+    },
+    /// Model the solve time instead of burning CPU: the number of attempts is
+    /// drawn from the geometric distribution with success probability
+    /// `2^-(8·rp)` and divided by `hash_rate` (hashes per second of simulated
+    /// time) to obtain a duration. This is the mode cluster experiments use;
+    /// it reproduces Figure 12's exponential attacker cost without hours of
+    /// real CPU time.
+    Modeled {
+        /// Simulated hashing throughput in hashes per second.
+        hash_rate: f64,
+    },
+}
+
+/// Proof-of-work configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowConfig {
+    /// Execution mode (real or modeled).
+    pub mode: PowMode,
+    /// Upper bound on modeled solve time (ms); `None` means unbounded. Used by
+    /// experiments that only need to know "the attacker can no longer afford
+    /// this" rather than simulating hours.
+    pub max_solve_ms: Option<f64>,
+}
+
+impl Default for PowConfig {
+    fn default() -> Self {
+        PowConfig {
+            // 10^7 hashes/s roughly matches a single core of the paper's
+            // 2.40 GHz Skylake VMs running SHA-256.
+            mode: PowMode::Modeled { hash_rate: 1.0e7 },
+            max_solve_ms: None,
+        }
+    }
+}
+
+/// When servers trigger view changes beyond failure detection (§4.2.1 and the
+/// r10 / r30 policies of §6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ViewChangePolicy {
+    /// Only change views when a leader failure is confirmed.
+    OnFailureOnly,
+    /// Rotate leadership every `interval_ms` of simulated time (the paper's
+    /// timing policy; r10 = 10 000 ms, r30 = 30 000 ms).
+    Timing {
+        /// Rotation interval in milliseconds.
+        interval_ms: f64,
+    },
+    /// Change views when observed throughput falls below `min_tps`
+    /// (Aardvark-style threshold policy).
+    ThroughputThreshold {
+        /// Minimum acceptable throughput in transactions per second.
+        min_tps: f64,
+    },
+}
+
+impl ViewChangePolicy {
+    /// The paper's `r10` policy: rotate every 10 seconds.
+    pub fn r10() -> Self {
+        ViewChangePolicy::Timing {
+            interval_ms: 10_000.0,
+        }
+    }
+
+    /// The paper's `r30` policy: rotate every 30 seconds.
+    pub fn r30() -> Self {
+        ViewChangePolicy::Timing {
+            interval_ms: 30_000.0,
+        }
+    }
+}
+
+/// Full cluster configuration shared by PrestigeBFT and the baselines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// The replica set (`n`, and derived `f` and quorum sizes).
+    pub replicas: ReplicaSet,
+    /// Maximum number of transactions per txBlock (batch size β).
+    pub batch_size: usize,
+    /// Client payload size `m` in bytes (32 or 64 in the paper).
+    pub payload_size: usize,
+    /// Timer configuration.
+    pub timeouts: TimeoutConfig,
+    /// Reputation engine configuration.
+    pub reputation: ReputationConfig,
+    /// Proof-of-work configuration.
+    pub pow: PowConfig,
+    /// View-change policy.
+    pub policy: ViewChangePolicy,
+    /// Per-message CPU processing cost in milliseconds (signature checks,
+    /// hashing); lets the simulator model server-side compute saturation.
+    pub per_message_cpu_ms: f64,
+    /// Per-signature-verification CPU cost in milliseconds.
+    pub per_verify_cpu_ms: f64,
+}
+
+impl ClusterConfig {
+    /// A sensible default cluster of `n` servers: β=100, m=32, default timers.
+    pub fn new(n: u32) -> Self {
+        ClusterConfig {
+            replicas: ReplicaSet::new(n),
+            batch_size: 100,
+            payload_size: 32,
+            timeouts: TimeoutConfig::default(),
+            reputation: ReputationConfig::default(),
+            pow: PowConfig::default(),
+            policy: ViewChangePolicy::OnFailureOnly,
+            per_message_cpu_ms: 0.002,
+            per_verify_cpu_ms: 0.01,
+        }
+    }
+
+    /// Convenience accessor for `f`.
+    pub fn f(&self) -> u32 {
+        self.replicas.f()
+    }
+
+    /// Convenience accessor for `n`.
+    pub fn n(&self) -> u32 {
+        self.replicas.n()
+    }
+
+    /// Convenience accessor for the 2f+1 quorum.
+    pub fn quorum(&self) -> u32 {
+        self.replicas.quorum()
+    }
+
+    /// Builder-style setter for the batch size β.
+    pub fn with_batch_size(mut self, beta: usize) -> Self {
+        self.batch_size = beta;
+        self
+    }
+
+    /// Builder-style setter for the payload size m.
+    pub fn with_payload_size(mut self, m: usize) -> Self {
+        self.payload_size = m;
+        self
+    }
+
+    /// Builder-style setter for the view-change policy.
+    pub fn with_policy(mut self, policy: ViewChangePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builder-style setter for the timeout configuration.
+    pub fn with_timeouts(mut self, timeouts: TimeoutConfig) -> Self {
+        self.timeouts = timeouts;
+        self
+    }
+
+    /// Builder-style setter for the PoW configuration.
+    pub fn with_pow(mut self, pow: PowConfig) -> Self {
+        self.pow = pow;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cluster_config_quorums() {
+        let c = ClusterConfig::new(4);
+        assert_eq!(c.f(), 1);
+        assert_eq!(c.quorum(), 3);
+        assert_eq!(c.n(), 4);
+    }
+
+    #[test]
+    fn builder_setters_compose() {
+        let c = ClusterConfig::new(16)
+            .with_batch_size(3000)
+            .with_payload_size(64)
+            .with_policy(ViewChangePolicy::r10());
+        assert_eq!(c.batch_size, 3000);
+        assert_eq!(c.payload_size, 64);
+        assert_eq!(
+            c.policy,
+            ViewChangePolicy::Timing {
+                interval_ms: 10_000.0
+            }
+        );
+    }
+
+    #[test]
+    fn timeout_defaults_match_paper_ranges() {
+        let t = TimeoutConfig::default();
+        assert_eq!(t.base_timeout_ms, 800.0);
+        assert_eq!(t.base_timeout_ms + t.randomization_ms, 1200.0);
+        let fast = TimeoutConfig::fast();
+        assert_eq!(fast.base_timeout_ms, 300.0);
+        assert_eq!(fast.base_timeout_ms + fast.randomization_ms, 600.0);
+    }
+
+    #[test]
+    fn policies() {
+        assert_eq!(
+            ViewChangePolicy::r30(),
+            ViewChangePolicy::Timing {
+                interval_ms: 30_000.0
+            }
+        );
+    }
+
+    #[test]
+    fn reputation_defaults_match_paper_init() {
+        let r = ReputationConfig::default();
+        assert_eq!(r.initial_rp, 1);
+        assert_eq!(r.initial_ci, 1);
+        assert_eq!(r.c_delta, 1.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Identifier newtypes: servers, clients, views, and sequence numbers.
+//!
+//! The paper identifies servers as `S1..Sn`, views as monotonically increasing
+//! integers (`V1, V2, ...`), and replicated transaction blocks by a sequence
+//! number (`T1, T2, ...`). All of these are thin wrappers over integers with
+//! the arithmetic the protocol actually needs, so that mixing them up is a
+//! compile-time error rather than a consensus bug.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a consensus server (replica).
+///
+/// Servers are numbered from `0` internally; the `Display` impl renders them
+/// as `S1..Sn` to match the paper's notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ServerId(pub u32);
+
+impl ServerId {
+    /// Returns the zero-based index of this server, useful for indexing
+    /// per-server vectors.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0 + 1)
+    }
+}
+
+impl From<u32> for ServerId {
+    fn from(v: u32) -> Self {
+        ServerId(v)
+    }
+}
+
+/// Identifier of a client issuing proposals to the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClientId(pub u64);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// A view number.
+///
+/// Views increase monotonically; each view has at most one leader. The paper
+/// starts counting at `V1`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct View(pub u64);
+
+impl View {
+    /// The initial view of the system, `V1` in the paper.
+    pub const INITIAL: View = View(1);
+
+    /// Returns the next view (`V + 1`).
+    pub fn next(&self) -> View {
+        View(self.0 + 1)
+    }
+
+    /// Returns the view advanced by `n`.
+    pub fn advance(&self, n: u64) -> View {
+        View(self.0 + n)
+    }
+
+    /// The difference `self - other` as a signed integer. Used by the
+    /// penalization rule (Eq. 1): the penalty increase equals the view jump.
+    pub fn delta(&self, other: View) -> i64 {
+        self.0 as i64 - other.0 as i64
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V{}", self.0)
+    }
+}
+
+impl From<u64> for View {
+    fn from(v: u64) -> Self {
+        View(v)
+    }
+}
+
+/// A sequence number for replicated transaction blocks (`T#` in the paper).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SeqNum(pub u64);
+
+impl SeqNum {
+    /// The sequence number before any block has been committed.
+    pub const ZERO: SeqNum = SeqNum(0);
+
+    /// Returns the next sequence number.
+    pub fn next(&self) -> SeqNum {
+        SeqNum(self.0 + 1)
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<u64> for SeqNum {
+    fn from(v: u64) -> Self {
+        SeqNum(v)
+    }
+}
+
+/// The set of replicas participating in consensus, together with the quorum
+/// arithmetic the BFT protocols rely on (`n = 3f + 1`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaSet {
+    n: u32,
+}
+
+impl ReplicaSet {
+    /// Creates a replica set of `n` servers. `n` must be at least 1.
+    pub fn new(n: u32) -> Self {
+        assert!(n >= 1, "replica set must contain at least one server");
+        ReplicaSet { n }
+    }
+
+    /// The total number of servers `n`.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// The maximum number of Byzantine servers tolerated: `f = ⌊(n-1)/3⌋`.
+    pub fn f(&self) -> u32 {
+        (self.n - 1) / 3
+    }
+
+    /// The replication quorum size `2f + 1`.
+    pub fn quorum(&self) -> u32 {
+        2 * self.f() + 1
+    }
+
+    /// The view-change confirmation quorum size `f + 1`.
+    pub fn confirm_quorum(&self) -> u32 {
+        self.f() + 1
+    }
+
+    /// Iterates over all server identifiers in the set.
+    pub fn servers(&self) -> impl Iterator<Item = ServerId> {
+        (0..self.n).map(ServerId)
+    }
+
+    /// Returns true if `id` belongs to this replica set.
+    pub fn contains(&self, id: ServerId) -> bool {
+        id.0 < self.n
+    }
+
+    /// The leader the *passive* rotation schedule would pick for `view`
+    /// (`L = V mod n`), used by the baseline protocols.
+    pub fn rotation_leader(&self, view: View) -> ServerId {
+        ServerId((view.0 % self.n as u64) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_id_display_matches_paper_notation() {
+        assert_eq!(ServerId(0).to_string(), "S1");
+        assert_eq!(ServerId(3).to_string(), "S4");
+    }
+
+    #[test]
+    fn view_arithmetic() {
+        let v = View::INITIAL;
+        assert_eq!(v.next(), View(2));
+        assert_eq!(v.advance(4), View(5));
+        assert_eq!(View(7).delta(View(5)), 2);
+        assert_eq!(View(5).delta(View(7)), -2);
+    }
+
+    #[test]
+    fn seqnum_ordering() {
+        assert!(SeqNum(3) < SeqNum(10));
+        assert_eq!(SeqNum::ZERO.next(), SeqNum(1));
+    }
+
+    #[test]
+    fn replica_set_quorums_n4() {
+        let rs = ReplicaSet::new(4);
+        assert_eq!(rs.f(), 1);
+        assert_eq!(rs.quorum(), 3);
+        assert_eq!(rs.confirm_quorum(), 2);
+    }
+
+    #[test]
+    fn replica_set_quorums_larger_scales() {
+        for (n, f) in [(4u32, 1u32), (16, 5), (31, 10), (61, 20), (100, 33)] {
+            let rs = ReplicaSet::new(n);
+            assert_eq!(rs.f(), f, "n={n}");
+            assert_eq!(rs.quorum(), 2 * f + 1);
+            assert_eq!(rs.confirm_quorum(), f + 1);
+        }
+    }
+
+    #[test]
+    fn rotation_leader_follows_schedule() {
+        let rs = ReplicaSet::new(4);
+        assert_eq!(rs.rotation_leader(View(1)), ServerId(1));
+        assert_eq!(rs.rotation_leader(View(4)), ServerId(0));
+        assert_eq!(rs.rotation_leader(View(5)), ServerId(1));
+    }
+
+    #[test]
+    fn replica_set_iteration_and_membership() {
+        let rs = ReplicaSet::new(4);
+        let ids: Vec<_> = rs.servers().collect();
+        assert_eq!(ids, vec![ServerId(0), ServerId(1), ServerId(2), ServerId(3)]);
+        assert!(rs.contains(ServerId(3)));
+        assert!(!rs.contains(ServerId(4)));
+    }
+}

@@ -1,0 +1,36 @@
+//! # prestige-types
+//!
+//! Common protocol types shared by every crate in the PrestigeBFT reproduction:
+//!
+//! * identifiers — [`ServerId`], [`ClientId`], [`View`], [`SeqNum`] ([`ids`])
+//! * transactions and client proposals ([`transaction`])
+//! * the two consensus block kinds of the paper's Figure 3 — [`TxBlock`] and
+//!   [`VcBlock`] ([`blocks`])
+//! * quorum certificates ([`qc`])
+//! * the full protocol message vocabulary ([`message`])
+//! * cluster / timeout / reputation configuration ([`config`])
+//! * error types ([`error`])
+//!
+//! The types are deliberately protocol-agnostic: both the PrestigeBFT core
+//! (`prestige-core`) and the baseline protocols (`prestige-baselines`) build on
+//! the same vocabulary, which keeps the evaluation comparison apples-to-apples.
+
+#![warn(missing_docs)]
+
+pub mod blocks;
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod message;
+pub mod qc;
+pub mod transaction;
+
+pub use blocks::{BlockHeader, TxBlock, VcBlock};
+pub use config::{
+    ClusterConfig, PowConfig, PowMode, ReputationConfig, TimeoutConfig, ViewChangePolicy,
+};
+pub use error::{ProtocolError, Result};
+pub use ids::{ClientId, ReplicaSet, SeqNum, ServerId, View};
+pub use message::{Actor, Message, MessageKind, NetMessage, SyncKind, Wire};
+pub use qc::{PartialSig, QcKind, QuorumCertificate};
+pub use transaction::{Digest, Proposal, Transaction};

@@ -1,0 +1,141 @@
+//! Fault-injection plans: which servers misbehave and how.
+//!
+//! The paper's §6.2 scenarios pick `f` servers "arbitrarily" to perform an
+//! attack; this module makes the choice explicit and reproducible (the last
+//! `f` servers, matching the paper's Figure 13 where S6–S8 of 16 are faulty).
+
+use prestige_core::{AttackStrategy, ByzantineBehavior};
+use serde::{Deserialize, Serialize};
+
+/// A named fault-injection plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultPlan {
+    /// All servers correct.
+    None,
+    /// F1: `count` servers mimic correct servers' timeouts.
+    TimeoutAttack {
+        /// Number of faulty servers.
+        count: u32,
+    },
+    /// F2: `count` quiet servers.
+    Quiet {
+        /// Number of faulty servers.
+        count: u32,
+    },
+    /// F3: `count` equivocating servers.
+    Equivocate {
+        /// Number of faulty servers.
+        count: u32,
+    },
+    /// F4 + F2 under the given strategy.
+    RepeatedVcQuiet {
+        /// Number of faulty servers.
+        count: u32,
+        /// Attack timing strategy (S1 / S2).
+        strategy: AttackStrategy,
+    },
+    /// F4 + F3 under the given strategy.
+    RepeatedVcEquivocate {
+        /// Number of faulty servers.
+        count: u32,
+        /// Attack timing strategy (S1 / S2).
+        strategy: AttackStrategy,
+    },
+}
+
+impl FaultPlan {
+    /// The number of faulty servers this plan injects.
+    pub fn count(&self) -> u32 {
+        match self {
+            FaultPlan::None => 0,
+            FaultPlan::TimeoutAttack { count }
+            | FaultPlan::Quiet { count }
+            | FaultPlan::Equivocate { count }
+            | FaultPlan::RepeatedVcQuiet { count, .. }
+            | FaultPlan::RepeatedVcEquivocate { count, .. } => *count,
+        }
+    }
+
+    /// The per-server behaviour vector for a cluster of `n` servers. Faulty
+    /// servers are the last `count` servers, so the initial leader (S1) starts
+    /// correct — matching the paper's setups.
+    pub fn behaviors(&self, n: u32) -> Vec<ByzantineBehavior> {
+        let count = self.count().min(n);
+        let behavior = match self {
+            FaultPlan::None => ByzantineBehavior::Correct,
+            FaultPlan::TimeoutAttack { .. } => ByzantineBehavior::TimeoutAttack,
+            FaultPlan::Quiet { .. } => ByzantineBehavior::Quiet,
+            FaultPlan::Equivocate { .. } => ByzantineBehavior::Equivocate,
+            FaultPlan::RepeatedVcQuiet { strategy, .. } => {
+                ByzantineBehavior::RepeatedVcQuiet(*strategy)
+            }
+            FaultPlan::RepeatedVcEquivocate { strategy, .. } => {
+                ByzantineBehavior::RepeatedVcEquivocate(*strategy)
+            }
+        };
+        (0..n)
+            .map(|i| {
+                if i >= n - count {
+                    behavior
+                } else {
+                    ByzantineBehavior::Correct
+                }
+            })
+            .collect()
+    }
+
+    /// Short suffix used in scenario names (`quiet`, `equiv`, ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultPlan::None => "none",
+            FaultPlan::TimeoutAttack { .. } => "timeout",
+            FaultPlan::Quiet { .. } => "quiet",
+            FaultPlan::Equivocate { .. } => "equiv",
+            FaultPlan::RepeatedVcQuiet { .. } => "vc_quiet",
+            FaultPlan::RepeatedVcEquivocate { .. } => "vc_equiv",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_all_correct() {
+        let b = FaultPlan::None.behaviors(4);
+        assert!(b.iter().all(|x| !x.is_faulty()));
+        assert_eq!(FaultPlan::None.count(), 0);
+    }
+
+    #[test]
+    fn faulty_servers_are_the_last_ones() {
+        let plan = FaultPlan::Quiet { count: 3 };
+        let b = plan.behaviors(16);
+        assert_eq!(b.len(), 16);
+        assert!(!b[0].is_faulty(), "initial leader stays correct");
+        assert!(b[13].is_faulty() && b[14].is_faulty() && b[15].is_faulty());
+        assert_eq!(b.iter().filter(|x| x.is_faulty()).count(), 3);
+    }
+
+    #[test]
+    fn count_is_clamped_to_cluster_size() {
+        let plan = FaultPlan::Equivocate { count: 10 };
+        assert_eq!(plan.behaviors(4).len(), 4);
+        assert_eq!(plan.behaviors(4).iter().filter(|x| x.is_faulty()).count(), 4);
+    }
+
+    #[test]
+    fn repeated_vc_plans_carry_strategy() {
+        let plan = FaultPlan::RepeatedVcQuiet {
+            count: 1,
+            strategy: AttackStrategy::WhenCompensable,
+        };
+        let b = plan.behaviors(4);
+        assert_eq!(
+            b[3],
+            ByzantineBehavior::RepeatedVcQuiet(AttackStrategy::WhenCompensable)
+        );
+        assert_eq!(plan.label(), "vc_quiet");
+    }
+}

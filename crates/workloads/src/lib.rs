@@ -1,0 +1,14 @@
+//! # prestige-workloads
+//!
+//! Workload and scenario descriptions for the evaluation: how many client
+//! processes, how many requests each keeps in flight, the payload size `m`,
+//! and which fault pattern is injected. The experiment harness
+//! (`prestige-experiments`) turns these descriptions into concrete clusters.
+
+#![warn(missing_docs)]
+
+pub mod fault_plan;
+pub mod spec;
+
+pub use fault_plan::FaultPlan;
+pub use spec::{ProtocolChoice, ScenarioSpec, WorkloadSpec};

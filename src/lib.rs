@@ -1,0 +1,75 @@
+//! # prestigebft
+//!
+//! A from-scratch Rust reproduction of **PrestigeBFT** — the leader-based BFT
+//! consensus algorithm with *active*, reputation-driven view changes
+//! (Zhang, Pan, Tijanic, Jacobsen; ICDE 2024).
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! * [`core`] (`prestige-core`) — the PrestigeBFT server, client, Byzantine
+//!   behaviours, pacemaker, and block store;
+//! * [`reputation`] (`prestige-reputation`) — the reputation engine
+//!   (Algorithm 1: penalization + compensation, penalty refresh);
+//! * [`crypto`] (`prestige-crypto`) — SHA-256, keyed signatures, threshold
+//!   quorum certificates, the reputation proof-of-work puzzle;
+//! * [`sim`] (`prestige-sim`) — the deterministic discrete-event cluster
+//!   simulator that stands in for the paper's VM testbed;
+//! * [`baselines`] (`prestige-baselines`) — HotStuff-style / SBFT-lite /
+//!   Prosecutor-lite passive-view-change baselines;
+//! * [`types`], [`workloads`], [`metrics`], [`experiments`] — shared types,
+//!   workload/fault plans, measurement tools, and the harness that regenerates
+//!   every figure of the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use prestigebft::prelude::*;
+//!
+//! // A 4-server PrestigeBFT cluster plus one client on the simulator.
+//! let config = ClusterConfig::new(4).with_batch_size(50);
+//! let registry = KeyRegistry::new(7, 4, 1);
+//! let mut sim: Simulation<Message> = Simulation::new(7, NetworkConfig::lan());
+//! for i in 0..4 {
+//!     let server = PrestigeServer::new(ServerId(i), config.clone(), registry.clone(), 7);
+//!     sim.add_node(Actor::Server(ServerId(i)), Box::new(server));
+//! }
+//! let client_cfg = ClientConfig::new(ClientId(0), config.replicas.clone(), 32, 50);
+//! sim.add_node(
+//!     Actor::Client(ClientId(0)),
+//!     Box::new(PrestigeClient::new(client_cfg, &registry)),
+//! );
+//!
+//! // Run two simulated seconds and inspect the committed state.
+//! sim.run_until(SimTime::from_secs(2.0));
+//! let server: &PrestigeServer = sim.node_as(Actor::Server(ServerId(0))).unwrap();
+//! assert!(server.stats().committed_tx > 0);
+//! ```
+
+pub use prestige_baselines as baselines;
+pub use prestige_core as core;
+pub use prestige_crypto as crypto;
+pub use prestige_experiments as experiments;
+pub use prestige_metrics as metrics;
+pub use prestige_reputation as reputation;
+pub use prestige_sim as sim;
+pub use prestige_types as types;
+pub use prestige_workloads as workloads;
+
+/// The most commonly used items, re-exported flat for examples and tests.
+pub mod prelude {
+    pub use prestige_baselines::{BaselineProtocol, PassiveBftServer};
+    pub use prestige_core::{
+        AttackStrategy, ByzantineBehavior, ClientConfig, PrestigeClient, PrestigeServer,
+        ServerRole,
+    };
+    pub use prestige_crypto::{KeyRegistry, PowPuzzle, PowSolver, Sha256};
+    pub use prestige_experiments::{all_experiments, ExperimentConfig, Scale};
+    pub use prestige_metrics::{LatencyStats, Table};
+    pub use prestige_reputation::{CalcRpInput, ReputationEngine};
+    pub use prestige_sim::{NetworkConfig, SimDuration, SimTime, Simulation};
+    pub use prestige_types::{
+        Actor, ClientId, ClusterConfig, Message, ReplicaSet, SeqNum, ServerId, TimeoutConfig,
+        View, ViewChangePolicy,
+    };
+    pub use prestige_workloads::{FaultPlan, ProtocolChoice, WorkloadSpec};
+}

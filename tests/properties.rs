@@ -1,0 +1,142 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use prestigebft::crypto::{sign_share, QcBuilder, ThresholdVerifier};
+use prestigebft::prelude::*;
+use prestigebft::reputation::{delta_tx, delta_vc, PenaltyHistory};
+use prestigebft::types::{Digest, QcKind};
+
+proptest! {
+    /// SHA-256: incremental hashing equals one-shot hashing for any chunking.
+    #[test]
+    fn sha256_incremental_equals_one_shot(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                                          chunk in 1usize..97) {
+        let one_shot = Sha256::digest(&data);
+        let mut hasher = Sha256::new();
+        for part in data.chunks(chunk) {
+            hasher.update(part);
+        }
+        prop_assert_eq!(hasher.finalize(), one_shot);
+    }
+
+    /// SHA-256 is deterministic and (practically) injective on small inputs.
+    #[test]
+    fn sha256_deterministic(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert_eq!(Sha256::digest(&data), Sha256::digest(&data));
+    }
+
+    /// Replica-set arithmetic: n = 3f + 1 clusters tolerate exactly f faults
+    /// and quorums always intersect in at least one correct server.
+    #[test]
+    fn quorum_intersection(n in 1u32..200) {
+        let rs = ReplicaSet::new(n);
+        let f = rs.f();
+        prop_assert!(3 * f + 1 <= n);
+        // Two quorums of size 2f+1 out of n ≤ 3f+3 overlap in ≥ f+1 servers
+        // when n = 3f+1; check the arithmetic identity the proofs rely on.
+        if n == 3 * f + 1 {
+            prop_assert!(2 * rs.quorum() > n + f);
+        }
+        prop_assert_eq!(rs.confirm_quorum(), f + 1);
+    }
+
+    /// Threshold QCs verify exactly when enough distinct shares were added.
+    #[test]
+    fn qc_roundtrip(n in 4u32..20, extra in 0u32..3, seed in any::<u64>()) {
+        let rs = ReplicaSet::new(n);
+        let threshold = rs.quorum();
+        let registry = KeyRegistry::new(seed, n, 0);
+        let digest = Digest(Sha256::digest(&seed.to_be_bytes()));
+        let mut builder = QcBuilder::new(QcKind::Commit, View(3), SeqNum(9), digest, threshold);
+        let signer_count = (threshold + extra).min(n);
+        for i in 0..signer_count {
+            let share = sign_share(&registry, ServerId(i), QcKind::Commit, View(3), SeqNum(9), &digest).unwrap();
+            builder.add_share(&registry, &share).unwrap();
+        }
+        let qc = builder.assemble().unwrap();
+        prop_assert!(ThresholdVerifier::new(&registry).verify(&qc, threshold).is_ok());
+        // It must not verify against a larger threshold than it has signers.
+        prop_assert!(ThresholdVerifier::new(&registry).verify(&qc, signer_count + 1).is_err());
+    }
+
+    /// Reputation: δtx and δvc stay within the paper's stated ranges for any
+    /// inputs, so the deduction is always a strict fraction of rp_temp.
+    #[test]
+    fn compensation_factors_bounded(ti in 0u64..1_000_000, ci in 0u64..1_000_000,
+                                    rp in -10i64..1000,
+                                    history in proptest::collection::vec(1i64..1000, 1..50)) {
+        let dtx = delta_tx(ti, ci);
+        prop_assert!((0.0..=1.0).contains(&dtx));
+        let dvc = delta_vc(rp, &PenaltyHistory::new(history));
+        prop_assert!(dvc > 0.0 && dvc < 1.0);
+    }
+
+    /// Reputation engine invariants (Algorithm 1): the new penalty never drops
+    /// below 1, never exceeds the penalized value, and unsuccessful histories
+    /// (no replication progress) are never compensated.
+    #[test]
+    fn calc_rp_invariants(current_rp in 1i64..50,
+                          view in 1u64..1000,
+                          jump in 1u64..10,
+                          ti in 0u64..100_000,
+                          ci in 1u64..100_000,
+                          history in proptest::collection::vec(1i64..50, 1..30)) {
+        let engine = ReputationEngine::default();
+        let out = engine.calc_rp(&CalcRpInput {
+            current_view: View(view),
+            new_view: View(view + jump),
+            current_rp,
+            current_ci: ci,
+            latest_tx_seq: SeqNum(ti),
+            penalty_history: history,
+        });
+        prop_assert!(out.new_rp >= 1);
+        prop_assert!(out.new_rp <= out.rp_temp);
+        prop_assert_eq!(out.rp_temp, current_rp + jump as i64);
+        if ti <= ci {
+            // No incremental replication progress → no compensation.
+            prop_assert_eq!(out.new_rp, out.rp_temp);
+            prop_assert_eq!(out.new_ci, ci);
+        }
+        // The compensation index never moves backwards.
+        prop_assert!(out.new_ci >= ci);
+    }
+
+    /// The PoW puzzle solver/verifier round-trips for any block digest and
+    /// small penalties (real mode, scaled difficulty).
+    #[test]
+    fn pow_roundtrip(tag in any::<[u8; 32]>(), rp in 0i64..4, seed in any::<u64>()) {
+        let solver = PowSolver::Real { bits_per_unit: 3 };
+        let puzzle = PowPuzzle::new(Digest(tag), rp);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (solution, attempts) = solver.solve(&puzzle, &mut rng);
+        prop_assert!(attempts >= 1.0);
+        prop_assert!(solver.verify(&puzzle, &solution).is_ok());
+        // A harder claim over the same solution must fail unless it happens to
+        // exceed the bound.
+        let harder = PowPuzzle::new(Digest(tag), rp + 8);
+        if solution.hash_result.leading_zero_bits() < 3 * (rp as u32 + 8) {
+            prop_assert!(solver.verify(&harder, &solution).is_err());
+        }
+    }
+
+    /// vcBlock successors only ever change the elected leader's reputation
+    /// entry, which is what the §4.2.4 adoption check enforces.
+    #[test]
+    fn vcblock_successor_changes_only_leader(n in 4u32..20, leader in 0u32..20,
+                                             rp in 1i64..20, ci in 1u64..1000) {
+        let leader = ServerId(leader % n);
+        let genesis = prestigebft::types::VcBlock::genesis(n);
+        let next = genesis.successor(View(2), leader, rp, ci, None, None);
+        prop_assert!(genesis.reputation_delta_only_for(&next, leader));
+        for i in 0..n {
+            if ServerId(i) != leader {
+                prop_assert_eq!(next.rp_of(ServerId(i)), genesis.rp_of(ServerId(i)));
+                prop_assert_eq!(next.ci_of(ServerId(i)), genesis.ci_of(ServerId(i)));
+            }
+        }
+        prop_assert_eq!(next.rp_of(leader), rp);
+    }
+}
+
+use rand::SeedableRng;
