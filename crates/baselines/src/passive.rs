@@ -11,8 +11,8 @@
 //!   before it can propose (the cost HotStuff's extra phase exists to avoid;
 //!   here it shows up directly as idle time at the start of each view).
 
-use prestige_core::{ByzantineBehavior, Pacemaker, ServerStats};
 use prestige_core::storage::{tx_block_digest, BlockStore};
+use prestige_core::{ByzantineBehavior, Pacemaker, ServerStats};
 use prestige_crypto::{hash_many, sign_share, KeyPair, KeyRegistry, QcBuilder, ThresholdVerifier};
 use prestige_sim::{Context, Process, TimerId};
 use prestige_types::{
@@ -296,8 +296,7 @@ impl PassiveBftServer {
         let digest = Self::batch_digest(view, n, &batch);
         ctx.charge_cpu_ms(0.0004 * batch.len() as f64);
 
-        let mut prepare_builder =
-            QcBuilder::new(QcKind::Ordering, view, n, digest, self.quorum());
+        let mut prepare_builder = QcBuilder::new(QcKind::Ordering, view, n, digest, self.quorum());
         if let Some(share) = sign_share(&self.registry, self.id, QcKind::Ordering, view, n, &digest)
         {
             let _ = prepare_builder.add_share(&self.registry, &share);
@@ -328,6 +327,7 @@ impl PassiveBftServer {
         );
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors the Ord message fields
     fn handle_ord(
         &mut self,
         from: Actor,
@@ -380,7 +380,15 @@ impl PassiveBftServer {
                 None => return,
             }
         };
-        ctx.send(from, Message::OrdReply { view, n, digest, share });
+        ctx.send(
+            from,
+            Message::OrdReply {
+                view,
+                n,
+                digest,
+                share,
+            },
+        );
     }
 
     fn handle_ord_reply(
@@ -402,7 +410,10 @@ impl PassiveBftServer {
             Some(i) if i.view == view && i.digest == digest && i.prepare_qc.is_none() => i,
             _ => return,
         };
-        if instance.prepare_builder.add_share(&registry, &share).is_err()
+        if instance
+            .prepare_builder
+            .add_share(&registry, &share)
+            .is_err()
             || !instance.prepare_builder.complete()
         {
             return;
@@ -483,7 +494,15 @@ impl PassiveBftServer {
                 None => return,
             }
         };
-        ctx.send(from, Message::PreCmtReply { view, n, digest, share });
+        ctx.send(
+            from,
+            Message::PreCmtReply {
+                view,
+                n,
+                digest,
+                share,
+            },
+        );
     }
 
     fn handle_pre_cmt_reply(
@@ -574,7 +593,15 @@ impl PassiveBftServer {
                 None => return,
             }
         };
-        ctx.send(from, Message::CmtReply { view, n, digest, share });
+        ctx.send(
+            from,
+            Message::CmtReply {
+                view,
+                n,
+                digest,
+                share,
+            },
+        );
     }
 
     fn handle_cmt_reply(
@@ -606,7 +633,11 @@ impl PassiveBftServer {
             .expect("commit builder present")
             .assemble()
             .expect("complete builder assembles");
-        let mut block = TxBlock::new(view, n, instance.batch.iter().map(|p| p.tx.clone()).collect());
+        let mut block = TxBlock::new(
+            view,
+            n,
+            instance.batch.iter().map(|p| p.tx.clone()).collect(),
+        );
         block.ordering_qc = instance.prepare_qc.clone();
         block.commit_qc = Some(commit_qc);
         ctx.charge_cpu_ms(self.protocol.extra_block_cpu_ms());
@@ -674,7 +705,8 @@ impl PassiveBftServer {
             committed.insert(tx.key());
             self.seen_tx.insert(tx.key());
         }
-        self.pending_proposals.retain(|p| !committed.contains(&p.tx.key()));
+        self.pending_proposals
+            .retain(|p| !committed.contains(&p.tx.key()));
         self.ordered_digests.remove(&block.n.0);
         // If we were syncing up as an incoming leader, check whether we are
         // caught up now.
@@ -734,7 +766,12 @@ impl PassiveBftServer {
         };
         if scheduled == self.id {
             // Deliver to ourselves directly.
-            self.handle_new_view(target, self.store.latest_seq(), message_share(&message), ctx);
+            self.handle_new_view(
+                target,
+                self.store.latest_seq(),
+                message_share(&message),
+                ctx,
+            );
         } else {
             ctx.send(Actor::Server(scheduled), message);
         }
@@ -937,7 +974,10 @@ impl Process<Message> for PassiveBftServer {
                 share,
             } => self.handle_ord_reply(view, n, digest, share, ctx),
             Message::PreCmt {
-                view, n, prepare_qc, ..
+                view,
+                n,
+                prepare_qc,
+                ..
             } => self.handle_pre_cmt(from, view, n, prepare_qc, ctx),
             Message::PreCmtReply {
                 view,
@@ -966,11 +1006,11 @@ impl Process<Message> for PassiveBftServer {
             Message::NewViewAnnounce {
                 view, new_view_qc, ..
             } => self.handle_new_view_announce(from, view, new_view_qc, ctx),
-            Message::SyncReq { from: lo, to, kind } => {
-                if kind == SyncKind::Transaction {
-                    self.handle_sync_req(from, lo, to, ctx)
-                }
-            }
+            Message::SyncReq {
+                from: lo,
+                to,
+                kind: SyncKind::Transaction,
+            } => self.handle_sync_req(from, lo, to, ctx),
             Message::SyncResp { tx_blocks, .. } => self.handle_sync_resp(tx_blocks, ctx),
             // PrestigeBFT-specific messages are not part of the baselines.
             _ => {}
@@ -982,31 +1022,27 @@ impl Process<Message> for PassiveBftServer {
             return;
         }
         match tag {
-            tags::VIEW => {
-                if self.view_timer == Some(id) {
-                    // No leader progress within the timeout: vote for the next
-                    // scheduled leader. Faulty scheduled leaders cannot be
-                    // skipped — this full timeout is the passive protocol's
-                    // robustness cost.
-                    self.send_new_view(ctx);
-                }
+            tags::VIEW if self.view_timer == Some(id) => {
+                // No leader progress within the timeout: vote for the next
+                // scheduled leader. Faulty scheduled leaders cannot be
+                // skipped — this full timeout is the passive protocol's
+                // robustness cost.
+                self.send_new_view(ctx);
             }
-            tags::BATCH => {
-                if self.leading && !self.behavior.silent_as_leader() {
-                    if self.behavior.equivocates() {
-                        let message = Message::Ord {
-                            view: self.view,
-                            n: self.next_seq,
-                            batch: Vec::new(),
-                            digest: Digest::ZERO,
-                            sig: [0xEF; 32],
-                        };
-                        ctx.broadcast(self.other_servers(), message);
-                    } else {
-                        self.flush_batch(ctx);
-                    }
-                    self.arm_batch_timer(ctx);
+            tags::BATCH if self.leading && !self.behavior.silent_as_leader() => {
+                if self.behavior.equivocates() {
+                    let message = Message::Ord {
+                        view: self.view,
+                        n: self.next_seq,
+                        batch: Vec::new(),
+                        digest: Digest::ZERO,
+                        sig: [0xEF; 32],
+                    };
+                    ctx.broadcast(self.other_servers(), message);
+                } else {
+                    self.flush_batch(ctx);
                 }
+                self.arm_batch_timer(ctx);
             }
             tags::POLICY => {
                 if let Some(interval) = self.pacemaker.rotation_interval() {
@@ -1046,7 +1082,12 @@ mod tests {
         let config = ClusterConfig::new(4);
         let registry = KeyRegistry::new(2, 4, 1);
         // View 1: leader is S(1 mod 4) = ServerId(1).
-        let s1 = PassiveBftServer::new(ServerId(1), config.clone(), registry.clone(), BaselineProtocol::HotStuff);
+        let s1 = PassiveBftServer::new(
+            ServerId(1),
+            config.clone(),
+            registry.clone(),
+            BaselineProtocol::HotStuff,
+        );
         let s0 = PassiveBftServer::new(ServerId(0), config, registry, BaselineProtocol::HotStuff);
         assert!(s1.is_leader());
         assert!(!s0.is_leader());

@@ -173,9 +173,12 @@ fn quiet_fault_hurts_passive_protocol_when_scheduled() {
     // With a timing policy rotating every 2 s, a quiet server is still given
     // leadership by the schedule and each of its reigns stalls replication —
     // the weakness Figure 9 quantifies.
-    let mut config = ClusterConfig::new(4)
-        .with_batch_size(50)
-        .with_policy(ViewChangePolicy::Timing { interval_ms: 2000.0 });
+    let mut config =
+        ClusterConfig::new(4)
+            .with_batch_size(50)
+            .with_policy(ViewChangePolicy::Timing {
+                interval_ms: 2000.0,
+            });
     config.timeouts = TimeoutConfig {
         base_timeout_ms: 1000.0,
         randomization_ms: 100.0,

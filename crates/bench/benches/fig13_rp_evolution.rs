@@ -3,17 +3,20 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use prestige_bench::bench_fault_config;
+use prestige_core::AttackStrategy;
 use prestige_experiments::run;
 use prestige_workloads::{FaultPlan, ProtocolChoice};
-use prestige_core::AttackStrategy;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig13");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(500));
-    
-    let plan = FaultPlan::RepeatedVcQuiet { count: 1, strategy: AttackStrategy::Always };
+
+    let plan = FaultPlan::RepeatedVcQuiet {
+        count: 1,
+        strategy: AttackStrategy::Always,
+    };
     let config = bench_fault_config("pb_rp_evolution", 4, ProtocolChoice::Prestige, plan);
     group.bench_function("pb_rp_evolution", |b| b.iter(|| run(&config)));
     group.finish();

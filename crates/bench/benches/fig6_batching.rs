@@ -6,13 +6,12 @@ use prestige_bench::bench_config;
 use prestige_experiments::run;
 use prestige_workloads::{FaultPlan, ProtocolChoice};
 
-
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(500));
-    
+
     for beta in [100usize, 300, 500] {
         let mut config = bench_config(&format!("pb_{beta}"), 4, ProtocolChoice::Prestige);
         config.batch_size = beta;

@@ -6,13 +6,12 @@ use prestige_bench::bench_config;
 use prestige_experiments::run;
 use prestige_workloads::{FaultPlan, ProtocolChoice};
 
-
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(500));
-    
+
     for n in [4u32, 16] {
         let config = bench_config(&format!("pb_n{n}"), n, ProtocolChoice::Prestige);
         group.bench_function(format!("pb_n{n}"), |b| b.iter(|| run(&config)));

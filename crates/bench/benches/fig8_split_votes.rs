@@ -6,16 +6,20 @@ use prestige_bench::bench_fault_config;
 use prestige_experiments::run;
 use prestige_workloads::{FaultPlan, ProtocolChoice};
 
-
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(500));
-    
+
     let config = bench_fault_config("pb_rotations", 4, ProtocolChoice::Prestige, FaultPlan::None);
     group.bench_function("pb_frequent_rotations", |b| b.iter(|| run(&config)));
-    let config = bench_fault_config("pb_timeout_attack", 4, ProtocolChoice::Prestige, FaultPlan::TimeoutAttack { count: 1 });
+    let config = bench_fault_config(
+        "pb_timeout_attack",
+        4,
+        ProtocolChoice::Prestige,
+        FaultPlan::TimeoutAttack { count: 1 },
+    );
     group.bench_function("pb_timeout_attack", |b| b.iter(|| run(&config)));
     group.finish();
 }

@@ -6,14 +6,16 @@ use prestige_bench::bench_fault_config;
 use prestige_experiments::run;
 use prestige_workloads::{FaultPlan, ProtocolChoice};
 
-
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(500));
-    
-    for (label, plan) in [("quiet", FaultPlan::Quiet { count: 1 }), ("equiv", FaultPlan::Equivocate { count: 1 })] {
+
+    for (label, plan) in [
+        ("quiet", FaultPlan::Quiet { count: 1 }),
+        ("equiv", FaultPlan::Equivocate { count: 1 }),
+    ] {
         let config = bench_fault_config(&format!("pb_{label}"), 4, ProtocolChoice::Prestige, plan);
         group.bench_function(format!("pb_{label}"), |b| b.iter(|| run(&config)));
         let config = bench_fault_config(&format!("hs_{label}"), 4, ProtocolChoice::HotStuff, plan);

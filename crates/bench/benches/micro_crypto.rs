@@ -2,8 +2,8 @@
 //! reputation proof-of-work solver, and threshold-QC aggregation/verification.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use prestige_crypto::{sign_share, PowPuzzle, PowSolver, QcBuilder, Sha256, ThresholdVerifier};
 use prestige_crypto::KeyRegistry;
+use prestige_crypto::{sign_share, PowPuzzle, PowSolver, QcBuilder, Sha256, ThresholdVerifier};
 use prestige_types::{Digest, QcKind, SeqNum, ServerId, View};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -45,11 +45,18 @@ fn bench_qc(c: &mut Criterion) {
         let digest = Digest([3u8; 32]);
         let shares: Vec<_> = (0..threshold)
             .map(|i| {
-                sign_share(&registry, ServerId(i), QcKind::Commit, View(2), SeqNum(5), &digest)
-                    .unwrap()
+                sign_share(
+                    &registry,
+                    ServerId(i),
+                    QcKind::Commit,
+                    View(2),
+                    SeqNum(5),
+                    &digest,
+                )
+                .unwrap()
             })
             .collect();
-        c.bench_function(&format!("qc_aggregate_n{n}"), |b| {
+        c.bench_function(format!("qc_aggregate_n{n}"), |b| {
             b.iter(|| {
                 let mut builder =
                     QcBuilder::new(QcKind::Commit, View(2), SeqNum(5), digest, threshold);
@@ -64,7 +71,7 @@ fn bench_qc(c: &mut Criterion) {
             builder.add_share(&registry, s).unwrap();
         }
         let qc = builder.assemble().unwrap();
-        c.bench_function(&format!("qc_verify_n{n}"), |b| {
+        c.bench_function(format!("qc_verify_n{n}"), |b| {
             b.iter(|| ThresholdVerifier::new(&registry).verify(black_box(&qc), threshold))
         });
     }

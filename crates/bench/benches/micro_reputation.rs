@@ -15,7 +15,7 @@ fn bench_calc_rp(c: &mut Criterion) {
             latest_tx_seq: SeqNum(10_000),
             penalty_history: (0..history_len).map(|i| 1 + (i % 7) as i64).collect(),
         };
-        c.bench_function(&format!("calc_rp_history_{history_len}"), |b| {
+        c.bench_function(format!("calc_rp_history_{history_len}"), |b| {
             b.iter(|| engine.calc_rp(black_box(&input)))
         });
     }

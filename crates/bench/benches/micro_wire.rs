@@ -1,0 +1,96 @@
+//! Microbenchmarks of the `prestige-net` wire codec: message encode/decode
+//! throughput for the hot protocol messages (small control messages, batched
+//! `Ord` payloads, framed and unframed).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use prestige_net::FrameCodec;
+use prestige_types::{
+    Actor, ClientId, Digest, Message, PartialSig, Proposal, SeqNum, ServerId, SyncKind,
+    Transaction, View,
+};
+
+fn control_message() -> Message {
+    Message::OrdReply {
+        view: View(3),
+        n: SeqNum(17),
+        digest: Digest([5u8; 32]),
+        share: PartialSig {
+            signer: ServerId(2),
+            sig: [9u8; 32],
+        },
+    }
+}
+
+fn batch_message(batch: usize, payload: usize) -> Message {
+    Message::Ord {
+        view: View(3),
+        n: SeqNum(17),
+        batch: (0..batch)
+            .map(|i| {
+                Proposal::new(
+                    Transaction::with_size(ClientId(1), i as u64, payload),
+                    Digest([i as u8; 32]),
+                )
+            })
+            .collect(),
+        digest: Digest([7u8; 32]),
+        sig: [1u8; 32],
+    }
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let codec = FrameCodec::new();
+    let from = Actor::Server(ServerId(0));
+    let small = control_message();
+    let big = batch_message(100, 32);
+
+    c.bench_function("wire_encode_ord_reply", |b| {
+        b.iter(|| codec.encode(from, black_box(&small)).unwrap())
+    });
+    c.bench_function("wire_encode_ord_batch100_m32", |b| {
+        b.iter(|| codec.encode(from, black_box(&big)).unwrap())
+    });
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let codec = FrameCodec::new();
+    let from = Actor::Server(ServerId(0));
+    let small_frame = codec.encode(from, &control_message()).unwrap();
+    let big_frame = codec.encode(from, &batch_message(100, 32)).unwrap();
+
+    c.bench_function("wire_decode_ord_reply", |b| {
+        b.iter(|| {
+            codec
+                .decode::<Message>(black_box(&small_frame))
+                .unwrap()
+                .unwrap()
+        })
+    });
+    c.bench_function("wire_decode_ord_batch100_m32", |b| {
+        b.iter(|| {
+            codec
+                .decode::<Message>(black_box(&big_frame))
+                .unwrap()
+                .unwrap()
+        })
+    });
+}
+
+fn bench_round_trip(c: &mut Criterion) {
+    let codec = FrameCodec::new();
+    let from = Actor::Server(ServerId(1));
+    let sync = Message::SyncReq {
+        kind: SyncKind::Transaction,
+        from: 1,
+        to: 64,
+    };
+    c.bench_function("wire_round_trip_sync_req", |b| {
+        b.iter(|| {
+            let frame = codec.encode(from, black_box(&sync)).unwrap();
+            codec.decode::<Message>(&frame).unwrap().unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_round_trip);
+criterion_main!(benches);

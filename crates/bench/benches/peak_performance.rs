@@ -6,14 +6,18 @@ use prestige_bench::bench_config;
 use prestige_experiments::run;
 use prestige_workloads::{FaultPlan, ProtocolChoice};
 
-
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("peak");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(500));
-    
-    for protocol in [ProtocolChoice::Prestige, ProtocolChoice::HotStuff, ProtocolChoice::SbftLite, ProtocolChoice::ProsecutorLite] {
+
+    for protocol in [
+        ProtocolChoice::Prestige,
+        ProtocolChoice::HotStuff,
+        ProtocolChoice::SbftLite,
+        ProtocolChoice::ProsecutorLite,
+    ] {
         let config = bench_config(&format!("peak_{}", protocol.label()), 4, protocol);
         group.bench_function(protocol.label(), |b| b.iter(|| run(&config)));
     }

@@ -1,0 +1,235 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset of the proptest API this workspace's property tests
+//! use: the `proptest!` macro over functions with `arg in strategy` bindings,
+//! `any::<T>()`, range strategies, `proptest::collection::vec`, and the
+//! `prop_assert*` macros. Instead of proptest's shrinking machinery, each
+//! property runs a fixed number of deterministically seeded random cases
+//! (64 by default; override with the `PROPTEST_CASES` environment variable).
+//! Failures report the property name and case index; the case RNG is derived
+//! deterministically from exactly those two values, so the failing inputs
+//! can be regenerated.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::ops::Range;
+
+/// The deterministic per-case RNG handed to strategies.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Derives the RNG for `case` of property `name`.
+    pub fn for_case(name: &str, case: u64) -> Self {
+        // FNV-1a over the property name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// Uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform sample from a non-empty range.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.gen_range(lo..hi)
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Values with a canonical full-domain strategy (proptest's `Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draws a uniform sample over the domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.inner.gen::<$t>()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, bool, f64);
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.inner.gen::<[u8; N]>()
+    }
+}
+
+/// Strategy wrapper produced by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.inner.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, f64);
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Vectors of values from `element`, with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.len.start >= self.len.end {
+                self.len.start
+            } else {
+                rng.range_u64(self.len.start as u64, self.len.end as u64) as usize
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Number of cases each property runs (`PROPTEST_CASES`, default 64).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// The commonly imported surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, cases, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Strategy,
+        TestRng,
+    };
+}
+
+/// Asserts a condition inside a property (plain `assert!` here; real proptest
+/// additionally records the failing case for shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Defines property tests: each function body runs for [`cases`] seeded
+/// random cases with its arguments drawn from the given strategies.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for __case in 0..$crate::cases() {
+                    let mut __rng = $crate::TestRng::for_case(stringify!($name), __case);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    let run = || { $body };
+                    // Annotate failures with the deterministic case index so
+                    // the exact inputs can be regenerated.
+                    if let Err(panic) =
+                        ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run))
+                    {
+                        eprintln!(
+                            "proptest: property `{}` failed at case {} of {}",
+                            stringify!($name),
+                            __case,
+                            $crate::cases(),
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respected(x in 3u32..9, v in crate::collection::vec(any::<u8>(), 0..16)) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(v.len() < 16);
+        }
+
+        #[test]
+        fn signed_ranges(y in -10i64..10) {
+            prop_assert!((-10..10).contains(&y));
+        }
+    }
+
+    #[test]
+    fn cases_is_positive() {
+        assert!(cases() > 0);
+    }
+
+    #[test]
+    fn same_case_same_values() {
+        let mut a = TestRng::for_case("p", 3);
+        let mut b = TestRng::for_case("p", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,364 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes the workspace actually uses — non-generic structs (named, tuple,
+//! unit) and enums whose variants are unit, tuple, or struct-like — by
+//! walking the raw `proc_macro::TokenStream` directly. The build environment
+//! has no crates.io access, so `syn`/`quote` are unavailable; the grammar
+//! subset below is small enough that a hand-rolled parser is robust.
+//!
+//! Encoding contract (must match `serde`'s impls for std types):
+//! * struct: fields serialized in declaration order, no header;
+//! * enum: `u32` little-endian variant index in declaration order, then the
+//!   variant's fields in order.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    /// `struct S;`
+    UnitStruct,
+    /// `struct S(A, B);` — we only need the arity.
+    TupleStruct(usize),
+    /// `struct S { a: A, b: B }`
+    NamedStruct(Vec<String>),
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives `serde::Serialize` for a non-generic struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = match parse(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => return compile_error(&msg),
+    };
+    let body = match &shape {
+        Shape::UnitStruct => String::new(),
+        Shape::TupleStruct(arity) => (0..*arity)
+            .map(|i| format!("::serde::Serialize::serialize(&self.{i}, out);"))
+            .collect(),
+        Shape::NamedStruct(fields) => fields
+            .iter()
+            .map(|f| format!("::serde::Serialize::serialize(&self.{f}, out);"))
+            .collect(),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .enumerate()
+                .map(|(tag, v)| serialize_arm(&name, tag as u32, v))
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self, out: &mut ::std::vec::Vec<u8>) {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for a non-generic struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = match parse(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => return compile_error(&msg),
+    };
+    let body = match &shape {
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::TupleStruct(arity) => {
+            let fields: Vec<String> = (0..*arity)
+                .map(|_| "::serde::Deserialize::deserialize(input)?".to_string())
+                .collect();
+            format!("::std::result::Result::Ok({name}({}))", fields.join(", "))
+        }
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::deserialize(input)?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .enumerate()
+                .map(|(tag, v)| deserialize_arm(&name, tag as u32, v))
+                .collect();
+            format!(
+                "let tag = ::serde::read_tag(input)?;\n\
+                 match tag {{ {arms} _ => ::std::result::Result::Err(::serde::Error::InvalidTag(tag)) }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(input: &mut ::serde::Reader<'_>) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn serialize_arm(name: &str, tag: u32, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.fields {
+        VariantFields::Unit => format!("{name}::{v} => {{ ::serde::write_tag(out, {tag}u32); }}\n"),
+        VariantFields::Tuple(arity) => {
+            let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+            let writes: String = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::serialize({b}, out);"))
+                .collect();
+            format!(
+                "{name}::{v}({}) => {{ ::serde::write_tag(out, {tag}u32); {writes} }}\n",
+                binds.join(", ")
+            )
+        }
+        VariantFields::Named(fields) => {
+            let writes: String = fields
+                .iter()
+                .map(|f| format!("::serde::Serialize::serialize({f}, out);"))
+                .collect();
+            format!(
+                "{name}::{v} {{ {} }} => {{ ::serde::write_tag(out, {tag}u32); {writes} }}\n",
+                fields.join(", ")
+            )
+        }
+    }
+}
+
+fn deserialize_arm(name: &str, tag: u32, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.fields {
+        VariantFields::Unit => {
+            format!("{tag}u32 => ::std::result::Result::Ok({name}::{v}),\n")
+        }
+        VariantFields::Tuple(arity) => {
+            let fields: Vec<String> = (0..*arity)
+                .map(|_| "::serde::Deserialize::deserialize(input)?".to_string())
+                .collect();
+            format!(
+                "{tag}u32 => ::std::result::Result::Ok({name}::{v}({})),\n",
+                fields.join(", ")
+            )
+        }
+        VariantFields::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::deserialize(input)?"))
+                .collect();
+            format!(
+                "{tag}u32 => ::std::result::Result::Ok({name}::{v} {{ {} }}),\n",
+                inits.join(", ")
+            )
+        }
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal")
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attributes_and_visibility(&tokens, &mut pos);
+
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    pos += 1;
+
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive (offline stand-in) does not support generic type `{name}`"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            None => Ok((name, Shape::UnitStruct)),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::UnitStruct)),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok((name, Shape::NamedStruct(fields)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                Ok((name, Shape::TupleStruct(arity)))
+            }
+            other => Err(format!("unexpected token after struct name: {other:?}")),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream())?;
+                Ok((name, Shape::Enum(variants)))
+            }
+            other => Err(format!("expected enum body, found {other:?}")),
+        },
+        kw => Err(format!("cannot derive for `{kw}` items")),
+    }
+}
+
+/// Advances past leading `#[...]` attributes (including doc comments) and a
+/// `pub` / `pub(...)` visibility qualifier.
+fn skip_attributes_and_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then the bracketed attribute body.
+                *pos += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `ident: Type, ...` field lists (struct bodies and struct-like enum
+/// variants). Commas nested inside `<...>` generic arguments are skipped by
+/// tracking angle-bracket depth; commas inside `(...)`, `[...]`, `{...}` are
+/// invisible here because groups are single tokens.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        let field = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{field}`, found {other:?}"
+                ))
+            }
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(field);
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Advances past one type, stopping at a top-level `,` or end of tokens.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(token) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut pos);
+        count += 1;
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                pos += 1;
+                VariantFields::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream())?;
+                pos += 1;
+                VariantFields::Named(named)
+            }
+            _ => VariantFields::Unit,
+        };
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err(format!(
+                "serde_derive (offline stand-in) does not support explicit discriminants (variant `{name}`)"
+            ));
+        }
+        variants.push(Variant { name, fields });
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    Ok(variants)
+}

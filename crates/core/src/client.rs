@@ -40,7 +40,12 @@ pub struct ClientConfig {
 
 impl ClientConfig {
     /// A client with the given identity and window against `replicas`.
-    pub fn new(id: ClientId, replicas: ReplicaSet, payload_size: usize, concurrency: usize) -> Self {
+    pub fn new(
+        id: ClientId,
+        replicas: ReplicaSet,
+        payload_size: usize,
+        concurrency: usize,
+    ) -> Self {
         ClientConfig {
             id,
             replicas,
@@ -210,10 +215,7 @@ impl Process<Message> for PrestigeClient {
             Actor::Client(_) => return,
         };
         if let Message::Notif {
-            tx_keys,
-            seq,
-            view,
-            ..
+            tx_keys, seq, view, ..
         } = message
         {
             self.observed_view = self.observed_view.max(view);

@@ -40,7 +40,10 @@ impl PrestigeServer {
         if !self.engine.exceeds_refresh_threshold(my_rp) {
             return;
         }
-        if !self.refresh_tracker.refresh_allowed(&self.current_penalties()) {
+        if !self
+            .refresh_tracker
+            .refresh_allowed(&self.current_penalties())
+        {
             return;
         }
         if self.refresh_builder.is_some() {
@@ -55,15 +58,25 @@ impl PrestigeServer {
             digest,
             self.config.quorum(),
         );
-        if let Some(share) =
-            sign_share(&self.registry, self.id, QcKind::Refresh, view, SeqNum(0), &digest)
-        {
+        if let Some(share) = sign_share(
+            &self.registry,
+            self.id,
+            QcKind::Refresh,
+            view,
+            SeqNum(0),
+            &digest,
+        ) {
             let _ = builder.add_share(&self.registry, &share);
         }
         self.refresh_builder = Some(builder);
-        if let Some(share) =
-            sign_share(&self.registry, self.id, QcKind::Refresh, view, SeqNum(0), &digest)
-        {
+        if let Some(share) = sign_share(
+            &self.registry,
+            self.id,
+            QcKind::Refresh,
+            view,
+            SeqNum(0),
+            &digest,
+        ) {
             ctx.broadcast(
                 self.other_servers(),
                 Message::Ref {
@@ -92,14 +105,23 @@ impl PrestigeServer {
         if !self.engine.exceeds_refresh_threshold(requester_rp) {
             return;
         }
-        if !self.refresh_tracker.refresh_allowed(&self.current_penalties()) {
+        if !self
+            .refresh_tracker
+            .refresh_allowed(&self.current_penalties())
+        {
             return;
         }
-        self.refresh_tracker.record_endorsement(view, server, self.id);
+        self.refresh_tracker
+            .record_endorsement(view, server, self.id);
         let digest = Self::refresh_digest(view, server);
-        if let Some(share) =
-            sign_share(&self.registry, self.id, QcKind::Refresh, view, SeqNum(0), &digest)
-        {
+        if let Some(share) = sign_share(
+            &self.registry,
+            self.id,
+            QcKind::Refresh,
+            view,
+            SeqNum(0),
+            &digest,
+        ) {
             ctx.send(
                 prestige_types::Actor::Server(server),
                 Message::Ref {
@@ -157,6 +179,7 @@ impl PrestigeServer {
 
     /// Handles a peer's completed refresh: verify the `rs_QC` and update the
     /// peer's rp/ci in the current vcBlock.
+    #[allow(clippy::too_many_arguments)] // mirrors the Rdone message fields
     pub(crate) fn handle_rdone(
         &mut self,
         view: View,

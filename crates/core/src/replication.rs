@@ -96,13 +96,8 @@ impl PrestigeServer {
         let digest = Self::batch_digest(view, n, &batch);
         ctx.charge_cpu_ms(PER_TX_CPU_MS * batch.len() as f64);
 
-        let mut ordering_builder = QcBuilder::new(
-            QcKind::Ordering,
-            view,
-            n,
-            digest,
-            self.config.quorum(),
-        );
+        let mut ordering_builder =
+            QcBuilder::new(QcKind::Ordering, view, n, digest, self.config.quorum());
         if let Some(share) = sign_share(&self.registry, self.id, QcKind::Ordering, view, n, &digest)
         {
             let _ = ordering_builder.add_share(&self.registry, &share);
@@ -188,10 +183,7 @@ impl PrestigeServer {
             return;
         }
         self.charge_verify_cost(ctx);
-        if !self
-            .registry
-            .verify(from, digest.as_ref(), &sig)
-        {
+        if !self.registry.verify(from, digest.as_ref(), &sig) {
             return;
         }
         ctx.charge_cpu_ms(PER_TX_CPU_MS * batch.len() as f64);
@@ -370,15 +362,22 @@ impl PrestigeServer {
             Err(_) => return,
         };
         let instance = self.inflight.remove(&n.0).expect("instance present");
-        let mut block = TxBlock::new(view, n, instance.batch.iter().map(|p| p.tx.clone()).collect());
+        let mut block = TxBlock::new(
+            view,
+            n,
+            instance.batch.iter().map(|p| p.tx.clone()).collect(),
+        );
         block.ordering_qc = instance.ordering_qc.clone();
         block.commit_qc = Some(commit_qc);
 
         let sig = self.sign(tx_block_digest(&block).as_ref());
-        ctx.broadcast(self.other_servers(), Message::CommitBlock {
-            block: block.clone(),
-            sig,
-        });
+        ctx.broadcast(
+            self.other_servers(),
+            Message::CommitBlock {
+                block: block.clone(),
+                sig,
+            },
+        );
         self.apply_committed_block(block, ctx);
     }
 
@@ -495,7 +494,7 @@ mod tests {
         let p2 = Proposal::new(Transaction::with_size(ClientId(1), 2, 32), Digest::ZERO);
         let a = PrestigeServer::batch_digest(View(1), SeqNum(1), &[p1.clone(), p2.clone()]);
         let b = PrestigeServer::batch_digest(View(1), SeqNum(1), &[p2, p1.clone()]);
-        let c = PrestigeServer::batch_digest(View(1), SeqNum(2), &[p1.clone()]);
+        let c = PrestigeServer::batch_digest(View(1), SeqNum(2), std::slice::from_ref(&p1));
         let d = PrestigeServer::batch_digest(View(2), SeqNum(1), &[p1]);
         assert_ne!(a, b);
         assert_ne!(a, c);

@@ -15,8 +15,8 @@ use prestige_crypto::{KeyPair, KeyRegistry, PowSolution, PowSolver, QcBuilder};
 use prestige_reputation::{RefreshTracker, ReputationEngine};
 use prestige_sim::{Context, Process, SimTime, TimerId};
 use prestige_types::{
-    Actor, ClientId, ClusterConfig, Digest, Message, Proposal, QuorumCertificate, SeqNum,
-    ServerId, VcBlock, View,
+    Actor, ClientId, ClusterConfig, Digest, Message, Proposal, QuorumCertificate, SeqNum, ServerId,
+    VcBlock, View,
 };
 use serde::{Deserialize, Serialize};
 use std::any::Any;
@@ -185,8 +185,19 @@ pub struct PrestigeServer {
 
 impl PrestigeServer {
     /// Creates a correct server.
-    pub fn new(id: ServerId, config: ClusterConfig, registry: KeyRegistry, seed_unused: u64) -> Self {
-        Self::with_behavior(id, config, registry, seed_unused, ByzantineBehavior::Correct)
+    pub fn new(
+        id: ServerId,
+        config: ClusterConfig,
+        registry: KeyRegistry,
+        seed_unused: u64,
+    ) -> Self {
+        Self::with_behavior(
+            id,
+            config,
+            registry,
+            seed_unused,
+            ByzantineBehavior::Correct,
+        )
     }
 
     /// Creates a server with an explicit Byzantine behaviour.
@@ -208,7 +219,8 @@ impl PrestigeServer {
         let engine = ReputationEngine::new(config.reputation.clone());
         let pow_solver = PowSolver::from_config(&config.pow);
         let store = BlockStore::new(config.n());
-        let refresh_tracker = RefreshTracker::new(config.reputation.refresh_threshold_pi, config.f());
+        let refresh_tracker =
+            RefreshTracker::new(config.reputation.refresh_threshold_pi, config.f());
         PrestigeServer {
             id,
             config,
@@ -380,9 +392,7 @@ impl PrestigeServer {
     /// accept campaigns that carry no confirmation QC).
     pub(crate) fn rotation_due(&self, now: SimTime) -> bool {
         match self.pacemaker.rotation_interval() {
-            Some(interval) => {
-                now.as_ms() - self.view_installed_at_ms >= interval.as_ms() * 0.9
-            }
+            Some(interval) => now.as_ms() - self.view_installed_at_ms >= interval.as_ms() * 0.9,
             None => false,
         }
     }
@@ -492,11 +502,19 @@ impl Process<Message> for PrestigeServer {
                 share,
             } => self.handle_vote_cp(new_view, candidate, share, ctx),
             Message::NewVcBlock { block, sig } => self.handle_new_vc_block(from, block, sig, ctx),
-            Message::VcYes { view, digest, share } => self.handle_vc_yes(view, digest, share, ctx),
+            Message::VcYes {
+                view,
+                digest,
+                share,
+            } => self.handle_vc_yes(view, digest, share, ctx),
 
             // Refresh. A `Ref` naming this server is an endorsement of its own
             // pending refresh; any other `Ref` is a request to endorse.
-            Message::Ref { view, server, share } => {
+            Message::Ref {
+                view,
+                server,
+                share,
+            } => {
                 if server == self.id {
                     self.handle_refresh_endorsement(view, share, ctx)
                 } else {
@@ -513,7 +531,9 @@ impl Process<Message> for PrestigeServer {
             } => self.handle_rdone(view, server, rs_qc, rp, ci, sig, ctx),
 
             // Sync.
-            Message::SyncReq { kind, from: lo, to } => self.handle_sync_req(from, kind, lo, to, ctx),
+            Message::SyncReq { kind, from: lo, to } => {
+                self.handle_sync_req(from, kind, lo, to, ctx)
+            }
             Message::SyncResp {
                 vc_blocks,
                 tx_blocks,
@@ -582,8 +602,12 @@ mod tests {
     fn signatures_come_from_own_key() {
         let s1 = make_server(4, 0);
         let sig = s1.sign(b"hello");
-        assert!(s1.registry.verify(Actor::Server(ServerId(0)), b"hello", &sig));
-        assert!(!s1.registry.verify(Actor::Server(ServerId(1)), b"hello", &sig));
+        assert!(s1
+            .registry
+            .verify(Actor::Server(ServerId(0)), b"hello", &sig));
+        assert!(!s1
+            .registry
+            .verify(Actor::Server(ServerId(1)), b"hello", &sig));
     }
 
     #[test]

@@ -22,7 +22,9 @@ use crate::faults::AttackStrategy;
 use crate::pacemaker::timer_tags;
 use crate::server::{CampaignState, ComplaintState, PrestigeServer, ServerRole};
 use crate::storage::vc_block_digest;
-use prestige_crypto::{hash_many, sign_share, PowPuzzle, PowSolution, PowSolver, QcBuilder, ThresholdVerifier};
+use prestige_crypto::{
+    hash_many, sign_share, PowPuzzle, PowSolution, PowSolver, QcBuilder, ThresholdVerifier,
+};
 use prestige_reputation::CalcRpInput;
 use prestige_sim::{Context, TimerId};
 use prestige_types::{
@@ -57,7 +59,11 @@ impl PrestigeServer {
 
     /// Evaluates Algorithm 1 for a campaigner (`who`) targeting `new_view`,
     /// reading every input from the local state machine.
-    pub(crate) fn calc_rp_for(&self, who: ServerId, new_view: View) -> prestige_reputation::RpOutcome {
+    pub(crate) fn calc_rp_for(
+        &self,
+        who: ServerId,
+        new_view: View,
+    ) -> prestige_reputation::RpOutcome {
         let input = CalcRpInput {
             current_view: self.store.current_view(),
             new_view,
@@ -100,8 +106,13 @@ impl PrestigeServer {
         }
         self.stats.complaints_relayed += 1;
         let view = self.current_view();
-        self.complaints
-            .insert(key, ComplaintState { proposal: proposal.clone(), view });
+        self.complaints.insert(
+            key,
+            ComplaintState {
+                proposal: proposal.clone(),
+                view,
+            },
+        );
         // Relay to the leader.
         ctx.send(
             Actor::Server(self.current_leader()),
@@ -143,9 +154,14 @@ impl PrestigeServer {
                 self.config.replicas.confirm_quorum(),
             )
         });
-        if let Some(share) =
-            sign_share(&self.registry, self.id, QcKind::Confirm, view, SeqNum(0), &digest)
-        {
+        if let Some(share) = sign_share(
+            &self.registry,
+            self.id,
+            QcKind::Confirm,
+            view,
+            SeqNum(0),
+            &digest,
+        ) {
             let _ = builder.add_share(&self.registry, &share);
         }
         let sig = self.sign(digest.as_ref());
@@ -184,9 +200,14 @@ impl PrestigeServer {
         if !self.complaints.contains_key(&tx_key) {
             return;
         }
-        if let Some(share) =
-            sign_share(&self.registry, self.id, QcKind::Confirm, view, SeqNum(0), &digest)
-        {
+        if let Some(share) = sign_share(
+            &self.registry,
+            self.id,
+            QcKind::Confirm,
+            view,
+            SeqNum(0),
+            &digest,
+        ) {
             ctx.send(
                 from,
                 Message::ReVC {
@@ -507,10 +528,7 @@ impl PrestigeServer {
         // C5: the performed computation must match the penalty (one hash).
         self.charge_verify_cost(ctx);
         let puzzle = PowPuzzle::new(latest_tx_digest, rp);
-        let solution = PowSolution {
-            nonce,
-            hash_result,
-        };
+        let solution = PowSolution { nonce, hash_result };
         if self.pow_solver.verify(&puzzle, &solution).is_err() {
             return;
         }
@@ -698,9 +716,7 @@ impl PrestigeServer {
     ) {
         self.charge_verify_cost(ctx);
         let (block, builder) = match self.pending_vc_block.as_mut() {
-            Some((b, q)) if b.v == view && vc_block_digest(b) == digest => {
-                (b.clone(), q)
-            }
+            Some((b, q)) if b.v == view && vc_block_digest(b) == digest => (b.clone(), q),
             _ => return,
         };
         if builder.add_share(&self.registry, &share).is_err() || !builder.complete() {

@@ -185,9 +185,12 @@ fn equivocating_follower_does_not_block_commits() {
 
 #[test]
 fn timing_policy_rotates_leadership() {
-    let mut config = ClusterConfig::new(4)
-        .with_batch_size(50)
-        .with_policy(ViewChangePolicy::Timing { interval_ms: 2000.0 });
+    let mut config =
+        ClusterConfig::new(4)
+            .with_batch_size(50)
+            .with_policy(ViewChangePolicy::Timing {
+                interval_ms: 2000.0,
+            });
     config.timeouts = TimeoutConfig {
         base_timeout_ms: 300.0,
         randomization_ms: 300.0,
@@ -209,9 +212,12 @@ fn timing_policy_rotates_leadership() {
 
 #[test]
 fn repeated_vc_attacker_is_penalized_and_progress_resumes() {
-    let mut config = ClusterConfig::new(4)
-        .with_batch_size(50)
-        .with_policy(ViewChangePolicy::Timing { interval_ms: 3000.0 });
+    let mut config =
+        ClusterConfig::new(4)
+            .with_batch_size(50)
+            .with_policy(ViewChangePolicy::Timing {
+                interval_ms: 3000.0,
+            });
     config.timeouts = TimeoutConfig {
         base_timeout_ms: 300.0,
         randomization_ms: 300.0,

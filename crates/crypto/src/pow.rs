@@ -163,10 +163,7 @@ impl PowSolver {
                 let required = bits_per_unit * puzzle.rp;
                 let hr = hash_pair(puzzle.block_digest.as_ref(), &solution.nonce.to_be_bytes());
                 if hr != solution.hash_result {
-                    return Err(ProtocolError::InvalidPow {
-                        required,
-                        found: 0,
-                    });
+                    return Err(ProtocolError::InvalidPow { required, found: 0 });
                 }
                 let found = hr.leading_zero_bits();
                 if found < required {

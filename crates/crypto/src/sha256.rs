@@ -269,6 +269,9 @@ mod tests {
 
     #[test]
     fn distinct_inputs_distinct_digests() {
-        assert_ne!(Sha256::digest(b"view change"), Sha256::digest(b"view chang"));
+        assert_ne!(
+            Sha256::digest(b"view change"),
+            Sha256::digest(b"view chang")
+        );
     }
 }

@@ -218,8 +218,15 @@ mod tests {
         let digest = Digest([9u8; 32]);
         let mut builder = QcBuilder::new(QcKind::Commit, View(3), SeqNum(5), digest, threshold);
         for s in signers {
-            let share =
-                sign_share(reg, ServerId(*s), QcKind::Commit, View(3), SeqNum(5), &digest).unwrap();
+            let share = sign_share(
+                reg,
+                ServerId(*s),
+                QcKind::Commit,
+                View(3),
+                SeqNum(5),
+                &digest,
+            )
+            .unwrap();
             builder.add_share(reg, &share)?;
         }
         builder.assemble()
@@ -245,8 +252,15 @@ mod tests {
         let reg = registry();
         let digest = Digest([1u8; 32]);
         let mut builder = QcBuilder::new(QcKind::Ordering, View(1), SeqNum(1), digest, 3);
-        let share =
-            sign_share(&reg, ServerId(0), QcKind::Ordering, View(1), SeqNum(1), &digest).unwrap();
+        let share = sign_share(
+            &reg,
+            ServerId(0),
+            QcKind::Ordering,
+            View(1),
+            SeqNum(1),
+            &digest,
+        )
+        .unwrap();
         builder.add_share(&reg, &share).unwrap();
         builder.add_share(&reg, &share).unwrap();
         assert_eq!(builder.count(), 1);
@@ -273,8 +287,15 @@ mod tests {
         let digest_a = Digest([1u8; 32]);
         let digest_b = Digest([2u8; 32]);
         let mut builder = QcBuilder::new(QcKind::Commit, View(1), SeqNum(1), digest_a, 2);
-        let share =
-            sign_share(&reg, ServerId(0), QcKind::Commit, View(1), SeqNum(1), &digest_b).unwrap();
+        let share = sign_share(
+            &reg,
+            ServerId(0),
+            QcKind::Commit,
+            View(1),
+            SeqNum(1),
+            &digest_b,
+        )
+        .unwrap();
         assert!(builder.add_share(&reg, &share).is_err());
     }
 

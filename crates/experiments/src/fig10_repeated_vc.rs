@@ -30,9 +30,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             &["series", "f", "throughput (TPS)", "drop vs f=0"],
         );
         for protocol in [ProtocolChoice::Prestige, ProtocolChoice::HotStuff] {
-            for (rotation_label, rotation_ms) in
-                [("r10", rotation_fast), ("r30", rotation_slow)]
-            {
+            for (rotation_label, rotation_ms) in [("r10", rotation_fast), ("r30", rotation_slow)] {
                 for (attack_label, quiet) in [("quiet", true), ("equiv", false)] {
                     let mut baseline_tps = None;
                     for &f in &fault_counts {
@@ -49,12 +47,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
                                 strategy: AttackStrategy::Always,
                             }
                         };
-                        let name = format!(
-                            "{}_{}_{}",
-                            protocol.label(),
-                            rotation_label,
-                            attack_label
-                        );
+                        let name =
+                            format!("{}_{}_{}", protocol.label(), rotation_label, attack_label);
                         let mut config = fault_experiment_config(
                             format!("{name}_f{f}"),
                             n,

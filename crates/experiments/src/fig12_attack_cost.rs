@@ -136,7 +136,10 @@ mod tests {
         let (attacker, correct) = rp_trajectories(20, 1);
         let attacker_final = attacker.last().copied().unwrap();
         let correct_final = correct.last().copied().unwrap();
-        assert!(attacker_final >= 5, "attacker rp only reached {attacker_final}");
+        assert!(
+            attacker_final >= 5,
+            "attacker rp only reached {attacker_final}"
+        );
         assert!(correct.iter().all(|rp| *rp <= 4), "correct rp {correct:?}");
         assert!(attacker_final > correct_final);
         // The attacker's penalty never falls below where it started.

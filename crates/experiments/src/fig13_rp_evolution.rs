@@ -42,7 +42,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
         let faulty = *id >= n - 3;
         table.push_row(vec![
             format!("S{}", id + 1),
-            if faulty { "faulty".into() } else { "correct".into() },
+            if faulty {
+                "faulty".into()
+            } else {
+                "correct".into()
+            },
             server.final_rp.to_string(),
             server.elections_won.to_string(),
             server.campaigns.to_string(),

@@ -64,11 +64,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         "Figure 14 — cumulative availability under attacks (n=16, f=3)",
         &["time (s)", "pb-S1", "pb-S2", "hs"],
     );
-    let windows = all_series
-        .iter()
-        .map(|(_, s)| s.len())
-        .min()
-        .unwrap_or(0);
+    let windows = all_series.iter().map(|(_, s)| s.len()).min().unwrap_or(0);
     for w in 0..windows {
         let time_s = all_series[0].1[w].0 / 1000.0;
         let mut row = vec![format!("{time_s:.0}")];

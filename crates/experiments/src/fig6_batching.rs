@@ -32,7 +32,12 @@ pub fn run(scale: Scale) -> Vec<Table> {
     };
     let mut table = Table::new(
         "Figure 6 — performance under batching (n=4, m=32)",
-        &["series", "batch size", "throughput (TPS)", "mean latency (ms)"],
+        &[
+            "series",
+            "batch size",
+            "throughput (TPS)",
+            "mean latency (ms)",
+        ],
     );
     for protocol in [
         ProtocolChoice::Prestige,

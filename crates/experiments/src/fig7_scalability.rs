@@ -37,9 +37,10 @@ pub fn run(scale: Scale) -> Vec<Table> {
         };
         for &n in &scales {
             for &m in &[32usize, 64] {
-                for (delay_label, network) in
-                    [("d0", NetworkConfig::lan()), ("d10", NetworkConfig::delayed())]
-                {
+                for (delay_label, network) in [
+                    ("d0", NetworkConfig::lan()),
+                    ("d10", NetworkConfig::delayed()),
+                ] {
                     let name = format!("{}_m{}_{}_n{}", protocol.label(), m, delay_label, n);
                     let mut config = ExperimentConfig::new(name.clone(), n, protocol);
                     config.batch_size = beta;

@@ -20,7 +20,14 @@ pub fn run(scale: Scale) -> Vec<Table> {
     let epsilons = [0.0, 10.0, 50.0, 100.0, 200.0];
     let mut table = Table::new(
         "Figure 8 — split votes vs timeout randomization",
-        &["series", "n", "epsilon (ms)", "view changes", "split-vote retries", "split-vote rate"],
+        &[
+            "series",
+            "n",
+            "epsilon (ms)",
+            "view changes",
+            "split-vote retries",
+            "split-vote rate",
+        ],
     );
     for attack in [false, true] {
         for &n in &ns {

@@ -69,12 +69,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
                             _ => FaultPlan::Equivocate { count: f },
                         };
                         let plan = if f == 0 { FaultPlan::None } else { plan };
-                        let name = format!(
-                            "{}_{}_{}",
-                            protocol.label(),
-                            rotation_label,
-                            attack_label
-                        );
+                        let name =
+                            format!("{}_{}_{}", protocol.label(), rotation_label, attack_label);
                         let mut config = fault_experiment_config(
                             format!("{name}_f{f}"),
                             n,

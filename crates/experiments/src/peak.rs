@@ -31,7 +31,13 @@ pub fn run_experiment(scale: Scale) -> Vec<Table> {
     };
     let mut table = Table::new(
         "Peak performance under normal operation (n=4, m=32)",
-        &["protocol", "batch size", "throughput (TPS)", "mean latency (ms)", "p95 latency (ms)"],
+        &[
+            "protocol",
+            "batch size",
+            "throughput (TPS)",
+            "mean latency (ms)",
+            "p95 latency (ms)",
+        ],
     );
     for protocol in [
         ProtocolChoice::Prestige,

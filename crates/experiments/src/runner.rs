@@ -192,10 +192,7 @@ pub fn run(config: &ExperimentConfig) -> RunOutcome {
     sim.run_until(SimTime::from_secs(config.duration_s));
 
     // The reference server is the first *correct* server.
-    let reference = behaviors
-        .iter()
-        .position(|b| !b.is_faulty())
-        .unwrap_or(0) as u32;
+    let reference = behaviors.iter().position(|b| !b.is_faulty()).unwrap_or(0) as u32;
     extract_outcome(&sim, config, reference)
 }
 

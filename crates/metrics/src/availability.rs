@@ -8,7 +8,11 @@
 /// Cumulative availability per window: for each `window_ms` window up to
 /// `end_ms`, the fraction of windows so far in which at least one commit
 /// landed. Returns `(window end in ms, cumulative availability in [0, 1])`.
-pub fn availability_series(commit_log: &[(f64, u64)], end_ms: f64, window_ms: f64) -> Vec<(f64, f64)> {
+pub fn availability_series(
+    commit_log: &[(f64, u64)],
+    end_ms: f64,
+    window_ms: f64,
+) -> Vec<(f64, f64)> {
     if window_ms <= 0.0 || end_ms <= 0.0 {
         return Vec::new();
     }

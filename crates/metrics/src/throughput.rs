@@ -20,7 +20,11 @@ pub fn total_tps(commit_log: &[(f64, u64)], start_ms: f64, end_ms: f64) -> f64 {
 
 /// TPS per `window_ms` window across `[0, end_ms)`. Returns one
 /// `(window start in ms, tps)` pair per window.
-pub fn throughput_series(commit_log: &[(f64, u64)], end_ms: f64, window_ms: f64) -> Vec<(f64, f64)> {
+pub fn throughput_series(
+    commit_log: &[(f64, u64)],
+    end_ms: f64,
+    window_ms: f64,
+) -> Vec<(f64, f64)> {
     if window_ms <= 0.0 || end_ms <= 0.0 {
         return Vec::new();
     }

@@ -1,0 +1,204 @@
+//! Cluster launcher: brings up a full PrestigeBFT cluster (servers + closed
+//! loop clients) on real runtimes, over either transport.
+//!
+//! This is the net-runtime analogue of building a `Simulation` by hand: one
+//! call wires key registries, transports, and node runtimes together. The
+//! loopback variant is what integration tests and the example use; the TCP
+//! variant backs multi-process deployments via the `prestige-node` binary
+//! (which launches exactly one node per process from a TOML config).
+
+use crate::runtime::NodeHandle;
+use crate::tcp::{TcpConfig, TcpTransport};
+use crate::transport::LoopbackNet;
+use prestige_core::{ClientConfig, ClientStats, PrestigeClient, PrestigeServer, ServerStats};
+use prestige_crypto::KeyRegistry;
+use prestige_types::{Actor, ClientId, ClusterConfig, Message, ServerId, View};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// A PrestigeBFT cluster running on real node runtimes in this process.
+pub struct LocalCluster {
+    config: ClusterConfig,
+    net: LoopbackNet<Message>,
+    servers: HashMap<ServerId, NodeHandle<Message>>,
+    clients: HashMap<ClientId, NodeHandle<Message>>,
+}
+
+impl LocalCluster {
+    /// Launches `config.n()` servers and `clients` closed-loop clients (each
+    /// keeping `concurrency` proposals in flight) over a loopback transport.
+    pub fn launch(config: ClusterConfig, seed: u64, clients: u64, concurrency: usize) -> Self {
+        let registry = KeyRegistry::new(seed, config.n(), clients);
+        let net: LoopbackNet<Message> = LoopbackNet::new();
+
+        let mut servers = HashMap::new();
+        for i in 0..config.n() {
+            let id = ServerId(i);
+            let server = PrestigeServer::new(id, config.clone(), registry.clone(), seed);
+            let endpoint = net.endpoint(Actor::Server(id));
+            servers.insert(
+                id,
+                NodeHandle::spawn(Box::new(server), Box::new(endpoint), seed),
+            );
+        }
+
+        let mut client_handles = HashMap::new();
+        for c in 0..clients {
+            let id = ClientId(c);
+            let cc = ClientConfig::new(
+                id,
+                config.replicas.clone(),
+                config.payload_size,
+                concurrency,
+            );
+            let client = PrestigeClient::new(cc, &registry);
+            let endpoint = net.endpoint(Actor::Client(id));
+            client_handles.insert(
+                id,
+                NodeHandle::spawn(Box::new(client), Box::new(endpoint), seed),
+            );
+        }
+
+        LocalCluster {
+            config,
+            net,
+            servers,
+            clients: client_handles,
+        }
+    }
+
+    /// The cluster configuration the nodes were launched with.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The underlying loopback fabric (for advanced fault injection).
+    pub fn net(&self) -> &LoopbackNet<Message> {
+        &self.net
+    }
+
+    /// Live server stats snapshot.
+    pub fn server_stats(&self, id: ServerId) -> Option<ServerStats> {
+        self.servers
+            .get(&id)?
+            .inspect_as::<PrestigeServer, _, _>(|s| s.stats().clone())
+    }
+
+    /// Live client stats snapshot.
+    pub fn client_stats(&self, id: ClientId) -> Option<ClientStats> {
+        self.clients
+            .get(&id)?
+            .inspect_as::<PrestigeClient, _, _>(|c| c.stats().clone())
+    }
+
+    /// Total transactions confirmed across all clients.
+    pub fn total_committed(&self) -> u64 {
+        self.clients
+            .keys()
+            .filter_map(|&c| self.client_stats(c))
+            .map(|s| s.committed_tx)
+            .sum()
+    }
+
+    /// The current `(view, leader)` as observed by server `id`.
+    pub fn view_of(&self, id: ServerId) -> Option<(View, ServerId)> {
+        self.servers
+            .get(&id)?
+            .inspect_as::<PrestigeServer, _, _>(|s| (s.current_view(), s.current_leader()))
+    }
+
+    /// Crashes a server abruptly: its runtime thread stops and its endpoint
+    /// deregisters, so all traffic toward it is dropped — exactly what a
+    /// killed process looks like to the rest of the cluster.
+    pub fn crash_server(&mut self, id: ServerId) {
+        self.net.disconnect(Actor::Server(id));
+        if let Some(handle) = self.servers.remove(&id) {
+            let _ = handle.stop();
+        }
+    }
+
+    /// Server ids currently alive.
+    pub fn live_servers(&self) -> Vec<ServerId> {
+        let mut ids: Vec<ServerId> = self.servers.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Polls `predicate` against the cluster until it returns true or
+    /// `timeout` elapses. Returns whether the predicate succeeded.
+    pub fn wait_until(&self, timeout: Duration, mut predicate: impl FnMut(&Self) -> bool) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if predicate(self) {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Stops every node, returning final client stats keyed by client id.
+    pub fn shutdown(mut self) -> HashMap<ClientId, ClientStats> {
+        let mut stats = HashMap::new();
+        for (id, handle) in self.clients.drain() {
+            if let Some(node) = handle.stop() {
+                if let Some(client) = node.as_any().downcast_ref::<PrestigeClient>() {
+                    stats.insert(id, client.stats().clone());
+                }
+            }
+        }
+        for (_, handle) in self.servers.drain() {
+            let _ = handle.stop();
+        }
+        stats
+    }
+}
+
+/// Launches one server node over TCP, as the `prestige-node` binary does.
+/// Returns the runtime handle; the process typically parks afterwards.
+pub fn launch_tcp_server(
+    id: ServerId,
+    config: ClusterConfig,
+    registry: KeyRegistry,
+    seed: u64,
+    listen: SocketAddr,
+    peers: HashMap<Actor, SocketAddr>,
+) -> std::io::Result<NodeHandle<Message>> {
+    let transport: TcpTransport<Message> =
+        TcpTransport::bind(Actor::Server(id), TcpConfig::new(listen, peers))?;
+    let server = PrestigeServer::new(id, config, registry, seed);
+    Ok(NodeHandle::spawn(
+        Box::new(server),
+        Box::new(transport),
+        seed,
+    ))
+}
+
+/// Launches one closed-loop client over TCP.
+pub fn launch_tcp_client(
+    id: ClientId,
+    config: ClusterConfig,
+    registry: &KeyRegistry,
+    seed: u64,
+    concurrency: usize,
+    listen: SocketAddr,
+    peers: HashMap<Actor, SocketAddr>,
+) -> std::io::Result<NodeHandle<Message>> {
+    let transport: TcpTransport<Message> =
+        TcpTransport::bind(Actor::Client(id), TcpConfig::new(listen, peers))?;
+    let cc = ClientConfig::new(
+        id,
+        config.replicas.clone(),
+        config.payload_size,
+        concurrency,
+    );
+    let client = PrestigeClient::new(cc, registry);
+    Ok(NodeHandle::spawn(
+        Box::new(client),
+        Box::new(transport),
+        seed,
+    ))
+}

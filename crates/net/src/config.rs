@@ -1,0 +1,408 @@
+//! Node configuration for multi-process deployments: a small TOML subset
+//! parser and the `prestige-node` config schema.
+//!
+//! The supported TOML subset covers what cluster configs need — `[section]`
+//! headers, `key = value` pairs with string / integer / float / boolean
+//! values, comments, and blank lines. (A full TOML crate is unavailable in
+//! the offline build environment; see `crates/compat/README.md`.)
+//!
+//! ```toml
+//! # cluster.toml — one file shared by every node
+//! [cluster]
+//! n = 4
+//! seed = 7
+//! batch_size = 100
+//! payload_size = 32
+//! clients = 1
+//!
+//! [node]
+//! role = "server"     # or "client"
+//! id = 0
+//!
+//! [workload]
+//! concurrency = 64
+//! duration_s = 30.0
+//!
+//! [peers]
+//! s0 = "127.0.0.1:7000"
+//! s1 = "127.0.0.1:7001"
+//! s2 = "127.0.0.1:7002"
+//! s3 = "127.0.0.1:7003"
+//! c0 = "127.0.0.1:7100"
+//! ```
+
+use prestige_types::{Actor, ClientId, ClusterConfig, ServerId};
+use std::collections::{BTreeMap, HashMap};
+use std::net::SocketAddr;
+
+/// A scalar TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TomlValue {
+    /// A quoted string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl TomlValue {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            TomlValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_int(&self) -> Option<i64> {
+        match self {
+            TomlValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+    fn as_float(&self) -> Option<f64> {
+        match self {
+            TomlValue::Float(f) => Some(*f),
+            TomlValue::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed TOML document: section → key → value.
+pub type TomlDoc = BTreeMap<String, BTreeMap<String, TomlValue>>;
+
+/// Errors from config parsing.
+#[derive(Debug)]
+pub enum ConfigError {
+    /// A line could not be parsed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A required key was absent or had the wrong type.
+    Missing(String),
+    /// A value was present but invalid (bad address, bad role, ...).
+    Invalid(String),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ConfigError::Missing(k) => write!(f, "missing or mistyped key: {k}"),
+            ConfigError::Invalid(m) => write!(f, "invalid value: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Parses the supported TOML subset.
+pub fn parse_toml(text: &str) -> Result<TomlDoc, ConfigError> {
+    let mut doc: TomlDoc = BTreeMap::new();
+    let mut section = String::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            section = name.trim().to_string();
+            doc.entry(section.clone()).or_default();
+            continue;
+        }
+        let (key, value) = line.split_once('=').ok_or_else(|| ConfigError::Syntax {
+            line: line_no,
+            message: format!("expected `key = value`, got `{line}`"),
+        })?;
+        let value = parse_value(value.trim()).ok_or_else(|| ConfigError::Syntax {
+            line: line_no,
+            message: format!("unparsable value `{}`", value.trim()),
+        })?;
+        doc.entry(section.clone())
+            .or_default()
+            .insert(key.trim().to_string(), value);
+    }
+    Ok(doc)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A `#` outside quotes starts a comment.
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str) -> Option<TomlValue> {
+    if let Some(inner) = text.strip_prefix('"').and_then(|s| s.strip_suffix('"')) {
+        return Some(TomlValue::Str(inner.to_string()));
+    }
+    match text {
+        "true" => return Some(TomlValue::Bool(true)),
+        "false" => return Some(TomlValue::Bool(false)),
+        _ => {}
+    }
+    let normalized = text.replace('_', "");
+    if let Ok(i) = normalized.parse::<i64>() {
+        return Some(TomlValue::Int(i));
+    }
+    if let Ok(f) = normalized.parse::<f64>() {
+        return Some(TomlValue::Float(f));
+    }
+    None
+}
+
+/// Which node this process runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// A consensus server with the given id.
+    Server(ServerId),
+    /// A workload client with the given id.
+    Client(ClientId),
+}
+
+impl NodeRole {
+    /// The actor identity of this role.
+    pub fn actor(&self) -> Actor {
+        match self {
+            NodeRole::Server(s) => Actor::Server(*s),
+            NodeRole::Client(c) => Actor::Client(*c),
+        }
+    }
+}
+
+/// Everything `prestige-node` needs to join a cluster.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// This process's role and identity.
+    pub role: NodeRole,
+    /// Consensus configuration (shared by every node in the cluster).
+    pub cluster: ClusterConfig,
+    /// Deterministic seed shared by the cluster (keys, timeout jitter).
+    pub seed: u64,
+    /// Number of clients the shared key registry must cover.
+    pub clients: u64,
+    /// Closed-loop window for client roles.
+    pub concurrency: usize,
+    /// How long to run before reporting and exiting; `None` = run forever.
+    pub duration_s: Option<f64>,
+    /// Address this node listens on (its own entry in `[peers]`).
+    pub listen: SocketAddr,
+    /// Peer addresses (including this node's own entry).
+    pub peers: HashMap<Actor, SocketAddr>,
+}
+
+impl NodeConfig {
+    /// Loads a [`NodeConfig`] from TOML text. `role_override`, when given,
+    /// replaces the `[node]` section's role/id (so one file can serve all
+    /// nodes: `prestige-node --config cluster.toml --as s2`).
+    pub fn from_toml(text: &str, role_override: Option<&str>) -> Result<Self, ConfigError> {
+        let doc = parse_toml(text)?;
+        let get = |section: &str, key: &str| -> Option<&TomlValue> {
+            doc.get(section).and_then(|s| s.get(key))
+        };
+
+        // Integer keys are range-checked: a negative value must be a config
+        // error, not a silent two's-complement wrap into a huge count.
+        fn positive<T: TryFrom<i64>>(key: &str, raw: i64) -> Result<T, ConfigError> {
+            T::try_from(raw)
+                .map_err(|_| ConfigError::Invalid(format!("{key} = {raw} is out of range")))
+        }
+        let n: u32 = positive(
+            "cluster.n",
+            get("cluster", "n")
+                .and_then(TomlValue::as_int)
+                .ok_or_else(|| ConfigError::Missing("cluster.n".into()))?,
+        )?;
+        let seed: u64 = positive(
+            "cluster.seed",
+            get("cluster", "seed")
+                .and_then(TomlValue::as_int)
+                .unwrap_or(7),
+        )?;
+        let clients: u64 = positive(
+            "cluster.clients",
+            get("cluster", "clients")
+                .and_then(TomlValue::as_int)
+                .unwrap_or(1),
+        )?;
+
+        let mut cluster = ClusterConfig::new(n);
+        if let Some(beta) = get("cluster", "batch_size").and_then(TomlValue::as_int) {
+            cluster.batch_size = positive("cluster.batch_size", beta)?;
+        }
+        if let Some(m) = get("cluster", "payload_size").and_then(TomlValue::as_int) {
+            cluster.payload_size = positive("cluster.payload_size", m)?;
+        }
+        if let Some(ms) = get("timeouts", "base_timeout_ms").and_then(TomlValue::as_float) {
+            cluster.timeouts.base_timeout_ms = ms;
+        }
+        if let Some(ms) = get("timeouts", "randomization_ms").and_then(TomlValue::as_float) {
+            cluster.timeouts.randomization_ms = ms;
+        }
+        if let Some(ms) = get("timeouts", "client_timeout_ms").and_then(TomlValue::as_float) {
+            cluster.timeouts.client_timeout_ms = ms;
+        }
+        if let Some(ms) = get("timeouts", "complaint_grace_ms").and_then(TomlValue::as_float) {
+            cluster.timeouts.complaint_grace_ms = ms;
+        }
+
+        let role_text: String = match role_override {
+            Some(text) => text.to_string(),
+            None => {
+                let role = get("node", "role")
+                    .and_then(TomlValue::as_str)
+                    .ok_or_else(|| ConfigError::Missing("node.role".into()))?;
+                let id = get("node", "id")
+                    .and_then(TomlValue::as_int)
+                    .ok_or_else(|| ConfigError::Missing("node.id".into()))?;
+                let prefix = match role {
+                    "server" => 's',
+                    "client" => 'c',
+                    other => return Err(ConfigError::Invalid(format!("node.role `{other}`"))),
+                };
+                format!("{prefix}{id}")
+            }
+        };
+        let role = parse_role(&role_text)?;
+
+        let mut peers = HashMap::new();
+        if let Some(section) = doc.get("peers") {
+            for (key, value) in section {
+                let actor = parse_role(key)?.actor();
+                let addr: SocketAddr = value
+                    .as_str()
+                    .ok_or_else(|| ConfigError::Invalid(format!("peers.{key} must be a string")))?
+                    .parse()
+                    .map_err(|_| ConfigError::Invalid(format!("peers.{key}: bad address")))?;
+                peers.insert(actor, addr);
+            }
+        }
+        let listen = *peers
+            .get(&role.actor())
+            .ok_or_else(|| ConfigError::Missing(format!("peers entry for {}", role_text)))?;
+
+        let concurrency: usize = positive(
+            "workload.concurrency",
+            get("workload", "concurrency")
+                .and_then(TomlValue::as_int)
+                .unwrap_or(64),
+        )?;
+        let duration_s = get("workload", "duration_s").and_then(TomlValue::as_float);
+
+        Ok(NodeConfig {
+            role,
+            cluster,
+            seed,
+            clients,
+            concurrency,
+            duration_s,
+            listen,
+            peers,
+        })
+    }
+}
+
+/// Parses `s3` / `c0` style node names.
+fn parse_role(text: &str) -> Result<NodeRole, ConfigError> {
+    let bad = || ConfigError::Invalid(format!("node name `{text}` (expected sN or cN)"));
+    if let Some(rest) = text.strip_prefix('s') {
+        let id: u32 = rest.parse().map_err(|_| bad())?;
+        Ok(NodeRole::Server(ServerId(id)))
+    } else if let Some(rest) = text.strip_prefix('c') {
+        let id: u64 = rest.parse().map_err(|_| bad())?;
+        Ok(NodeRole::Client(ClientId(id)))
+    } else {
+        Err(bad())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# full cluster description
+[cluster]
+n = 4
+seed = 11
+batch_size = 200
+clients = 2
+
+[node]
+role = "server"
+id = 2
+
+[workload]
+concurrency = 32
+duration_s = 5.5
+
+[timeouts]
+base_timeout_ms = 500.0
+
+[peers]
+s0 = "127.0.0.1:7000"
+s1 = "127.0.0.1:7001"
+s2 = "127.0.0.1:7002"  # this node
+s3 = "127.0.0.1:7003"
+c0 = "127.0.0.1:7100"
+c1 = "127.0.0.1:7101"
+"#;
+
+    #[test]
+    fn parses_full_config() {
+        let cfg = NodeConfig::from_toml(SAMPLE, None).unwrap();
+        assert_eq!(cfg.role, NodeRole::Server(ServerId(2)));
+        assert_eq!(cfg.cluster.n(), 4);
+        assert_eq!(cfg.cluster.batch_size, 200);
+        assert_eq!(cfg.cluster.timeouts.base_timeout_ms, 500.0);
+        assert_eq!(cfg.seed, 11);
+        assert_eq!(cfg.clients, 2);
+        assert_eq!(cfg.concurrency, 32);
+        assert_eq!(cfg.duration_s, Some(5.5));
+        assert_eq!(cfg.listen, "127.0.0.1:7002".parse().unwrap());
+        assert_eq!(cfg.peers.len(), 6);
+    }
+
+    #[test]
+    fn role_override_repoints_listen_address() {
+        let cfg = NodeConfig::from_toml(SAMPLE, Some("c1")).unwrap();
+        assert_eq!(cfg.role, NodeRole::Client(ClientId(1)));
+        assert_eq!(cfg.listen, "127.0.0.1:7101".parse().unwrap());
+    }
+
+    #[test]
+    fn missing_required_keys_are_reported() {
+        assert!(matches!(
+            NodeConfig::from_toml("[node]\nrole = \"server\"\nid = 0\n", None),
+            Err(ConfigError::Missing(_))
+        ));
+    }
+
+    #[test]
+    fn comments_and_underscore_numbers_parse() {
+        let doc = parse_toml("a = 1_000 # thousand\nb = \"x # not a comment\"\n").unwrap();
+        assert_eq!(doc[""]["a"], TomlValue::Int(1000));
+        assert_eq!(doc[""]["b"], TomlValue::Str("x # not a comment".into()));
+    }
+
+    #[test]
+    fn bad_lines_name_their_line_number() {
+        let err = parse_toml("ok = 1\nnot a kv line\n").unwrap_err();
+        match err {
+            ConfigError::Syntax { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! The transport abstraction and the in-process loopback implementation.
+//!
+//! A [`Transport`] moves protocol messages between [`Actor`]s. The node
+//! runtime is written against this trait only, so the same cluster code runs
+//! over the channel-based [`LoopbackNet`] (fast, in-process, used by
+//! integration tests and CI) and the TCP transport in [`crate::tcp`]
+//! (real sockets, used by the `prestige-node` binary).
+
+use prestige_types::Actor;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Default per-endpoint inbound queue capacity (messages). When a queue is
+/// full the sender drops the message — BFT protocols are loss-tolerant by
+/// construction (clients re-propose and complain; followers sync up).
+pub const DEFAULT_QUEUE_CAPACITY: usize = 16 * 1024;
+
+/// Counters shared between a transport and its observers.
+#[derive(Debug, Default)]
+pub struct TransportStats {
+    /// Messages handed to the transport for delivery.
+    pub sent: AtomicU64,
+    /// Messages received and handed to the node.
+    pub received: AtomicU64,
+    /// Messages dropped because the destination queue was full
+    /// (backpressure) or the destination was unreachable.
+    pub dropped: AtomicU64,
+}
+
+impl TransportStats {
+    /// Snapshot of `(sent, received, dropped)`.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.sent.load(Ordering::Relaxed),
+            self.received.load(Ordering::Relaxed),
+            self.dropped.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A bidirectional message channel binding one actor to the rest of the
+/// cluster.
+pub trait Transport<M>: Send {
+    /// The actor this endpoint belongs to.
+    fn me(&self) -> Actor;
+
+    /// Queues `message` for delivery to `to`. Never blocks the caller; on
+    /// backpressure or unreachable destination the message is dropped and
+    /// counted.
+    fn send(&mut self, to: Actor, message: M);
+
+    /// Waits up to `timeout` for an inbound message.
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<(Actor, M)>;
+
+    /// Shared delivery counters.
+    fn stats(&self) -> Arc<TransportStats>;
+
+    /// Releases resources and deregisters from the network. Called once when
+    /// the driving runtime shuts down.
+    fn shutdown(&mut self) {}
+}
+
+type Registry<M> = Arc<Mutex<HashMap<Actor, SyncSender<(Actor, M)>>>>;
+
+/// An in-process cluster fabric: every endpoint is an mpsc pair registered in
+/// a shared map. Message payloads move by value — no serialization — which
+/// keeps loopback clusters fast enough for CI while exercising the full
+/// runtime (threads, timers, backpressure, crash = deregistration).
+pub struct LoopbackNet<M> {
+    registry: Registry<M>,
+    capacity: usize,
+}
+
+impl<M> Clone for LoopbackNet<M> {
+    fn clone(&self) -> Self {
+        LoopbackNet {
+            registry: Arc::clone(&self.registry),
+            capacity: self.capacity,
+        }
+    }
+}
+
+impl<M: Send + 'static> LoopbackNet<M> {
+    /// A fabric whose endpoints buffer up to [`DEFAULT_QUEUE_CAPACITY`]
+    /// messages.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_QUEUE_CAPACITY)
+    }
+
+    /// A fabric with a custom per-endpoint queue capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        LoopbackNet {
+            registry: Arc::new(Mutex::new(HashMap::new())),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Creates and registers the endpoint for `me`. Panics if the actor
+    /// already has a live endpoint.
+    pub fn endpoint(&self, me: Actor) -> LoopbackTransport<M> {
+        let (tx, rx) = sync_channel(self.capacity);
+        let previous = self.registry.lock().expect("registry lock").insert(me, tx);
+        assert!(previous.is_none(), "duplicate loopback endpoint for {me}");
+        LoopbackTransport {
+            me,
+            registry: Arc::clone(&self.registry),
+            rx,
+            stats: Arc::new(TransportStats::default()),
+        }
+    }
+
+    /// Abruptly disconnects an actor (crash injection): its endpoint is
+    /// removed so all traffic towards it is dropped at the senders.
+    pub fn disconnect(&self, actor: Actor) {
+        self.registry.lock().expect("registry lock").remove(&actor);
+    }
+
+    /// Actors currently registered.
+    pub fn connected(&self) -> Vec<Actor> {
+        self.registry
+            .lock()
+            .expect("registry lock")
+            .keys()
+            .copied()
+            .collect()
+    }
+}
+
+impl<M: Send + 'static> Default for LoopbackNet<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One actor's endpoint on a [`LoopbackNet`].
+pub struct LoopbackTransport<M> {
+    me: Actor,
+    registry: Registry<M>,
+    rx: Receiver<(Actor, M)>,
+    stats: Arc<TransportStats>,
+}
+
+impl<M: Send + 'static> Transport<M> for LoopbackTransport<M> {
+    fn me(&self) -> Actor {
+        self.me
+    }
+
+    fn send(&mut self, to: Actor, message: M) {
+        self.stats.sent.fetch_add(1, Ordering::Relaxed);
+        let sender = {
+            let registry = self.registry.lock().expect("registry lock");
+            registry.get(&to).cloned()
+        };
+        match sender {
+            Some(tx) => {
+                if tx.try_send((self.me, message)).is_err() {
+                    self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            None => {
+                self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<(Actor, M)> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(delivery) => {
+                self.stats.received.fetch_add(1, Ordering::Relaxed);
+                Some(delivery)
+            }
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    fn stats(&self) -> Arc<TransportStats> {
+        Arc::clone(&self.stats)
+    }
+
+    fn shutdown(&mut self) {
+        self.registry
+            .lock()
+            .expect("registry lock")
+            .remove(&self.me);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prestige_types::ServerId;
+
+    fn server(i: u32) -> Actor {
+        Actor::Server(ServerId(i))
+    }
+
+    #[test]
+    fn loopback_delivers_between_endpoints() {
+        let net: LoopbackNet<u64> = LoopbackNet::new();
+        let mut a = net.endpoint(server(0));
+        let mut b = net.endpoint(server(1));
+        a.send(server(1), 42);
+        let (from, v) = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(from, server(0));
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn send_to_unknown_actor_is_counted_as_drop() {
+        let net: LoopbackNet<u64> = LoopbackNet::new();
+        let mut a = net.endpoint(server(0));
+        a.send(server(9), 1);
+        assert_eq!(a.stats().snapshot(), (1, 0, 1));
+    }
+
+    #[test]
+    fn backpressure_drops_instead_of_blocking() {
+        let net: LoopbackNet<u64> = LoopbackNet::with_capacity(2);
+        let mut a = net.endpoint(server(0));
+        let _b = net.endpoint(server(1));
+        for i in 0..5 {
+            a.send(server(1), i);
+        }
+        let (sent, _, dropped) = a.stats().snapshot();
+        assert_eq!(sent, 5);
+        assert_eq!(dropped, 3);
+    }
+
+    #[test]
+    fn disconnect_simulates_crash() {
+        let net: LoopbackNet<u64> = LoopbackNet::new();
+        let mut a = net.endpoint(server(0));
+        let _b = net.endpoint(server(1));
+        net.disconnect(server(1));
+        a.send(server(1), 7);
+        assert_eq!(a.stats().snapshot().2, 1);
+        assert_eq!(net.connected(), vec![server(0)]);
+    }
+
+    #[test]
+    fn shutdown_deregisters() {
+        let net: LoopbackNet<u64> = LoopbackNet::new();
+        let mut a = net.endpoint(server(0));
+        a.shutdown();
+        assert!(net.connected().is_empty());
+        // Endpoint slot can be reused after shutdown (restart).
+        let _a2 = net.endpoint(server(0));
+    }
+}

@@ -114,7 +114,7 @@ mod tests {
 
         // P5 = {1,2,3,4} + ten 5s, rp = 5 → δvc ≈ 0.36.
         let mut vals = vec![1, 2, 3, 4];
-        vals.extend(std::iter::repeat(5).take(10));
+        vals.extend(std::iter::repeat_n(5, 10));
         let p = PenaltyHistory::new(vals);
         assert!((delta_vc(5, &p) - 0.36).abs() < 0.01);
     }

@@ -237,7 +237,7 @@ mod tests {
     #[test]
     fn fig4c_row5_patience_earns_compensation() {
         let mut history = vec![1, 2, 3, 4];
-        history.extend(std::iter::repeat(5).take(10));
+        history.extend(std::iter::repeat_n(5, 10));
         let out = engine().calc_rp(&CalcRpInput {
             current_view: View(14),
             new_view: View(15),
@@ -258,7 +258,7 @@ mod tests {
     #[test]
     fn appendix_c_example6_strong_history_reduces_penalty() {
         let mut history = vec![1, 2, 3, 4];
-        history.extend(std::iter::repeat(5).take(10));
+        history.extend(std::iter::repeat_n(5, 10));
         let out = engine().calc_rp(&CalcRpInput {
             current_view: View(14),
             new_view: View(15),
@@ -330,7 +330,10 @@ mod tests {
             penalty_history: vec![1, 2],
         });
         assert_eq!(out.rp_temp, 50);
-        assert!(out.new_rp > 2, "a 48-view jump must leave a visible penalty");
+        assert!(
+            out.new_rp > 2,
+            "a 48-view jump must leave a visible penalty"
+        );
     }
 
     /// The Cδ knob scales the compensation, as §3 describes for applications

@@ -99,7 +99,7 @@ mod tests {
         // P = {1,2,3,4,5}: μ = 3, σ = 1.41 (paper's numbers).
         let p = PenaltyHistory::new(vec![1, 2, 3, 4, 5]);
         assert!((p.mean() - 3.0).abs() < 1e-12);
-        assert!((p.std_dev() - 1.4142).abs() < 1e-3);
+        assert!((p.std_dev() - 2f64.sqrt()).abs() < 1e-3);
     }
 
     #[test]
@@ -114,7 +114,7 @@ mod tests {
     fn appendix_c_long_history() {
         // P5 = {1,2,3,4} plus ten 5s: μ = 4.28, σ = 1.27.
         let mut vals = vec![1, 2, 3, 4];
-        vals.extend(std::iter::repeat(5).take(10));
+        vals.extend(std::iter::repeat_n(5, 10));
         let p = PenaltyHistory::new(vals);
         assert!((p.mean() - 4.2857).abs() < 1e-3);
         assert!((p.std_dev() - 1.278).abs() < 0.01);

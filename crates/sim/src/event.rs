@@ -162,7 +162,9 @@ mod tests {
                 tag: 0,
             },
         );
-        let order: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.as_ms()).collect();
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.as_ms())
+            .collect();
         assert_eq!(order, vec![1.0, 3.0, 5.0]);
     }
 

@@ -13,18 +13,32 @@ use crate::time::{SimDuration, SimTime};
 use prestige_types::Actor;
 use std::any::Any;
 
-/// Buffered effects of one handler invocation (consumed by the runtime).
+/// Buffered effects of one handler invocation.
+///
+/// This is the **driver contract**: any runtime — the deterministic simulator
+/// in this crate or the real networking runtime in `prestige-net` — drives a
+/// [`Process`] by constructing a [`Context`] over an `Effects` buffer,
+/// invoking a handler, and then turning the buffered effects into reality
+/// (simulated events or actual socket writes and OS timers). Protocol code
+/// never sees which runtime it is on.
 #[derive(Debug, Default)]
-pub(crate) struct Outputs<M> {
-    pub(crate) sends: Vec<(Actor, M)>,
-    pub(crate) timers: Vec<(TimerId, SimDuration, u64)>,
-    pub(crate) cancels: Vec<TimerId>,
-    pub(crate) cpu: SimDuration,
+pub struct Effects<M> {
+    /// Messages to transmit, in emission order.
+    pub sends: Vec<(Actor, M)>,
+    /// Timers to arm: `(id, delay from now, protocol tag)`.
+    pub timers: Vec<(TimerId, SimDuration, u64)>,
+    /// Previously armed timers to cancel.
+    pub cancels: Vec<TimerId>,
+    /// CPU time consumed by the handler. The simulator turns this into
+    /// processing delay; real runtimes may ignore it (real CPU time passes by
+    /// itself) or export it as a metric.
+    pub cpu: SimDuration,
 }
 
-impl<M> Outputs<M> {
-    pub(crate) fn new() -> Self {
-        Outputs {
+impl<M> Effects<M> {
+    /// An empty effects buffer.
+    pub fn new() -> Self {
+        Effects {
             sends: Vec::new(),
             timers: Vec::new(),
             cancels: Vec::new(),
@@ -40,16 +54,20 @@ pub struct Context<'a, M> {
     me: Actor,
     rng: &'a mut SimRng,
     next_timer_id: &'a mut u64,
-    outputs: &'a mut Outputs<M>,
+    outputs: &'a mut Effects<M>,
 }
 
 impl<'a, M> Context<'a, M> {
-    pub(crate) fn new(
+    /// Creates a handler context for one invocation. `now` is the driving
+    /// runtime's current time, `next_timer_id` its monotonically increasing
+    /// timer-id allocator, and `outputs` the buffer the handler's effects
+    /// accumulate into. Part of the public driver contract (see [`Effects`]).
+    pub fn new(
         now: SimTime,
         me: Actor,
         rng: &'a mut SimRng,
         next_timer_id: &'a mut u64,
-        outputs: &'a mut Outputs<M>,
+        outputs: &'a mut Effects<M>,
     ) -> Self {
         Context {
             now,
@@ -170,9 +188,15 @@ mod tests {
     fn context_buffers_effects() {
         let mut rng = SimRng::new(1);
         let mut next_id = 0;
-        let mut outputs = Outputs::new();
+        let mut outputs = Effects::new();
         let me = Actor::Server(ServerId(0));
-        let mut ctx = Context::new(SimTime::from_ms(5.0), me, &mut rng, &mut next_id, &mut outputs);
+        let mut ctx = Context::new(
+            SimTime::from_ms(5.0),
+            me,
+            &mut rng,
+            &mut next_id,
+            &mut outputs,
+        );
 
         assert_eq!(ctx.now(), SimTime::from_ms(5.0));
         assert_eq!(ctx.me(), me);
@@ -195,7 +219,7 @@ mod tests {
         let mut node = Echo { received: vec![] };
         let mut rng = SimRng::new(2);
         let mut next_id = 0;
-        let mut outputs = Outputs::new();
+        let mut outputs = Effects::new();
         let me = Actor::Server(ServerId(0));
         let mut ctx = Context::new(SimTime::ZERO, me, &mut rng, &mut next_id, &mut outputs);
         node.on_message(Actor::Server(ServerId(1)), 3, &mut ctx);

@@ -11,7 +11,7 @@
 
 use crate::event::{EventPayload, EventQueue, TimerId};
 use crate::network::{LinkState, NetworkConfig};
-use crate::process::{Context, Outputs, Process};
+use crate::process::{Context, Effects, Process};
 use crate::rng::SimRng;
 use crate::stats::NetStats;
 use crate::time::{SimDuration, SimTime};
@@ -148,7 +148,7 @@ impl<M: Wire + 'static> Simulation<M> {
         self.started = true;
         let actors = self.node_order.clone();
         for actor in actors {
-            let mut outputs = Outputs::new();
+            let mut outputs = Effects::new();
             {
                 let node = self.nodes.get_mut(&actor).expect("registered node");
                 let rng = self.node_rngs.get_mut(&actor).expect("node rng");
@@ -209,7 +209,7 @@ impl<M: Wire + 'static> Simulation<M> {
                 }
                 self.stats
                     .record_delivery(message.kind(), message.wire_size());
-                let mut outputs = Outputs::new();
+                let mut outputs = Effects::new();
                 {
                     let node = match self.nodes.get_mut(&actor) {
                         Some(n) => n,
@@ -231,7 +231,7 @@ impl<M: Wire + 'static> Simulation<M> {
                     return true;
                 }
                 self.stats.timers_fired += 1;
-                let mut outputs = Outputs::new();
+                let mut outputs = Effects::new();
                 {
                     let node = match self.nodes.get_mut(&actor) {
                         Some(n) => n,
@@ -254,7 +254,7 @@ impl<M: Wire + 'static> Simulation<M> {
     }
 
     /// Turns a handler's buffered effects into future events.
-    fn apply_outputs(&mut self, from: Actor, outputs: Outputs<M>) {
+    fn apply_outputs(&mut self, from: Actor, outputs: Effects<M>) {
         // CPU charge: the node is busy for `cpu` after this handler.
         if outputs.cpu > SimDuration::ZERO {
             let free = self.cpu_free.entry(from).or_insert(SimTime::ZERO);

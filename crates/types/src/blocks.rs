@@ -10,12 +10,14 @@
 use crate::ids::{SeqNum, ServerId, View};
 use crate::qc::QuorumCertificate;
 use crate::transaction::{Digest, Transaction};
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Chain pointers shared by both block kinds: the digest of this block and of
 /// its predecessor ("addresses of this block and the previous block").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct BlockHeader {
     /// Digest identifying this block.
     pub digest: Digest,
@@ -26,7 +28,8 @@ pub struct BlockHeader {
 
 /// A transaction block — the result of one replication consensus instance
 /// ("TX consensus" in Figure 3).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct TxBlock {
     /// Chain pointers.
     pub header: BlockHeader,
@@ -85,7 +88,11 @@ impl TxBlock {
     /// the bandwidth model when blocks are broadcast or synced.
     pub fn wire_size(&self) -> usize {
         let payload: usize = self.tx.iter().map(|t| t.wire_size()).sum();
-        let qcs: usize = self.ordering_qc.as_ref().map(|q| q.wire_size()).unwrap_or(0)
+        let qcs: usize = self
+            .ordering_qc
+            .as_ref()
+            .map(|q| q.wire_size())
+            .unwrap_or(0)
             + self.commit_qc.as_ref().map(|q| q.wire_size()).unwrap_or(0);
         64 + 8 + 8 + payload + self.status.len() + qcs
     }
@@ -93,7 +100,8 @@ impl TxBlock {
 
 /// A view-change block — the result of one view-change consensus instance
 /// ("VC consensus" in Figure 3).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct VcBlock {
     /// Chain pointers.
     pub header: BlockHeader,

@@ -6,10 +6,12 @@
 //! seconds). The simulator converts them into its internal tick representation.
 
 use crate::ids::ReplicaSet;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// Timer configuration for failure detection and elections (§4.2.1, §6.2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct TimeoutConfig {
     /// Lower bound of the randomized follower/candidate timeout (ms).
     pub base_timeout_ms: f64,
@@ -49,7 +51,8 @@ impl TimeoutConfig {
 }
 
 /// Reputation engine configuration (§3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct ReputationConfig {
     /// The constant `Cδ` of Eq. 4 adjusting the effect of δtx·δvc.
     pub c_delta: f64,
@@ -77,7 +80,8 @@ impl Default for ReputationConfig {
 }
 
 /// How the proof-of-work reputation puzzle is executed.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum PowMode {
     /// Actually iterate SHA-256 until the required prefix is found. The
     /// difficulty unit is `bits_per_unit` leading zero *bits* per point of
@@ -100,7 +104,8 @@ pub enum PowMode {
 }
 
 /// Proof-of-work configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct PowConfig {
     /// Execution mode (real or modeled).
     pub mode: PowMode,
@@ -123,7 +128,8 @@ impl Default for PowConfig {
 
 /// When servers trigger view changes beyond failure detection (§4.2.1 and the
 /// r10 / r30 policies of §6.2).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum ViewChangePolicy {
     /// Only change views when a leader failure is confirmed.
     OnFailureOnly,
@@ -158,7 +164,8 @@ impl ViewChangePolicy {
 }
 
 /// Full cluster configuration shared by PrestigeBFT and the baselines.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct ClusterConfig {
     /// The replica set (`n`, and derived `f` and quorum sizes).
     pub replicas: ReplicaSet,

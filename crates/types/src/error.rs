@@ -6,6 +6,7 @@
 //! Byzantine peer's message simply fails one of these checks.
 
 use crate::ids::{SeqNum, ServerId, View};
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -13,7 +14,8 @@ use std::fmt;
 pub type Result<T> = std::result::Result<T, ProtocolError>;
 
 /// The ways a protocol message or state transition can be rejected.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum ProtocolError {
     /// A quorum certificate did not meet its threshold or failed verification.
     InvalidQc {

@@ -6,6 +6,7 @@
 //! the arithmetic the protocol actually needs, so that mixing them up is a
 //! compile-time error rather than a consensus bug.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -13,7 +14,8 @@ use std::fmt;
 ///
 /// Servers are numbered from `0` internally; the `Display` impl renders them
 /// as `S1..Sn` to match the paper's notation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct ServerId(pub u32);
 
 impl ServerId {
@@ -37,7 +39,8 @@ impl From<u32> for ServerId {
 }
 
 /// Identifier of a client issuing proposals to the cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct ClientId(pub u64);
 
 impl fmt::Display for ClientId {
@@ -50,9 +53,8 @@ impl fmt::Display for ClientId {
 ///
 /// Views increase monotonically; each view has at most one leader. The paper
 /// starts counting at `V1`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct View(pub u64);
 
 impl View {
@@ -89,9 +91,8 @@ impl From<u64> for View {
 }
 
 /// A sequence number for replicated transaction blocks (`T#` in the paper).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct SeqNum(pub u64);
 
 impl SeqNum {
@@ -118,7 +119,8 @@ impl From<u64> for SeqNum {
 
 /// The set of replicas participating in consensus, together with the quorum
 /// arithmetic the BFT protocols rely on (`n = 3f + 1`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct ReplicaSet {
     n: u32,
 }
@@ -222,7 +224,10 @@ mod tests {
     fn replica_set_iteration_and_membership() {
         let rs = ReplicaSet::new(4);
         let ids: Vec<_> = rs.servers().collect();
-        assert_eq!(ids, vec![ServerId(0), ServerId(1), ServerId(2), ServerId(3)]);
+        assert_eq!(
+            ids,
+            vec![ServerId(0), ServerId(1), ServerId(2), ServerId(3)]
+        );
         assert!(rs.contains(ServerId(3)));
         assert!(!rs.contains(ServerId(4)));
     }

@@ -15,6 +15,7 @@ use crate::blocks::{TxBlock, VcBlock};
 use crate::ids::{ClientId, SeqNum, ServerId, View};
 use crate::qc::{PartialSig, QuorumCertificate};
 use crate::transaction::{Digest, Proposal};
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// Minimal contract a message type must satisfy to travel over the simulated
@@ -28,7 +29,8 @@ pub trait Wire: Clone + std::fmt::Debug {
 }
 
 /// A participant in the protocol: either a consensus server or a client.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum Actor {
     /// A consensus server (replica).
     Server(ServerId),
@@ -47,7 +49,8 @@ impl std::fmt::Display for Actor {
 
 /// Which log a `SyncUp` request targets (the `btype` block interface of the
 /// paper's `SyncUp` function).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum SyncKind {
     /// Sync missing view-change blocks.
     ViewChange,
@@ -56,7 +59,8 @@ pub enum SyncKind {
 }
 
 /// Coarse message category used by metrics to attribute bandwidth and counts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum MessageKind {
     /// Client request / reply traffic.
     Client,
@@ -75,7 +79,8 @@ pub enum MessageKind {
 /// Signature fields (`sig`) are 32-byte keyed-MAC signatures produced by
 /// `prestige-crypto`; `PartialSig` fields are threshold-signature shares that
 /// the recipient aggregates into quorum certificates.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum Message {
     // ------------------------------------------------------------------
     // Client interaction (§4.3: invoking and terminating consensus)
@@ -442,7 +447,8 @@ impl Wire for Message {
 }
 
 /// An addressed network message: the envelope the simulator delivers.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct NetMessage {
     /// Sender of the message.
     pub from: Actor,
@@ -504,6 +510,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "serde")]
     fn message_serde_round_trip() {
         let msg = Message::VoteCP {
             new_view: View(9),
@@ -513,8 +520,8 @@ mod tests {
                 sig: [7; 32],
             },
         };
-        let json = serde_json::to_string(&msg).unwrap();
-        let back: Message = serde_json::from_str(&json).unwrap();
+        let bytes = bincode::serialize(&msg).unwrap();
+        let back: Message = bincode::deserialize(&bytes).unwrap();
         assert_eq!(back, msg);
     }
 }

@@ -16,10 +16,12 @@
 
 use crate::ids::{SeqNum, ServerId, View};
 use crate::transaction::Digest;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// The kind of quorum certificate, which also fixes its threshold.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum QcKind {
     /// Confirms that a view change is necessary (`f + 1` ReVC replies).
     Confirm,
@@ -48,7 +50,8 @@ impl QcKind {
 }
 
 /// One server's individually signed contribution (a "share") toward a QC.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct PartialSig {
     /// The signing server.
     pub signer: ServerId,
@@ -62,7 +65,8 @@ pub struct PartialSig {
 /// The statement signed is `(kind, view, seq, digest)`; the aggregate
 /// signature and the signer bitmap prove that `threshold` distinct servers
 /// endorsed it.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct QuorumCertificate {
     /// Which protocol step this QC certifies.
     pub kind: QcKind,

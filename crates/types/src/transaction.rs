@@ -7,6 +7,7 @@
 //! itself lives in `prestige-crypto`.
 
 use crate::ids::ClientId;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -14,7 +15,8 @@ use std::fmt;
 ///
 /// `prestige-crypto` produces these; they are defined here so block and
 /// message types can reference digests without depending on the crypto crate.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default, PartialOrd, Ord)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Digest(pub [u8; 32]);
 
 impl Digest {
@@ -83,7 +85,8 @@ impl AsRef<[u8]> for Digest {
 ///
 /// The evaluation uses random payloads of `m = 32` or `64` bytes; the payload
 /// length is what matters for the bandwidth model.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Transaction {
     /// The client that issued this transaction.
     pub client: ClientId,
@@ -132,7 +135,8 @@ impl Transaction {
 
 /// A client proposal message payload (`Prop` in §4.3) — the transaction plus
 /// the digest the client computed over it.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Proposal {
     /// The proposed transaction.
     pub tx: Transaction,

@@ -122,7 +122,10 @@ mod tests {
     fn count_is_clamped_to_cluster_size() {
         let plan = FaultPlan::Equivocate { count: 10 };
         assert_eq!(plan.behaviors(4).len(), 4);
-        assert_eq!(plan.behaviors(4).iter().filter(|x| x.is_faulty()).count(), 4);
+        assert_eq!(
+            plan.behaviors(4).iter().filter(|x| x.is_faulty()).count(),
+            4
+        );
     }
 
     #[test]

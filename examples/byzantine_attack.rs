@@ -15,9 +15,12 @@ fn main() {
     let seed = 99;
     let n = 4u32;
     let attacker = ServerId(3);
-    let mut config = ClusterConfig::new(n)
-        .with_batch_size(100)
-        .with_policy(ViewChangePolicy::Timing { interval_ms: 3000.0 });
+    let mut config =
+        ClusterConfig::new(n)
+            .with_batch_size(100)
+            .with_policy(ViewChangePolicy::Timing {
+                interval_ms: 3000.0,
+            });
     config.timeouts = TimeoutConfig {
         base_timeout_ms: 300.0,
         randomization_ms: 300.0,

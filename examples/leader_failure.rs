@@ -68,7 +68,10 @@ fn main() {
     println!(
         "reputation penalties on S2's books: {:?}",
         (0..n)
-            .map(|i| (format!("{}", ServerId(i)), s2.store().current_rp(ServerId(i))))
+            .map(|i| (
+                format!("{}", ServerId(i)),
+                s2.store().current_rp(ServerId(i))
+            ))
             .collect::<Vec<_>>()
     );
 }

@@ -36,7 +36,10 @@ fn main() {
         latest_tx_seq: SeqNum(1),
         penalty_history: vec![1, 2, 3, 4, 5],
     });
-    show("① repeated repossession without replication (campaign for V6):", &case1);
+    show(
+        "① repeated repossession without replication (campaign for V6):",
+        &case1,
+    );
 
     // ② S1 replicated 20 txBlocks in V5 first: compensation of 1, rp stays 5.
     let case2 = engine.calc_rp(&CalcRpInput {
@@ -47,7 +50,10 @@ fn main() {
         latest_tx_seq: SeqNum(20),
         penalty_history: vec![1, 2, 3, 4, 5],
     });
-    show("② 20 txBlocks replicated before campaigning for V6:", &case2);
+    show(
+        "② 20 txBlocks replicated before campaigning for V6:",
+        &case2,
+    );
 
     // ③ In V6 it replicates 30 more (50 total) and campaigns for V7 with
     //   ci = 20: δ ≈ 0.89 → no compensation, rp 5 → 6.
@@ -59,7 +65,10 @@ fn main() {
         latest_tx_seq: SeqNum(50),
         penalty_history: vec![1, 2, 3, 4, 5, 5],
     });
-    show("③ only 50 txBlocks total (ci = 20) when campaigning for V7:", &case3);
+    show(
+        "③ only 50 txBlocks total (ci = 20) when campaigning for V7:",
+        &case3,
+    );
 
     // ④ With 100 txBlocks total, the same campaign earns compensation.
     let case4 = engine.calc_rp(&CalcRpInput {
@@ -75,7 +84,7 @@ fn main() {
     // ⑤ S1 stays a follower from V7 to V14 (its penalty history fills with
     //   5s), then campaigns for V15: δvc ≈ 0.36 → compensated.
     let mut history = vec![1, 2, 3, 4];
-    history.extend(std::iter::repeat(5).take(10));
+    history.extend(std::iter::repeat_n(5, 10));
     let case5 = engine.calc_rp(&CalcRpInput {
         current_view: View(14),
         new_view: View(15),

@@ -14,6 +14,9 @@
 //!   quorum certificates, the reputation proof-of-work puzzle;
 //! * [`sim`] (`prestige-sim`) — the deterministic discrete-event cluster
 //!   simulator that stands in for the paper's VM testbed;
+//! * [`net`] (`prestige-net`) — the real networking runtime: wire codec,
+//!   loopback + TCP transports, and the node runtime that runs the same
+//!   servers on actual sockets (see `examples/real_cluster.rs`);
 //! * [`baselines`] (`prestige-baselines`) — HotStuff-style / SBFT-lite /
 //!   Prosecutor-lite passive-view-change baselines;
 //! * [`types`], [`workloads`], [`metrics`], [`experiments`] — shared types,
@@ -50,6 +53,7 @@ pub use prestige_core as core;
 pub use prestige_crypto as crypto;
 pub use prestige_experiments as experiments;
 pub use prestige_metrics as metrics;
+pub use prestige_net as net;
 pub use prestige_reputation as reputation;
 pub use prestige_sim as sim;
 pub use prestige_types as types;
@@ -59,17 +63,17 @@ pub use prestige_workloads as workloads;
 pub mod prelude {
     pub use prestige_baselines::{BaselineProtocol, PassiveBftServer};
     pub use prestige_core::{
-        AttackStrategy, ByzantineBehavior, ClientConfig, PrestigeClient, PrestigeServer,
-        ServerRole,
+        AttackStrategy, ByzantineBehavior, ClientConfig, PrestigeClient, PrestigeServer, ServerRole,
     };
     pub use prestige_crypto::{KeyRegistry, PowPuzzle, PowSolver, Sha256};
     pub use prestige_experiments::{all_experiments, ExperimentConfig, Scale};
     pub use prestige_metrics::{LatencyStats, Table};
+    pub use prestige_net::{LocalCluster, NodeHandle};
     pub use prestige_reputation::{CalcRpInput, ReputationEngine};
     pub use prestige_sim::{NetworkConfig, SimDuration, SimTime, Simulation};
     pub use prestige_types::{
-        Actor, ClientId, ClusterConfig, Message, ReplicaSet, SeqNum, ServerId, TimeoutConfig,
-        View, ViewChangePolicy,
+        Actor, ClientId, ClusterConfig, Message, ReplicaSet, SeqNum, ServerId, TimeoutConfig, View,
+        ViewChangePolicy,
     };
     pub use prestige_workloads::{FaultPlan, ProtocolChoice, WorkloadSpec};
 }

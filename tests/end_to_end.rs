@@ -39,9 +39,12 @@ fn prestige_outperforms_hotstuff_under_frequent_rotations_with_quiet_faults() {
     // workload, timing-policy rotations, one quiet faulty server. PrestigeBFT
     // skips the faulty server (it cannot win an election); HotStuff's passive
     // schedule keeps handing it leadership.
-    let mut config = ClusterConfig::new(4)
-        .with_batch_size(100)
-        .with_policy(ViewChangePolicy::Timing { interval_ms: 2500.0 });
+    let mut config =
+        ClusterConfig::new(4)
+            .with_batch_size(100)
+            .with_policy(ViewChangePolicy::Timing {
+                interval_ms: 2500.0,
+            });
     config.timeouts = TimeoutConfig {
         base_timeout_ms: 800.0,
         randomization_ms: 400.0,
@@ -89,7 +92,10 @@ fn prestige_outperforms_hotstuff_under_frequent_rotations_with_quiet_faults() {
         .unwrap()
         .stats()
         .committed_tx;
-    assert!(pb_tx > 1000 && hs_tx > 1000, "both must make progress: pb={pb_tx} hs={hs_tx}");
+    assert!(
+        pb_tx > 1000 && hs_tx > 1000,
+        "both must make progress: pb={pb_tx} hs={hs_tx}"
+    );
     assert!(
         pb_tx > hs_tx,
         "PrestigeBFT ({pb_tx}) should out-commit HotStuff ({hs_tx}) under faults + rotations"

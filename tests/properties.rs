@@ -1,10 +1,10 @@
 //! Property-based tests over the core data structures and invariants.
 
-use proptest::prelude::*;
 use prestigebft::crypto::{sign_share, QcBuilder, ThresholdVerifier};
 use prestigebft::prelude::*;
 use prestigebft::reputation::{delta_tx, delta_vc, PenaltyHistory};
-use prestigebft::types::{Digest, QcKind};
+use prestigebft::types::{Digest, QcKind, QuorumCertificate};
+use proptest::prelude::*;
 
 proptest! {
     /// SHA-256: incremental hashing equals one-shot hashing for any chunking.
@@ -31,7 +31,7 @@ proptest! {
     fn quorum_intersection(n in 1u32..200) {
         let rs = ReplicaSet::new(n);
         let f = rs.f();
-        prop_assert!(3 * f + 1 <= n);
+        prop_assert!(3 * f < n);
         // Two quorums of size 2f+1 out of n ≤ 3f+3 overlap in ≥ f+1 servers
         // when n = 3f+1; check the arithmetic identity the proofs rely on.
         if n == 3 * f + 1 {
@@ -140,3 +140,72 @@ proptest! {
 }
 
 use rand::SeedableRng;
+
+proptest! {
+    /// Wire round trip: any `Ord` replication payload survives
+    /// serialize → deserialize bit-exactly (the serde derives on
+    /// `prestige-types` and the binary codec agree).
+    #[test]
+    fn message_ord_wire_round_trip(view in 1u64..1_000_000, n in 0u64..1_000_000,
+                                   batch in proptest::collection::vec(any::<u64>(), 0..50),
+                                   payload in proptest::collection::vec(any::<u8>(), 0..256),
+                                   digest in any::<[u8; 32]>(), sig in any::<[u8; 32]>()) {
+        let msg = Message::Ord {
+            view: View(view),
+            n: SeqNum(n),
+            batch: batch
+                .iter()
+                .map(|&ts| {
+                    let tx = prestigebft::types::Transaction::new(ClientId(ts % 7), ts, payload.clone());
+                    prestigebft::types::Proposal::new(tx, Digest(digest))
+                })
+                .collect(),
+            digest: Digest(digest),
+            sig,
+        };
+        let bytes = bincode::serialize(&msg).unwrap();
+        let back: Message = bincode::deserialize(&bytes).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Wire round trip for view-change traffic: campaigns with and without a
+    /// confirmation QC.
+    #[test]
+    fn message_camp_wire_round_trip(view in 1u64..10_000, jump in 1u64..50,
+                                    rp in 1i64..100, ci in 1u64..10_000,
+                                    nonce in any::<u64>(), hash in any::<[u8; 32]>(),
+                                    with_qc in any::<bool>()) {
+        let conf_qc = with_qc.then(|| QuorumCertificate {
+            kind: QcKind::Confirm,
+            view: View(view),
+            seq: SeqNum(0),
+            digest: Digest(hash),
+            signers: vec![ServerId(0), ServerId(2)],
+            aggregate: [3u8; 32],
+        });
+        let msg = Message::Camp {
+            conf_qc,
+            view: View(view),
+            new_view: View(view + jump),
+            rp,
+            ci,
+            nonce,
+            hash_result: Digest(hash),
+            latest_seq: SeqNum(9),
+            latest_tx_digest: Digest(hash),
+            sig: [1u8; 32],
+        };
+        let bytes = bincode::serialize(&msg).unwrap();
+        let back: Message = bincode::deserialize(&bytes).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Corrupt wire input never panics or allocates absurdly: decoding random
+    /// bytes either fails cleanly or yields a message that re-encodes.
+    #[test]
+    fn message_decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(msg) = bincode::deserialize::<Message>(&bytes) {
+            let _ = bincode::serialize(&msg).unwrap();
+        }
+    }
+}
