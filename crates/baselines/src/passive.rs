@@ -13,7 +13,9 @@
 
 use prestige_core::storage::{tx_block_digest, BlockStore};
 use prestige_core::{ByzantineBehavior, Pacemaker, ServerStats};
-use prestige_crypto::{hash_many, sign_share, KeyPair, KeyRegistry, QcBuilder, ThresholdVerifier};
+use prestige_crypto::{
+    hash_many, sign_share, FramedHasher, KeyPair, KeyRegistry, QcBuilder, ThresholdVerifier,
+};
 use prestige_sim::{Context, Process, TimerId};
 use prestige_types::{
     Actor, ClientId, ClusterConfig, Digest, Message, PartialSig, Proposal, QcKind,
@@ -78,7 +80,7 @@ impl BaselineProtocol {
 #[derive(Debug, Clone)]
 struct Instance {
     view: View,
-    batch: Vec<Proposal>,
+    batch: Arc<Vec<Proposal>>,
     digest: Digest,
     prepare_builder: QcBuilder,
     prepare_qc: Option<QuorumCertificate>,
@@ -116,7 +118,7 @@ pub struct PassiveBftServer {
     next_seq: SeqNum,
     inflight: BTreeMap<u64, Instance>,
     ordered_digests: HashMap<u64, Digest>,
-    pending_commit_blocks: BTreeMap<u64, TxBlock>,
+    pending_commit_blocks: BTreeMap<u64, Arc<TxBlock>>,
 
     new_view_builders: HashMap<u64, QcBuilder>,
     new_view_high_seq: HashMap<u64, (SeqNum, ServerId)>,
@@ -232,16 +234,15 @@ impl PassiveBftServer {
     }
 
     fn batch_digest(view: View, n: SeqNum, batch: &[Proposal]) -> Digest {
-        let mut parts: Vec<Vec<u8>> = vec![
-            b"baseline-batch".to_vec(),
-            view.0.to_be_bytes().to_vec(),
-            n.0.to_be_bytes().to_vec(),
-        ];
+        let mut h = FramedHasher::new();
+        h.field(b"baseline-batch")
+            .field(&view.0.to_be_bytes())
+            .field(&n.0.to_be_bytes());
         for p in batch {
-            parts.push(p.tx.client.0.to_be_bytes().to_vec());
-            parts.push(p.tx.timestamp.to_be_bytes().to_vec());
+            h.field(&p.tx.client.0.to_be_bytes())
+                .field(&p.tx.timestamp.to_be_bytes());
         }
-        hash_many(parts.iter().map(|p| p.as_slice()))
+        h.finish()
     }
 
     fn new_view_digest(view: View) -> Digest {
@@ -289,7 +290,7 @@ impl PassiveBftServer {
             return;
         }
         let take = self.pending_proposals.len().min(self.config.batch_size);
-        let batch: Vec<Proposal> = self.pending_proposals.drain(..take).collect();
+        let batch: Arc<Vec<Proposal>> = Arc::new(self.pending_proposals.drain(..take).collect());
         let view = self.view;
         let n = self.next_seq;
         self.next_seq = self.next_seq.next();
@@ -307,7 +308,7 @@ impl PassiveBftServer {
             Message::Ord {
                 view,
                 n,
-                batch: batch.clone(),
+                batch: Arc::clone(&batch),
                 digest,
                 sig,
             },
@@ -333,7 +334,7 @@ impl PassiveBftServer {
         from: Actor,
         view: View,
         n: SeqNum,
-        batch: Vec<Proposal>,
+        batch: Arc<Vec<Proposal>>,
         digest: Digest,
         sig: [u8; 32],
         ctx: &mut Context<Message>,
@@ -361,7 +362,7 @@ impl PassiveBftServer {
             }
         }
         self.ordered_digests.insert(n.0, digest);
-        for proposal in &batch {
+        for proposal in batch.iter() {
             let key = proposal.tx.key();
             if self.seen_tx.insert(key) {
                 self.pending_proposals.push(proposal.clone());
@@ -633,26 +634,27 @@ impl PassiveBftServer {
             .expect("commit builder present")
             .assemble()
             .expect("complete builder assembles");
-        let mut block = TxBlock::new(
-            view,
-            n,
-            instance.batch.iter().map(|p| p.tx.clone()).collect(),
-        );
-        block.ordering_qc = instance.prepare_qc.clone();
+        let txs: Vec<_> = match Arc::try_unwrap(instance.batch) {
+            Ok(batch) => batch.into_iter().map(|p| p.tx).collect(),
+            Err(shared) => shared.iter().map(|p| p.tx.clone()).collect(),
+        };
+        let mut block = TxBlock::new(view, n, txs);
+        block.ordering_qc = instance.prepare_qc;
         block.commit_qc = Some(commit_qc);
         ctx.charge_cpu_ms(self.protocol.extra_block_cpu_ms());
         let sig = self.keypair.sign(tx_block_digest(&block).as_ref());
+        let block = Arc::new(block);
         ctx.broadcast(
             self.other_servers(),
             Message::CommitBlock {
-                block: block.clone(),
+                block: Arc::clone(&block),
                 sig,
             },
         );
         self.apply_committed_block(block, ctx);
     }
 
-    fn handle_commit_block(&mut self, block: TxBlock, ctx: &mut Context<Message>) {
+    fn handle_commit_block(&mut self, block: Arc<TxBlock>, ctx: &mut Context<Message>) {
         ctx.charge_cpu_ms(self.config.per_verify_cpu_ms * 2.0);
         let quorum = self.quorum();
         let verifier = ThresholdVerifier::new(&self.registry);
@@ -673,7 +675,7 @@ impl PassiveBftServer {
         self.apply_committed_block(block, ctx);
     }
 
-    fn apply_committed_block(&mut self, block: TxBlock, ctx: &mut Context<Message>) {
+    fn apply_committed_block(&mut self, block: Arc<TxBlock>, ctx: &mut Context<Message>) {
         if block.n <= self.store.latest_seq() {
             return;
         }
@@ -691,8 +693,8 @@ impl PassiveBftServer {
         }
     }
 
-    fn apply_in_order(&mut self, block: TxBlock, ctx: &mut Context<Message>) {
-        if !self.store.insert_tx_block(block.clone()) {
+    fn apply_in_order(&mut self, block: Arc<TxBlock>, ctx: &mut Context<Message>) {
+        if !self.store.insert_tx_block(Arc::clone(&block)) {
             return;
         }
         self.stats.committed_blocks += 1;
@@ -926,7 +928,7 @@ impl PassiveBftServer {
                 None => false,
             };
             if ok {
-                self.apply_committed_block(block, ctx);
+                self.apply_committed_block(Arc::new(block), ctx);
             }
         }
     }
@@ -1034,7 +1036,7 @@ impl Process<Message> for PassiveBftServer {
                     let message = Message::Ord {
                         view: self.view,
                         n: self.next_seq,
-                        batch: Vec::new(),
+                        batch: Arc::new(Vec::new()),
                         digest: Digest::ZERO,
                         sig: [0xEF; 32],
                     };

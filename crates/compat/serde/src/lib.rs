@@ -432,6 +432,20 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+// `Arc` is encoding-transparent: shared values travel as their contents, so
+// switching an owned message field to `Arc<T>` (for cheap fan-out) never
+// changes the wire format. Decoding allocates a fresh, uniquely owned Arc.
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        (**self).serialize(out);
+    }
+}
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn deserialize(input: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(std::sync::Arc::new(T::deserialize(input)?))
+    }
+}
+
 /// Encodes a value to a fresh byte vector.
 pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
     let mut out = Vec::new();
@@ -495,6 +509,16 @@ mod tests {
         );
         assert_eq!(from_bytes::<u32>(&[1, 2]).unwrap_err(), Error::Eof);
         assert_eq!(from_bytes::<bool>(&[7]).unwrap_err(), Error::InvalidBool(7));
+    }
+
+    #[test]
+    fn arc_is_encoding_transparent() {
+        use std::sync::Arc;
+        let owned = vec![1u32, 2, 3];
+        let shared = Arc::new(owned.clone());
+        assert_eq!(to_bytes(&shared), to_bytes(&owned));
+        let back: Arc<Vec<u32>> = from_bytes(&to_bytes(&owned)).unwrap();
+        assert_eq!(*back, owned);
     }
 
     #[test]

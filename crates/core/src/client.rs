@@ -141,6 +141,16 @@ impl PrestigeClient {
         &self.stats
     }
 
+    /// Clears latency accounting (sum, count, samples) while leaving commit
+    /// counters untouched. Benchmarks call this at the warmup boundary so
+    /// percentiles reflect only the measurement window — without it the
+    /// bounded sample buffer fills during warmup on fast clusters.
+    pub fn reset_latency_stats(&mut self) {
+        self.stats.latency_sum_ms = 0.0;
+        self.stats.latency_count = 0;
+        self.stats.latency_samples.clear();
+    }
+
     /// Number of requests currently outstanding.
     pub fn outstanding_count(&self) -> usize {
         self.outstanding.len()

@@ -39,5 +39,6 @@ mod view_change;
 pub use client::{ClientConfig, ClientStats, PrestigeClient};
 pub use faults::{AttackStrategy, ByzantineBehavior};
 pub use pacemaker::{timer_tags, Pacemaker};
+pub use replication::batch_digest;
 pub use server::{PrestigeServer, ServerRole, ServerStats};
 pub use storage::BlockStore;

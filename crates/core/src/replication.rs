@@ -17,31 +17,42 @@
 use crate::pacemaker::timer_tags;
 use crate::server::{InflightInstance, PrestigeServer, ServerRole};
 use crate::storage::tx_block_digest;
-use prestige_crypto::{hash_many, sign_share, QcBuilder, ThresholdVerifier};
+use prestige_crypto::{sign_share, FramedHasher, QcBuilder, ThresholdVerifier};
 use prestige_sim::Context;
 use prestige_types::{
     Actor, ClientId, Digest, Message, PartialSig, Proposal, QcKind, QuorumCertificate, SeqNum,
-    TxBlock, View,
+    Transaction, TxBlock, View,
 };
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Digest over an ordered batch that both phases' shares sign.
+///
+/// Fields stream into one incremental SHA-256 with the same length framing
+/// the original list-of-parts spec used (`hash_many` over
+/// `["batch", view, n, client₀, ts₀, client₁, ts₁, …]`), so the digest value
+/// is unchanged — pinned by the compatibility proptests — but computing it
+/// allocates nothing.
+pub fn batch_digest(view: View, n: SeqNum, batch: &[Proposal]) -> Digest {
+    let mut h = FramedHasher::new();
+    h.field(b"batch")
+        .field(&view.0.to_be_bytes())
+        .field(&n.0.to_be_bytes());
+    for p in batch {
+        h.field(&p.tx.client.0.to_be_bytes())
+            .field(&p.tx.timestamp.to_be_bytes());
+    }
+    h.finish()
+}
 
 /// CPU cost charged per transaction when hashing / validating a batch (ms).
 /// Roughly the cost of one digest computation on the paper's Skylake vCPUs.
 const PER_TX_CPU_MS: f64 = 0.0004;
 
 impl PrestigeServer {
-    /// Digest over an ordered batch that both phases' shares sign.
+    /// Digest over an ordered batch (see the free function [`batch_digest`]).
     pub(crate) fn batch_digest(view: View, n: SeqNum, batch: &[Proposal]) -> Digest {
-        let mut parts: Vec<Vec<u8>> = vec![
-            b"batch".to_vec(),
-            view.0.to_be_bytes().to_vec(),
-            n.0.to_be_bytes().to_vec(),
-        ];
-        for p in batch {
-            parts.push(p.tx.client.0.to_be_bytes().to_vec());
-            parts.push(p.tx.timestamp.to_be_bytes().to_vec());
-        }
-        hash_many(parts.iter().map(|p| p.as_slice()))
+        batch_digest(view, n, batch)
     }
 
     // ------------------------------------------------------------------
@@ -88,7 +99,9 @@ impl PrestigeServer {
             return;
         }
         let take = self.pending_proposals.len().min(self.config.batch_size);
-        let batch: Vec<Proposal> = self.pending_proposals.drain(..take).collect();
+        // The batch is assembled exactly once and shared: the broadcast `Ord`
+        // and the leader's in-flight instance reference the same allocation.
+        let batch: Arc<Vec<Proposal>> = Arc::new(self.pending_proposals.drain(..take).collect());
         let view = self.current_view();
         let n = self.next_seq;
         self.next_seq = self.next_seq.next();
@@ -106,7 +119,7 @@ impl PrestigeServer {
         let message = Message::Ord {
             view,
             n,
-            batch: batch.clone(),
+            batch: Arc::clone(&batch),
             digest,
             sig,
         };
@@ -143,7 +156,7 @@ impl PrestigeServer {
             let message = Message::Ord {
                 view,
                 n,
-                batch: Vec::new(),
+                batch: Arc::new(Vec::new()),
                 digest: Digest::ZERO,
                 sig: [0xEE; 32],
             };
@@ -166,7 +179,7 @@ impl PrestigeServer {
         from: Actor,
         view: View,
         n: SeqNum,
-        batch: Vec<Proposal>,
+        batch: Arc<Vec<Proposal>>,
         digest: Digest,
         sig: [u8; 32],
         ctx: &mut Context<Message>,
@@ -199,7 +212,7 @@ impl PrestigeServer {
         self.ordered_digests.insert(n.0, digest);
         // Remember the proposals so a later leader can re-propose them if this
         // instance never commits.
-        for proposal in &batch {
+        for proposal in batch.iter() {
             let key = proposal.tx.key();
             if self.seen_tx.insert(key) {
                 self.pending_proposals.push(proposal.clone());
@@ -362,30 +375,37 @@ impl PrestigeServer {
             Err(_) => return,
         };
         let instance = self.inflight.remove(&n.0).expect("instance present");
-        let mut block = TxBlock::new(
-            view,
-            n,
-            instance.batch.iter().map(|p| p.tx.clone()).collect(),
-        );
-        block.ordering_qc = instance.ordering_qc.clone();
+        // The in-flight batch is normally the last live reference by now (the
+        // broadcast `Ord` payloads were consumed on delivery), so the
+        // transactions move straight into the block; a still-shared batch
+        // falls back to per-transaction clones.
+        let txs: Vec<Transaction> = match Arc::try_unwrap(instance.batch) {
+            Ok(batch) => batch.into_iter().map(|p| p.tx).collect(),
+            Err(shared) => shared.iter().map(|p| p.tx.clone()).collect(),
+        };
+        let mut block = TxBlock::new(view, n, txs);
+        block.ordering_qc = instance.ordering_qc;
         block.commit_qc = Some(commit_qc);
 
-        let sig = self.sign(tx_block_digest(&block).as_ref());
+        // Apply locally first: the store adopts the uniquely held block
+        // without copying and hands back the shared, chain-linked form, which
+        // the broadcast then fans out — zero deep copies end to end. The
+        // signature is computed afterwards, over the digest of exactly the
+        // block being broadcast, so receivers can verify it against the wire
+        // content (followers normalize chain pointers on insert regardless).
+        let shared = self.apply_committed_block(Arc::new(block), ctx);
+        let sig = self.sign(tx_block_digest(&shared).as_ref());
         ctx.broadcast(
             self.other_servers(),
-            Message::CommitBlock {
-                block: block.clone(),
-                sig,
-            },
+            Message::CommitBlock { block: shared, sig },
         );
-        self.apply_committed_block(block, ctx);
     }
 
     /// Follower handling of the finalized `CommitBlock` broadcast.
     pub(crate) fn handle_commit_block(
         &mut self,
         _from: Actor,
-        block: TxBlock,
+        block: Arc<TxBlock>,
         _sig: [u8; 32],
         ctx: &mut Context<Message>,
     ) {
@@ -416,14 +436,23 @@ impl PrestigeServer {
     /// Applies a committed block locally: store it, update bookkeeping, and
     /// notify the owning clients. Blocks arriving ahead of a gap are buffered
     /// so every replica applies the log in the same order.
-    pub(crate) fn apply_committed_block(&mut self, block: TxBlock, ctx: &mut Context<Message>) {
+    ///
+    /// Returns the shared block — the stored, chain-linked form when it was
+    /// applied in order — so a leader can fan it out without another copy.
+    pub(crate) fn apply_committed_block(
+        &mut self,
+        block: Arc<TxBlock>,
+        ctx: &mut Context<Message>,
+    ) -> Arc<TxBlock> {
         if block.n <= self.store.latest_seq() {
-            return;
+            return block;
         }
         if block.n.0 > self.store.latest_seq().0 + 1 {
-            self.pending_commit_blocks.insert(block.n.0, block);
-            return;
+            self.pending_commit_blocks
+                .insert(block.n.0, Arc::clone(&block));
+            return block;
         }
+        let n = block.n;
         self.apply_in_order(block, ctx);
         // Drain any buffered successors that are now contiguous.
         while let Some((&next, _)) = self.pending_commit_blocks.iter().next() {
@@ -433,24 +462,33 @@ impl PrestigeServer {
             let block = self.pending_commit_blocks.remove(&next).expect("present");
             self.apply_in_order(block, ctx);
         }
+        // `n` was beyond `latest_seq` and contiguous, so `apply_in_order`
+        // inserted it (or an identical block already present won the race).
+        self.store
+            .tx_block_shared(n)
+            .expect("in-order block was just inserted")
     }
 
     /// Applies one block whose predecessor is already committed.
-    fn apply_in_order(&mut self, block: TxBlock, ctx: &mut Context<Message>) {
-        if !self.store.insert_tx_block(block.clone()) {
-            return;
-        }
-        self.stats.committed_blocks += 1;
-        self.stats.committed_tx += block.tx.len() as u64;
-        self.stats
-            .commit_log
-            .push((ctx.now().as_ms(), block.tx.len() as u64));
-
-        // Clear complaint state and pending proposals for committed keys.
+    fn apply_in_order(&mut self, block: Arc<TxBlock>, ctx: &mut Context<Message>) {
+        let n = block.n;
+        let view = block.view;
+        // Snapshot the identities needed for bookkeeping, then hand the block
+        // itself to the store without copying it.
         let mut committed_keys: Vec<(ClientId, u64)> = Vec::with_capacity(block.tx.len());
         for tx in &block.tx {
             committed_keys.push(tx.key());
         }
+        if !self.store.insert_tx_block(block) {
+            return;
+        }
+        self.stats.committed_blocks += 1;
+        self.stats.committed_tx += committed_keys.len() as u64;
+        self.stats
+            .commit_log
+            .push((ctx.now().as_ms(), committed_keys.len() as u64));
+
+        // Clear complaint state and pending proposals for committed keys.
         for key in &committed_keys {
             self.complaints.remove(key);
             self.seen_tx.insert(*key);
@@ -460,7 +498,7 @@ impl PrestigeServer {
             self.pending_proposals
                 .retain(|p| !committed.contains(&p.tx.key()));
         }
-        self.ordered_digests.remove(&block.n.0);
+        self.ordered_digests.remove(&n.0);
 
         // Notify clients: one Notif per client listing its committed keys.
         let mut by_client: BTreeMap<ClientId, Vec<(ClientId, u64)>> = BTreeMap::new();
@@ -468,13 +506,13 @@ impl PrestigeServer {
             by_client.entry(key.0).or_default().push(key);
         }
         for (client, tx_keys) in by_client {
-            let sig = self.sign(&block.n.0.to_be_bytes());
+            let sig = self.sign(&n.0.to_be_bytes());
             ctx.send(
                 Actor::Client(client),
                 Message::Notif {
                     tx_keys,
-                    seq: block.n,
-                    view: block.view,
+                    seq: n,
+                    view,
                     sig,
                 },
             );

@@ -75,7 +75,8 @@ pub struct ServerStats {
 #[derive(Debug, Clone)]
 pub(crate) struct InflightInstance {
     pub(crate) view: View,
-    pub(crate) batch: Vec<Proposal>,
+    /// The ordered batch, shared with the broadcast `Ord` message.
+    pub(crate) batch: Arc<Vec<Proposal>>,
     pub(crate) digest: Digest,
     pub(crate) ordering_builder: QcBuilder,
     pub(crate) ordering_qc: Option<QuorumCertificate>,
@@ -141,8 +142,9 @@ pub struct PrestigeServer {
     /// Follower-side record of ordered digests (phase-1 acknowledgements).
     pub(crate) ordered_digests: HashMap<u64, Digest>,
     /// Committed blocks received out of order, waiting for their predecessors
-    /// so the digest chain stays identical on every replica.
-    pub(crate) pending_commit_blocks: BTreeMap<u64, prestige_types::TxBlock>,
+    /// so the digest chain stays identical on every replica. Shared handles:
+    /// buffering never copies a block.
+    pub(crate) pending_commit_blocks: BTreeMap<u64, Arc<prestige_types::TxBlock>>,
     /// Whether the leader batch timer is armed.
     pub(crate) batch_timer_armed: bool,
 

@@ -6,50 +6,61 @@
 //! number). Blocks are chained by digest; digests are computed here so every
 //! replica derives identical chain pointers.
 
-use prestige_crypto::hash_many;
+use prestige_crypto::FramedHasher;
 use prestige_types::{Digest, SeqNum, ServerId, TxBlock, VcBlock, View};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Computes the digest identifying a `txBlock` (over its view, sequence
-/// number, previous pointer, and transaction identities).
+/// number, previous pointer, and transaction identities). Fields stream into
+/// one incremental SHA-256 with the same length framing the original
+/// `hash_many` spec used, so digests are unchanged but no intermediate
+/// buffers are built.
 pub fn tx_block_digest(block: &TxBlock) -> Digest {
-    let mut parts: Vec<Vec<u8>> = vec![
-        b"txblock".to_vec(),
-        block.view.0.to_be_bytes().to_vec(),
-        block.n.0.to_be_bytes().to_vec(),
-        block.header.prev_digest.0.to_vec(),
-    ];
+    tx_block_digest_with_prev(block, block.header.prev_digest)
+}
+
+/// [`tx_block_digest`] with the previous-block pointer overridden, so a
+/// candidate block can be compared against an existing chain entry without
+/// cloning or mutating it.
+pub fn tx_block_digest_with_prev(block: &TxBlock, prev: Digest) -> Digest {
+    let mut h = FramedHasher::new();
+    h.field(b"txblock")
+        .field(&block.view.0.to_be_bytes())
+        .field(&block.n.0.to_be_bytes())
+        .field(&prev.0);
     for tx in &block.tx {
-        parts.push(tx.client.0.to_be_bytes().to_vec());
-        parts.push(tx.timestamp.to_be_bytes().to_vec());
+        h.field(&tx.client.0.to_be_bytes())
+            .field(&tx.timestamp.to_be_bytes());
     }
-    hash_many(parts.iter().map(|p| p.as_slice()))
+    h.finish()
 }
 
 /// Computes the digest identifying a `vcBlock` (over its view, leader, previous
-/// pointer, and reputation fragment).
+/// pointer, and reputation fragment). Streaming, like [`tx_block_digest`].
 pub fn vc_block_digest(block: &VcBlock) -> Digest {
-    let mut parts: Vec<Vec<u8>> = vec![
-        b"vcblock".to_vec(),
-        block.v.0.to_be_bytes().to_vec(),
-        (block.leader_id.0 as u64).to_be_bytes().to_vec(),
-        block.header.prev_digest.0.to_vec(),
-    ];
+    let mut h = FramedHasher::new();
+    h.field(b"vcblock")
+        .field(&block.v.0.to_be_bytes())
+        .field(&(block.leader_id.0 as u64).to_be_bytes())
+        .field(&block.header.prev_digest.0);
     for (id, rp) in &block.rp {
-        parts.push((id.0 as u64).to_be_bytes().to_vec());
-        parts.push(rp.to_be_bytes().to_vec());
+        h.field(&(id.0 as u64).to_be_bytes())
+            .field(&rp.to_be_bytes());
     }
     for (id, ci) in &block.ci {
-        parts.push((id.0 as u64).to_be_bytes().to_vec());
-        parts.push(ci.to_be_bytes().to_vec());
+        h.field(&(id.0 as u64).to_be_bytes())
+            .field(&ci.to_be_bytes());
     }
-    hash_many(parts.iter().map(|p| p.as_slice()))
+    h.finish()
 }
 
 /// Per-replica storage of committed blocks.
 #[derive(Debug, Clone)]
 pub struct BlockStore {
-    tx_blocks: BTreeMap<u64, TxBlock>,
+    /// Committed txBlocks, shared so the commit hot path (leader broadcast,
+    /// follower apply, sync) never deep-copies a block.
+    tx_blocks: BTreeMap<u64, Arc<TxBlock>>,
     vc_blocks: BTreeMap<u64, VcBlock>,
 }
 
@@ -64,7 +75,7 @@ impl BlockStore {
         vc_genesis.header.digest = vc_block_digest(&vc_genesis);
 
         let mut tx_blocks = BTreeMap::new();
-        tx_blocks.insert(tx_genesis.n.0, tx_genesis);
+        tx_blocks.insert(tx_genesis.n.0, Arc::new(tx_genesis));
         let mut vc_blocks = BTreeMap::new();
         vc_blocks.insert(vc_genesis.v.0, vc_genesis);
         BlockStore {
@@ -85,6 +96,12 @@ impl BlockStore {
             .expect("store always holds the genesis txBlock")
     }
 
+    /// Shared handle to the committed txBlock at `n`, for zero-copy
+    /// re-broadcast (the block is stored behind an `Arc`).
+    pub fn tx_block_shared(&self, n: SeqNum) -> Option<Arc<TxBlock>> {
+        self.tx_blocks.get(&n.0).map(Arc::clone)
+    }
+
     /// The latest committed sequence number (`ti` in the reputation engine).
     pub fn latest_seq(&self) -> SeqNum {
         self.latest_tx_block().n
@@ -98,35 +115,51 @@ impl BlockStore {
     /// Inserts a committed txBlock, filling in its chain pointers and digest.
     /// Returns `false` (and stores nothing) if a different block already
     /// occupies that sequence number.
-    pub fn insert_tx_block(&mut self, mut block: TxBlock) -> bool {
+    ///
+    /// Accepts either an owned block or an `Arc`-shared one; a uniquely held
+    /// `Arc` (the common case: a block freshly decoded from the wire or
+    /// assembled by the leader) is adopted in place without copying.
+    pub fn insert_tx_block(&mut self, block: impl Into<Arc<TxBlock>>) -> bool {
+        let mut block = block.into();
         if let Some(existing) = self.tx_blocks.get(&block.n.0) {
             // Compare contents with the chain pointer normalized, so the same
             // block re-delivered (e.g. via sync) is accepted idempotently.
-            block.header.prev_digest = existing.header.prev_digest;
-            let same = tx_block_digest(existing) == tx_block_digest(&block);
-            return same;
+            // Stored blocks always carry their computed digest, so one digest
+            // recomputation over the candidate suffices.
+            return tx_block_digest_with_prev(&block, existing.header.prev_digest)
+                == existing.header.digest;
         }
         let prev = self
             .tx_blocks
             .get(&(block.n.0.saturating_sub(1)))
             .map(|b| b.header.digest)
             .unwrap_or(Digest::ZERO);
-        block.header.prev_digest = prev;
-        block.header.digest = tx_block_digest(&block);
+        let digest = tx_block_digest_with_prev(&block, prev);
+        // A block whose header already carries the chain pointers this store
+        // would compute (the common case: the leader broadcast its stored,
+        // chain-linked form and both replicas share the same chain) is
+        // adopted as-is — even a shared Arc costs no copy. Otherwise fill
+        // the header, copying only if the Arc is still shared.
+        if block.header.prev_digest != prev || block.header.digest != digest {
+            let inner = Arc::make_mut(&mut block);
+            inner.header.prev_digest = prev;
+            inner.header.digest = digest;
+        }
         self.tx_blocks.insert(block.n.0, block);
         true
     }
 
     /// Returns the txBlock at a given sequence number, if committed.
     pub fn tx_block(&self, n: SeqNum) -> Option<&TxBlock> {
-        self.tx_blocks.get(&n.0)
+        self.tx_blocks.get(&n.0).map(|b| b.as_ref())
     }
 
-    /// Returns the committed txBlocks in the inclusive range `[from, to]`.
+    /// Returns the committed txBlocks in the inclusive range `[from, to]`
+    /// (cloned: callers ship them over the wire in `SyncResp`).
     pub fn tx_blocks_in(&self, from: u64, to: u64) -> Vec<TxBlock> {
         self.tx_blocks
             .range(from..=to)
-            .map(|(_, b)| b.clone())
+            .map(|(_, b)| (**b).clone())
             .collect()
     }
 
@@ -264,6 +297,24 @@ mod tests {
         assert_eq!(store.latest_seq(), SeqNum(2));
         assert_eq!(store.committed_tx_count(), 5);
         assert_eq!(store.committed_block_count(), 2);
+    }
+
+    #[test]
+    fn prelinked_shared_block_is_adopted_without_copy() {
+        use std::sync::Arc;
+        // A follower receiving the leader's stored (chain-linked) block must
+        // adopt the shared Arc itself, not a deep copy.
+        let mut leader = BlockStore::new(4);
+        assert!(leader.insert_tx_block(TxBlock::new(View(1), SeqNum(1), batch(3))));
+        let broadcast = leader.tx_block_shared(SeqNum(1)).unwrap();
+
+        let mut follower = BlockStore::new(4);
+        assert!(follower.insert_tx_block(Arc::clone(&broadcast)));
+        let stored = follower.tx_block_shared(SeqNum(1)).unwrap();
+        assert!(
+            Arc::ptr_eq(&stored, &broadcast),
+            "identical chains must share the broadcast allocation"
+        );
     }
 
     #[test]

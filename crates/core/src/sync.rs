@@ -11,6 +11,7 @@ use crate::server::PrestigeServer;
 use prestige_crypto::ThresholdVerifier;
 use prestige_sim::Context;
 use prestige_types::{Actor, Message, QcKind, SyncKind, TxBlock, VcBlock};
+use std::sync::Arc;
 
 /// Upper bound on blocks returned by one sync response, to keep individual
 /// messages bounded (a requester simply asks again for the remainder).
@@ -83,7 +84,7 @@ impl PrestigeServer {
                 _ => false,
             };
             if ok {
-                self.apply_committed_block(block, ctx);
+                self.apply_committed_block(Arc::new(block), ctx);
             }
         }
 

@@ -4,9 +4,46 @@
 //! the protocol code: hashing a single byte string, hashing a pair (block
 //! digest + nonce for the PoW puzzle), and hashing an ordered list of parts
 //! (message digests, block contents).
+//!
+//! The [`FramedHasher`] is the streaming form of [`hash_many`]: callers feed
+//! fields one by one and each is length-framed exactly as `hash_many` frames
+//! its parts, so a digest built incrementally equals the digest of the same
+//! parts collected into a list — without materializing any intermediate
+//! buffers. The protocol hot paths (batch digests, block digests, QC
+//! aggregation) are written against it.
 
 use crate::sha256::Sha256;
 use prestige_types::Digest;
+
+/// Streaming, length-framed hasher: each [`FramedHasher::field`] call hashes
+/// `(len as u64 BE) ‖ bytes`, the exact framing of [`hash_many`], so
+/// streaming N fields yields the same digest as `hash_many` over the same N
+/// parts. Zero allocations.
+#[derive(Clone, Default)]
+pub struct FramedHasher {
+    inner: Sha256,
+}
+
+impl FramedHasher {
+    /// Creates a fresh framed hasher.
+    pub fn new() -> Self {
+        FramedHasher {
+            inner: Sha256::new(),
+        }
+    }
+
+    /// Feeds one length-framed field.
+    pub fn field(&mut self, bytes: &[u8]) -> &mut Self {
+        self.inner.update(&(bytes.len() as u64).to_be_bytes());
+        self.inner.update(bytes);
+        self
+    }
+
+    /// Finishes the hash, consuming the hasher.
+    pub fn finish(self) -> Digest {
+        Digest(self.inner.finalize())
+    }
+}
 
 /// Hashes a single byte string into a [`Digest`].
 pub fn digest_of(data: &[u8]) -> Digest {
@@ -17,12 +54,9 @@ pub fn digest_of(data: &[u8]) -> Digest {
 /// `hash_pair(a, b)` never collides with `hash_pair(a', b')` for a different
 /// split of the same concatenated bytes.
 pub fn hash_pair(a: &[u8], b: &[u8]) -> Digest {
-    let mut h = Sha256::new();
-    h.update(&(a.len() as u64).to_be_bytes());
-    h.update(a);
-    h.update(&(b.len() as u64).to_be_bytes());
-    h.update(b);
-    Digest(h.finalize())
+    let mut h = FramedHasher::new();
+    h.field(a).field(b);
+    h.finish()
 }
 
 /// Hashes an ordered sequence of parts with length framing.
@@ -30,12 +64,11 @@ pub fn hash_many<'a, I>(parts: I) -> Digest
 where
     I: IntoIterator<Item = &'a [u8]>,
 {
-    let mut h = Sha256::new();
+    let mut h = FramedHasher::new();
     for part in parts {
-        h.update(&(part.len() as u64).to_be_bytes());
-        h.update(part);
+        h.field(part);
     }
-    Digest(h.finalize())
+    h.finish()
 }
 
 #[cfg(test)]
@@ -75,5 +108,15 @@ mod tests {
             hash_many([b"".as_slice(), b"x".as_slice()]),
             hash_many([b"x".as_slice(), b"".as_slice()])
         );
+    }
+
+    #[test]
+    fn framed_hasher_equals_hash_many() {
+        let parts: Vec<&[u8]> = vec![b"batch", b"\x00\x01", b"", b"tail"];
+        let mut h = FramedHasher::new();
+        for p in &parts {
+            h.field(p);
+        }
+        assert_eq!(h.finish(), hash_many(parts.iter().copied()));
     }
 }

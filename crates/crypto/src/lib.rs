@@ -29,8 +29,8 @@ pub mod sha256;
 pub mod signature;
 pub mod threshold;
 
-pub use hash::{digest_of, hash_many, hash_pair};
+pub use hash::{digest_of, hash_many, hash_pair, FramedHasher};
 pub use pow::{PowPuzzle, PowSolution, PowSolver};
 pub use sha256::Sha256;
 pub use signature::{KeyPair, KeyRegistry, Signature};
-pub use threshold::{qc_statement, sign_share, QcBuilder, ThresholdVerifier};
+pub use threshold::{qc_statement, sign_share, QcBuilder, ThresholdVerifier, QC_STATEMENT_LEN};

@@ -15,7 +15,7 @@
 //!   charges CPU time for QC verification separately so the *performance*
 //!   model matches the O(1) claim — see `ClusterConfig::per_verify_cpu_ms`).
 
-use crate::hash::hash_many;
+use crate::hash::FramedHasher;
 use crate::signature::{KeyRegistry, Signature};
 use prestige_types::{
     Actor, Digest, PartialSig, ProtocolError, QcKind, QuorumCertificate, Result, SeqNum, ServerId,
@@ -23,8 +23,19 @@ use prestige_types::{
 };
 use std::collections::BTreeMap;
 
-/// Builds the canonical byte statement that shares of a QC sign.
-pub fn qc_statement(kind: QcKind, view: View, seq: SeqNum, digest: &Digest) -> Vec<u8> {
+/// Byte length of a QC statement: kind tag + view + seq + digest.
+pub const QC_STATEMENT_LEN: usize = 1 + 8 + 8 + 32;
+
+/// Builds the canonical byte statement that shares of a QC sign. The
+/// statement is fixed-size and returned on the stack: signing and verifying
+/// shares — the most frequent crypto operation on the replication hot path —
+/// allocates nothing.
+pub fn qc_statement(
+    kind: QcKind,
+    view: View,
+    seq: SeqNum,
+    digest: &Digest,
+) -> [u8; QC_STATEMENT_LEN] {
     let kind_tag: u8 = match kind {
         QcKind::Confirm => 0,
         QcKind::ViewChange => 1,
@@ -33,11 +44,11 @@ pub fn qc_statement(kind: QcKind, view: View, seq: SeqNum, digest: &Digest) -> V
         QcKind::Refresh => 4,
         QcKind::PreCommit => 5,
     };
-    let mut out = Vec::with_capacity(1 + 8 + 8 + 32);
-    out.push(kind_tag);
-    out.extend_from_slice(&view.0.to_be_bytes());
-    out.extend_from_slice(&seq.0.to_be_bytes());
-    out.extend_from_slice(&digest.0);
+    let mut out = [0u8; QC_STATEMENT_LEN];
+    out[0] = kind_tag;
+    out[1..9].copy_from_slice(&view.0.to_be_bytes());
+    out[9..17].copy_from_slice(&seq.0.to_be_bytes());
+    out[17..49].copy_from_slice(&digest.0);
     out
 }
 
@@ -132,11 +143,14 @@ impl QcBuilder {
         }
         let stmt = qc_statement(self.kind, self.view, self.seq, &self.digest);
         let signers: Vec<ServerId> = self.shares.keys().copied().collect();
-        let mut parts: Vec<&[u8]> = vec![stmt.as_slice()];
+        // Stream statement and shares into a single hasher (same framing as
+        // `hash_many`) instead of collecting a parts vector.
+        let mut h = FramedHasher::new();
+        h.field(&stmt);
         for sig in self.shares.values() {
-            parts.push(sig.as_slice());
+            h.field(sig);
         }
-        let aggregate = hash_many(parts).0;
+        let aggregate = h.finish().0;
         Ok(QuorumCertificate {
             kind: self.kind,
             view: self.view,
@@ -184,19 +198,17 @@ impl<'a> ThresholdVerifier<'a> {
                 reason: "signer list is not sorted and deduplicated".into(),
             });
         }
-        let mut shares: Vec<Signature> = Vec::with_capacity(sorted.len());
+        let mut h = FramedHasher::new();
+        h.field(&stmt);
         for signer in &sorted {
             let kp = self
                 .registry
                 .key_of(Actor::Server(*signer))
                 .ok_or(ProtocolError::InvalidSignature { signer: *signer })?;
-            shares.push(kp.sign(&stmt));
+            let share: Signature = kp.sign(&stmt);
+            h.field(&share);
         }
-        let mut parts: Vec<&[u8]> = vec![stmt.as_slice()];
-        for s in &shares {
-            parts.push(s.as_slice());
-        }
-        let expected = hash_many(parts).0;
+        let expected = h.finish().0;
         if expected != qc.aggregate {
             return Err(ProtocolError::InvalidQc {
                 reason: "aggregate signature does not match signer set".into(),

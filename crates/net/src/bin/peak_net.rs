@@ -1,0 +1,164 @@
+//! `peak_net` — drive a loopback PrestigeBFT cluster to saturation and record
+//! the peak throughput/latency of the real networking runtime.
+//!
+//! This is the perf baseline every hot-path PR measures against: it launches
+//! `--servers` PrestigeBFT replicas plus `--clients` closed-loop clients on
+//! real node runtimes (threads, timers, the full `Transport` stack), runs a
+//! warmup followed by a measurement window, and writes the result as JSON:
+//!
+//! ```text
+//! cargo run --release -p prestige-net --bin peak_net -- --duration 10
+//! cat BENCH_peak.json
+//! ```
+//!
+//! Fields: committed transactions per second over the measurement window and
+//! the client-observed end-to-end commit latency (mean / p50 / p99, ms).
+
+use prestige_core::ClientStats;
+use prestige_net::cluster::LocalCluster;
+use prestige_types::{ClientId, ClusterConfig};
+use std::time::{Duration, Instant};
+
+struct Options {
+    servers: u32,
+    clients: u64,
+    concurrency: usize,
+    batch_size: usize,
+    payload: usize,
+    warmup_s: f64,
+    duration_s: f64,
+    out: String,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            servers: 4,
+            clients: 4,
+            concurrency: 512,
+            batch_size: 500,
+            payload: 32,
+            warmup_s: 2.0,
+            duration_s: 10.0,
+            out: "BENCH_peak.json".to_string(),
+        }
+    }
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut i = 1;
+    while i < args.len() {
+        let need = |name: &str| -> Result<&String, String> {
+            args.get(i + 1).ok_or(format!("{name} needs a value"))
+        };
+        match args[i].as_str() {
+            "--servers" => opts.servers = need("--servers")?.parse().map_err(|e| format!("{e}"))?,
+            "--clients" => opts.clients = need("--clients")?.parse().map_err(|e| format!("{e}"))?,
+            "--concurrency" => {
+                opts.concurrency = need("--concurrency")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--batch" => opts.batch_size = need("--batch")?.parse().map_err(|e| format!("{e}"))?,
+            "--payload" => opts.payload = need("--payload")?.parse().map_err(|e| format!("{e}"))?,
+            "--warmup" => opts.warmup_s = need("--warmup")?.parse().map_err(|e| format!("{e}"))?,
+            "--duration" => {
+                opts.duration_s = need("--duration")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--out" => opts.out = need("--out")?.clone(),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+        i += 2;
+    }
+    Ok(opts)
+}
+
+fn total_committed(stats: &[ClientStats]) -> u64 {
+    stats.iter().map(|s| s.committed_tx).sum()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let opts = match parse(&args) {
+        Ok(o) => o,
+        Err(message) => {
+            eprintln!("peak_net: {message}");
+            eprintln!(
+                "usage: peak_net [--servers N] [--clients N] [--concurrency N] [--batch N] \
+                 [--payload BYTES] [--warmup SECS] [--duration SECS] [--out PATH]"
+            );
+            std::process::exit(1);
+        }
+    };
+
+    let config = ClusterConfig::new(opts.servers)
+        .with_batch_size(opts.batch_size)
+        .with_payload_size(opts.payload);
+    eprintln!(
+        "peak_net: launching {} servers, {} clients (concurrency {}), batch {}, payload {}B",
+        opts.servers, opts.clients, opts.concurrency, opts.batch_size, opts.payload
+    );
+    let cluster = LocalCluster::launch(config, 7, opts.clients, opts.concurrency);
+
+    let snapshot = |c: &LocalCluster| -> Vec<ClientStats> {
+        (0..opts.clients)
+            .filter_map(|i| c.client_stats(ClientId(i)))
+            .collect()
+    };
+
+    // Warmup: let leaders elect, batches fill, and queues reach steady
+    // state; then reset latency accounting so the percentiles below cover
+    // only the measurement window (the bounded sample buffers would
+    // otherwise fill with warmup commits).
+    std::thread::sleep(Duration::from_secs_f64(opts.warmup_s));
+    cluster.reset_client_latency();
+    let before = snapshot(&cluster);
+    let t0 = Instant::now();
+    std::thread::sleep(Duration::from_secs_f64(opts.duration_s));
+    let elapsed = t0.elapsed().as_secs_f64();
+    let after = snapshot(&cluster);
+
+    let committed = total_committed(&after).saturating_sub(total_committed(&before));
+    let tps = committed as f64 / elapsed;
+
+    // Latency over the measurement window (accounting was reset at the
+    // warmup boundary; samples are bounded per client).
+    let final_stats = cluster.shutdown();
+    let mut merged = ClientStats::default();
+    for stats in final_stats.values() {
+        merged.latency_sum_ms += stats.latency_sum_ms;
+        merged.latency_count += stats.latency_count;
+        merged.latency_samples.extend(&stats.latency_samples);
+    }
+    let report = format!(
+        "{{\n  \"bench\": \"peak_net\",\n  \"transport\": \"loopback\",\n  \
+         \"servers\": {},\n  \"clients\": {},\n  \"concurrency\": {},\n  \
+         \"batch_size\": {},\n  \"payload_bytes\": {},\n  \
+         \"measured_seconds\": {:.3},\n  \"committed_tx\": {},\n  \
+         \"tx_per_sec\": {:.1},\n  \"latency_mean_ms\": {:.3},\n  \
+         \"latency_p50_ms\": {:.3},\n  \"latency_p99_ms\": {:.3}\n}}\n",
+        opts.servers,
+        opts.clients,
+        opts.concurrency,
+        opts.batch_size,
+        opts.payload,
+        elapsed,
+        committed,
+        tps,
+        merged.mean_latency_ms(),
+        merged.percentile_latency_ms(50.0),
+        merged.percentile_latency_ms(99.0),
+    );
+    print!("{report}");
+    if let Err(e) = std::fs::write(&opts.out, &report) {
+        eprintln!("peak_net: failed to write {}: {e}", opts.out);
+        std::process::exit(1);
+    }
+    eprintln!(
+        "peak_net: {committed} tx in {elapsed:.1}s -> {tps:.0} tx/s (written to {})",
+        opts.out
+    );
+    if committed == 0 {
+        eprintln!("peak_net: cluster committed nothing — hot path regression?");
+        std::process::exit(2);
+    }
+}

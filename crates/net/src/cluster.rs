@@ -92,6 +92,18 @@ impl LocalCluster {
             .inspect_as::<PrestigeClient, _, _>(|c| c.stats().clone())
     }
 
+    /// Clears every client's latency accounting (benchmark warmup boundary),
+    /// so subsequent percentile reads cover only the measurement window.
+    pub fn reset_client_latency(&self) {
+        for handle in self.clients.values() {
+            let _ = handle.inspect(|node| {
+                if let Some(client) = node.as_any_mut().downcast_mut::<PrestigeClient>() {
+                    client.reset_latency_stats();
+                }
+            });
+        }
+    }
+
     /// Total transactions confirmed across all clients.
     pub fn total_committed(&self) -> u64 {
         self.clients

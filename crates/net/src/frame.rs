@@ -18,6 +18,7 @@
 use prestige_types::Actor;
 use serde::{Deserialize as _, Serialize as _};
 use std::io::{self, Read, Write};
+use std::sync::{Arc, Mutex};
 
 /// Frame preamble identifying the PrestigeBFT wire protocol.
 pub const MAGIC: [u8; 4] = *b"PBFT";
@@ -121,25 +122,57 @@ impl FrameCodec {
         from: Actor,
         payload: &M,
     ) -> Result<Vec<u8>, FrameError> {
-        let mut body = Vec::with_capacity(64);
-        from.serialize(&mut body);
-        payload.serialize(&mut body);
-        let len = u32::try_from(body.len()).map_err(|_| FrameError::Oversize {
+        let mut frame = Vec::with_capacity(64);
+        self.encode_into(from, payload, &mut frame)?;
+        Ok(frame)
+    }
+
+    /// Encodes `(from, payload)` into `out` (cleared first), writing header
+    /// and body in a single pass: the body is serialized directly after a
+    /// placeholder header and the length field patched afterwards, so there
+    /// is no intermediate body buffer. With a buffer from a [`BufferPool`]
+    /// this makes frame encoding allocation-free in steady state.
+    pub fn encode_into<M: serde::Serialize>(
+        &self,
+        from: Actor,
+        payload: &M,
+        out: &mut Vec<u8>,
+    ) -> Result<(), FrameError> {
+        out.clear();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        out.extend_from_slice(&[0u8; 4]);
+        from.serialize(out);
+        payload.serialize(out);
+        let len = u32::try_from(out.len() - 10).map_err(|_| FrameError::Oversize {
             len: u32::MAX,
             max: self.max_frame,
         })?;
         if len > self.max_frame {
+            out.clear();
             return Err(FrameError::Oversize {
                 len,
                 max: self.max_frame,
             });
         }
-        let mut frame = Vec::with_capacity(10 + body.len());
-        frame.extend_from_slice(&MAGIC);
-        frame.extend_from_slice(&WIRE_VERSION.to_le_bytes());
-        frame.extend_from_slice(&len.to_le_bytes());
-        frame.extend_from_slice(&body);
-        Ok(frame)
+        out[6..10].copy_from_slice(&len.to_le_bytes());
+        Ok(())
+    }
+
+    /// Encodes `(from, payload)` once into shared bytes, using `pool` for the
+    /// scratch buffer. The returned `Arc<[u8]>` is what the broadcast path
+    /// hands to every per-peer writer: one serialization, many readers.
+    pub fn encode_shared<M: serde::Serialize>(
+        &self,
+        from: Actor,
+        payload: &M,
+        pool: &BufferPool,
+    ) -> Result<Arc<[u8]>, FrameError> {
+        let mut buf = pool.get();
+        let result = self.encode_into(from, payload, &mut buf);
+        let frame = result.map(|()| Arc::<[u8]>::from(buf.as_slice()));
+        pool.put(buf);
+        frame
     }
 
     /// Decodes one frame from a byte slice, returning the sender, payload,
@@ -222,6 +255,55 @@ impl FrameCodec {
     }
 }
 
+/// A small free-list of encode scratch buffers, so steady-state frame
+/// encoding reuses allocations instead of allocating per message.
+///
+/// Buffers whose capacity grew beyond [`BufferPool::MAX_RETAINED_CAPACITY`]
+/// (e.g. after one huge sync response) are dropped rather than pooled, so a
+/// single outlier cannot pin memory forever.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    slots: Mutex<Vec<Vec<u8>>>,
+}
+
+impl BufferPool {
+    /// Maximum number of idle buffers kept.
+    pub const MAX_SLOTS: usize = 8;
+    /// Largest buffer capacity worth retaining (1 MiB).
+    pub const MAX_RETAINED_CAPACITY: usize = 1024 * 1024;
+
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a cleared buffer from the pool (or a fresh one).
+    pub fn get(&self) -> Vec<u8> {
+        self.slots
+            .lock()
+            .expect("buffer pool lock")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn put(&self, mut buf: Vec<u8>) {
+        if buf.capacity() > Self::MAX_RETAINED_CAPACITY {
+            return;
+        }
+        buf.clear();
+        let mut slots = self.slots.lock().expect("buffer pool lock");
+        if slots.len() < Self::MAX_SLOTS {
+            slots.push(buf);
+        }
+    }
+
+    /// Number of idle buffers currently pooled.
+    pub fn idle(&self) -> usize {
+        self.slots.lock().expect("buffer pool lock").len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,6 +326,41 @@ mod tests {
         assert_eq!(sender, from);
         assert_eq!(msg, sample());
         assert_eq!(used, frame.len());
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_reuses_buffer() {
+        let codec = FrameCodec::new();
+        let from = Actor::Server(ServerId(4));
+        let expected = codec.encode(from, &sample()).unwrap();
+        let mut buf = vec![0xAAu8; 3]; // stale content must be cleared
+        codec.encode_into(from, &sample(), &mut buf).unwrap();
+        assert_eq!(buf, expected);
+        // Re-encoding into the same buffer yields the same bytes again.
+        codec.encode_into(from, &sample(), &mut buf).unwrap();
+        assert_eq!(buf, expected);
+    }
+
+    #[test]
+    fn encode_shared_produces_identical_frames_and_pools_buffers() {
+        let codec = FrameCodec::new();
+        let pool = BufferPool::new();
+        let from = Actor::Server(ServerId(2));
+        let shared = codec.encode_shared(from, &sample(), &pool).unwrap();
+        assert_eq!(&shared[..], codec.encode(from, &sample()).unwrap());
+        assert_eq!(pool.idle(), 1, "scratch buffer returned to the pool");
+        let again = codec.encode_shared(from, &sample(), &pool).unwrap();
+        assert_eq!(shared, again);
+        assert_eq!(pool.idle(), 1, "buffer was reused, not re-added");
+    }
+
+    #[test]
+    fn oversize_encode_into_clears_output() {
+        let codec = FrameCodec::with_max_frame(8);
+        let mut buf = Vec::new();
+        let err = codec.encode_into(Actor::Server(ServerId(0)), &sample(), &mut buf);
+        assert!(matches!(err, Err(FrameError::Oversize { .. })));
+        assert!(buf.is_empty(), "failed encode must not leak partial frames");
     }
 
     #[test]

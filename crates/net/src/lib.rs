@@ -58,7 +58,7 @@ pub mod transport;
 
 pub use cluster::{launch_tcp_client, launch_tcp_server, LocalCluster};
 pub use config::{NodeConfig, NodeRole};
-pub use frame::{FrameCodec, FrameError, DEFAULT_MAX_FRAME, MAGIC, WIRE_VERSION};
+pub use frame::{BufferPool, FrameCodec, FrameError, DEFAULT_MAX_FRAME, MAGIC, WIRE_VERSION};
 pub use runtime::NodeHandle;
 pub use tcp::{TcpConfig, TcpTransport};
 pub use transport::{LoopbackNet, LoopbackTransport, Transport, TransportStats};

@@ -17,7 +17,7 @@
 //! * `ctx.charge_cpu(..)` — ignored: real CPU time passes by itself.
 
 use crate::transport::Transport;
-use prestige_sim::{Context, Effects, Process, SimRng, SimTime, TimerId};
+use prestige_sim::{Context, Effects, Emission, Process, SimRng, SimTime, TimerId};
 use prestige_types::{Actor, Wire};
 use std::collections::{BinaryHeap, HashSet};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -189,8 +189,14 @@ fn run_event_loop<M: Wire + Send + 'static>(
                 tag,
             });
         }
-        for (to, message) in effects.sends {
-            transport.send(to, message);
+        for emission in effects.emissions {
+            match emission {
+                Emission::Send(to, message) => transport.send(to, message),
+                // Fan-out goes through the transport's broadcast so an
+                // encode-once implementation serializes the payload a single
+                // time for all recipients.
+                Emission::Broadcast(tos, message) => transport.broadcast(&tos, message),
+            }
         }
         // effects.cpu intentionally ignored: real time already passed.
     };

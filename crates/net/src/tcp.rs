@@ -16,8 +16,10 @@
 //! within OS thread budgets. The [`Transport`] trait is the seam where a
 //! tokio implementation would slot in unchanged.
 
-use crate::frame::FrameCodec;
-use crate::transport::{Transport, TransportStats, DEFAULT_QUEUE_CAPACITY};
+use crate::frame::{BufferPool, FrameCodec};
+use crate::transport::{
+    warn_drop, warn_inbound_drop, Transport, TransportStats, DEFAULT_QUEUE_CAPACITY,
+};
 use prestige_types::Actor;
 use std::collections::HashMap;
 use std::io::{BufWriter, Write};
@@ -27,6 +29,25 @@ use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TryS
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// A complete, pre-encoded wire frame shared between the encoding thread and
+/// any number of per-peer writers. Produced once per broadcast, no matter how
+/// many peers it fans out to.
+type SharedFrame = Arc<[u8]>;
+
+/// One item in a per-peer outbound queue.
+///
+/// Unicast messages travel unencoded and are serialized by the peer's writer
+/// thread into a thread-local scratch buffer — keeping serialization off the
+/// protocol event loop, as in the pre-frame design, with zero copies.
+/// Broadcasts arrive as a pre-encoded [`SharedFrame`]: one serialization on
+/// the caller, a refcount bump per peer.
+enum Outbound<M> {
+    /// A unicast message, encoded by the writer thread.
+    Message(M),
+    /// Shared pre-encoded bytes (broadcast fan-out).
+    Frame(SharedFrame),
+}
 
 /// Initial reconnect backoff; doubles per failure up to [`MAX_BACKOFF`].
 const INITIAL_BACKOFF: Duration = Duration::from_millis(50);
@@ -59,7 +80,7 @@ impl TcpConfig {
 }
 
 struct PeerWorker<M> {
-    queue: SyncSender<M>,
+    queue: SyncSender<Outbound<M>>,
     join: Option<JoinHandle<()>>,
 }
 
@@ -73,6 +94,8 @@ pub struct TcpTransport<M: serde::Serialize + serde::Deserialize + Send + 'stati
     stats: Arc<TransportStats>,
     shutdown: Arc<AtomicBool>,
     listener_join: Option<JoinHandle<()>>,
+    /// Scratch buffers reused across frame encodings.
+    encode_pool: BufferPool,
 }
 
 impl<M: serde::Serialize + serde::Deserialize + Send + 'static> TcpTransport<M> {
@@ -94,6 +117,7 @@ impl<M: serde::Serialize + serde::Deserialize + Send + 'static> TcpTransport<M> 
             .name(format!("tcp-accept-{me}"))
             .spawn(move || {
                 accept_loop(
+                    me,
                     listener,
                     inbound_tx,
                     accept_codec,
@@ -111,6 +135,7 @@ impl<M: serde::Serialize + serde::Deserialize + Send + 'static> TcpTransport<M> 
             stats,
             shutdown,
             listener_join: Some(listener_join),
+            encode_pool: BufferPool::new(),
         })
     }
 
@@ -130,7 +155,7 @@ impl<M: serde::Serialize + serde::Deserialize + Send + 'static> TcpTransport<M> 
             let stats = Arc::clone(&self.stats);
             let join = std::thread::Builder::new()
                 .name(format!("tcp-out-{me}-to-{to}"))
-                .spawn(move || outbound_loop(me, addr, queue_rx, codec, shutdown, stats))
+                .spawn(move || outbound_loop(me, to, addr, queue_rx, codec, shutdown, stats))
                 .expect("spawn outbound thread");
             self.workers.insert(
                 to,
@@ -142,6 +167,27 @@ impl<M: serde::Serialize + serde::Deserialize + Send + 'static> TcpTransport<M> 
         }
         self.workers.get(&to)
     }
+
+    /// Queues one outbound item towards `to`, counting and warning on drop.
+    fn queue_outbound(&mut self, to: Actor, item: Outbound<M>) {
+        self.stats.sent.fetch_add(1, Ordering::Relaxed);
+        let me = self.me;
+        let stats = Arc::clone(&self.stats);
+        match self.worker_for(to) {
+            Some(worker) => match worker.queue.try_send(item) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                    let total = stats.note_drop(to);
+                    warn_drop(&stats, me, to, "outbound queue full", total);
+                }
+            },
+            None => {
+                // Unknown peer: no address configured.
+                let total = stats.note_drop(to);
+                warn_drop(&stats, me, to, "no address configured", total);
+            }
+        }
+    }
 }
 
 impl<M: serde::Serialize + serde::Deserialize + Send + 'static> Transport<M> for TcpTransport<M> {
@@ -150,18 +196,34 @@ impl<M: serde::Serialize + serde::Deserialize + Send + 'static> Transport<M> for
     }
 
     fn send(&mut self, to: Actor, message: M) {
-        self.stats.sent.fetch_add(1, Ordering::Relaxed);
-        let stats = Arc::clone(&self.stats);
-        match self.worker_for(to) {
-            Some(worker) => match worker.queue.try_send(message) {
-                Ok(()) => {}
-                Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
-                    stats.dropped.fetch_add(1, Ordering::Relaxed);
+        // Unicast: hand the message to the peer's writer thread unencoded, so
+        // serialization stays off the protocol event loop.
+        self.queue_outbound(to, Outbound::Message(message));
+    }
+
+    fn broadcast(&mut self, recipients: &[Actor], message: M)
+    where
+        M: Clone,
+    {
+        // Encode exactly once; every per-peer queue receives the same shared
+        // bytes. This is the leader→replica hot path: fan-out cost is one
+        // serialization plus one refcount bump per peer.
+        match self
+            .config
+            .codec
+            .encode_shared(self.me, &message, &self.encode_pool)
+        {
+            Ok(frame) => {
+                for &to in recipients {
+                    self.queue_outbound(to, Outbound::Frame(Arc::clone(&frame)));
                 }
-            },
-            None => {
-                // Unknown peer: no address configured.
-                stats.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                for &to in recipients {
+                    self.stats.sent.fetch_add(1, Ordering::Relaxed);
+                    let total = self.stats.note_drop(to);
+                    warn_drop(&self.stats, self.me, to, "frame encoding failed", total);
+                }
             }
         }
     }
@@ -202,6 +264,7 @@ impl<M: serde::Serialize + serde::Deserialize + Send + 'static> Drop for TcpTran
 }
 
 fn accept_loop<M: serde::Deserialize + Send + 'static>(
+    me: Actor,
     listener: TcpListener,
     inbound: SyncSender<(Actor, M)>,
     codec: FrameCodec,
@@ -218,7 +281,9 @@ fn accept_loop<M: serde::Deserialize + Send + 'static>(
                 let reader_stats = Arc::clone(&stats);
                 let join = std::thread::Builder::new()
                     .name("tcp-read".to_string())
-                    .spawn(move || read_loop(stream, inbound, codec, reader_shutdown, reader_stats))
+                    .spawn(move || {
+                        read_loop(me, stream, inbound, codec, reader_shutdown, reader_stats)
+                    })
                     .expect("spawn reader thread");
                 readers.push(join);
             }
@@ -237,6 +302,7 @@ fn accept_loop<M: serde::Deserialize + Send + 'static>(
 }
 
 fn read_loop<M: serde::Deserialize + Send + 'static>(
+    me: Actor,
     mut stream: TcpStream,
     inbound: SyncSender<(Actor, M)>,
     codec: FrameCodec,
@@ -259,10 +325,14 @@ fn read_loop<M: serde::Deserialize + Send + 'static>(
                     match codec.decode::<M>(&buf) {
                         Ok(Some((from, message, used))) => {
                             buf.drain(..used);
-                            // Backpressure: a full inbound queue drops the
+                            // Backpressure: a full inbound queue sheds the
                             // message, same policy as the loopback transport.
+                            // The shed is attributed to the sending peer (as
+                            // an inbound drop) and surfaced, rate-limited,
+                            // rather than silent.
                             if inbound.try_send((from, message)).is_err() {
-                                stats.dropped.fetch_add(1, Ordering::Relaxed);
+                                let total = stats.note_inbound_drop(from);
+                                warn_inbound_drop(&stats, me, from, "inbound queue full", total);
                             }
                         }
                         Ok(None) => break, // need more bytes
@@ -283,21 +353,26 @@ fn read_loop<M: serde::Deserialize + Send + 'static>(
 
 fn outbound_loop<M: serde::Serialize>(
     me: Actor,
+    peer: Actor,
     addr: SocketAddr,
-    queue: Receiver<M>,
+    queue: Receiver<Outbound<M>>,
     codec: FrameCodec,
     shutdown: Arc<AtomicBool>,
     stats: Arc<TransportStats>,
 ) {
     let mut backoff = INITIAL_BACKOFF;
     let mut connection: Option<BufWriter<TcpStream>> = None;
+    // Scratch buffer reused across unicast encodings on this thread.
+    let mut scratch: Vec<u8> = Vec::new();
     loop {
         if shutdown.load(Ordering::SeqCst) {
             return;
         }
-        // Wait for something to send.
-        let message = match queue.recv_timeout(Duration::from_millis(100)) {
-            Ok(m) => m,
+        // Wait for something to send. Broadcast frames arrive pre-encoded
+        // (shared bytes); unicast messages are serialized here, off the
+        // protocol event loop, into the reused scratch buffer.
+        let item = match queue.recv_timeout(Duration::from_millis(100)) {
+            Ok(i) => i,
             Err(RecvTimeoutError::Timeout) => {
                 // Keep the connection warm / flushed while idle.
                 if let Some(w) = connection.as_mut() {
@@ -309,6 +384,18 @@ fn outbound_loop<M: serde::Serialize>(
             }
             Err(RecvTimeoutError::Disconnected) => return,
         };
+        let frame: &[u8] = match &item {
+            Outbound::Frame(shared) => shared,
+            Outbound::Message(message) => {
+                if codec.encode_into(me, message, &mut scratch).is_err() {
+                    // Oversize unicast payload: counted, never silent.
+                    let total = stats.note_drop(peer);
+                    warn_drop(&stats, me, peer, "frame encoding failed", total);
+                    continue;
+                }
+                &scratch
+            }
+        };
 
         // (Re)connect if needed, with capped exponential backoff.
         if connection.is_none() {
@@ -319,9 +406,10 @@ fn outbound_loop<M: serde::Serialize>(
                     backoff = INITIAL_BACKOFF;
                 }
                 Err(_) => {
-                    // The message in hand is lost while the peer is
+                    // The frame in hand is lost while the peer is
                     // unreachable; the protocol retries at its own cadence.
-                    stats.dropped.fetch_add(1, Ordering::Relaxed);
+                    let total = stats.note_drop(peer);
+                    warn_drop(&stats, me, peer, "peer unreachable", total);
                     std::thread::sleep(backoff);
                     backoff = (backoff * 2).min(MAX_BACKOFF);
                     continue;
@@ -330,11 +418,12 @@ fn outbound_loop<M: serde::Serialize>(
         }
 
         if let Some(writer) = connection.as_mut() {
-            let ok = codec.write_frame(writer, me, &message).is_ok() && writer.flush().is_ok();
+            let ok = writer.write_all(frame).is_ok() && writer.flush().is_ok();
             if !ok {
-                // Broken pipe: the message is lost and the connection is
-                // dropped; the next message triggers a reconnect.
-                stats.dropped.fetch_add(1, Ordering::Relaxed);
+                // Broken pipe: the frame is lost and the connection is
+                // dropped; the next frame triggers a reconnect.
+                let total = stats.note_drop(peer);
+                warn_drop(&stats, me, peer, "connection broken", total);
                 connection = None;
             }
         }

@@ -11,12 +11,15 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default per-endpoint inbound queue capacity (messages). When a queue is
 /// full the sender drops the message — BFT protocols are loss-tolerant by
 /// construction (clients re-propose and complain; followers sync up).
 pub const DEFAULT_QUEUE_CAPACITY: usize = 16 * 1024;
+
+/// Minimum interval between drop warnings emitted by one transport.
+const DROP_WARN_INTERVAL: Duration = Duration::from_secs(1);
 
 /// Counters shared between a transport and its observers.
 #[derive(Debug, Default)]
@@ -28,6 +31,16 @@ pub struct TransportStats {
     /// Messages dropped because the destination queue was full
     /// (backpressure) or the destination was unreachable.
     pub dropped: AtomicU64,
+    /// Per-peer breakdown of outbound drops (messages we failed to deliver
+    /// *to* a peer), so operators can spot a single slow or dead peer.
+    per_peer_dropped: Mutex<HashMap<Actor, u64>>,
+    /// Per-peer breakdown of inbound drops (messages *from* a peer that the
+    /// local node shed under backpressure) — kept separate from outbound
+    /// drops so "S1 is unreachable" and "we are overloaded by S1's traffic"
+    /// never blur into one number.
+    per_peer_inbound_dropped: Mutex<HashMap<Actor, u64>>,
+    /// Timestamp of the last emitted drop warning (rate limiting).
+    last_drop_warn: Mutex<Option<Instant>>,
 }
 
 impl TransportStats {
@@ -38,6 +51,112 @@ impl TransportStats {
             self.received.load(Ordering::Relaxed),
             self.dropped.load(Ordering::Relaxed),
         )
+    }
+
+    /// Records an outbound drop attributed to `peer` (a message we failed to
+    /// deliver to it) and returns the peer's new drop count. Never silent:
+    /// callers pair this with [`Self::should_warn`] to log at a bounded rate.
+    pub fn note_drop(&self, peer: Actor) -> u64 {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.per_peer_dropped.lock().expect("drop map lock");
+        let entry = map.entry(peer).or_insert(0);
+        *entry += 1;
+        *entry
+    }
+
+    /// Records an inbound drop attributed to `peer` (a message it sent that
+    /// the local node shed) and returns the peer's new inbound drop count.
+    pub fn note_inbound_drop(&self, peer: Actor) -> u64 {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.per_peer_inbound_dropped.lock().expect("drop map lock");
+        let entry = map.entry(peer).or_insert(0);
+        *entry += 1;
+        *entry
+    }
+
+    /// Messages dropped towards `peer` so far (outbound).
+    pub fn dropped_to(&self, peer: Actor) -> u64 {
+        self.per_peer_dropped
+            .lock()
+            .expect("drop map lock")
+            .get(&peer)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Messages from `peer` shed locally so far (inbound).
+    pub fn dropped_from(&self, peer: Actor) -> u64 {
+        self.per_peer_inbound_dropped
+            .lock()
+            .expect("drop map lock")
+            .get(&peer)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of per-peer outbound drop counts, sorted by peer.
+    pub fn drops_by_peer(&self) -> Vec<(Actor, u64)> {
+        let mut drops: Vec<(Actor, u64)> = self
+            .per_peer_dropped
+            .lock()
+            .expect("drop map lock")
+            .iter()
+            .map(|(a, c)| (*a, *c))
+            .collect();
+        drops.sort();
+        drops
+    }
+
+    /// Snapshot of per-peer inbound drop counts, sorted by peer.
+    pub fn inbound_drops_by_peer(&self) -> Vec<(Actor, u64)> {
+        let mut drops: Vec<(Actor, u64)> = self
+            .per_peer_inbound_dropped
+            .lock()
+            .expect("drop map lock")
+            .iter()
+            .map(|(a, c)| (*a, *c))
+            .collect();
+        drops.sort();
+        drops
+    }
+
+    /// True at most once per [`DROP_WARN_INTERVAL`]: gates drop-warning log
+    /// lines so a hot loop losing thousands of messages per second emits a
+    /// bounded number of them.
+    pub fn should_warn(&self) -> bool {
+        let mut last = self.last_drop_warn.lock().expect("warn gate lock");
+        match *last {
+            Some(at) if at.elapsed() < DROP_WARN_INTERVAL => false,
+            _ => {
+                *last = Some(Instant::now());
+                true
+            }
+        }
+    }
+}
+
+/// Logs one rate-limited warning about messages dropped towards `peer`.
+pub(crate) fn warn_drop(stats: &TransportStats, me: Actor, peer: Actor, reason: &str, total: u64) {
+    if stats.should_warn() {
+        eprintln!(
+            "[prestige-net] {me}: dropping message to {peer} ({reason}); {total} total drops to this peer so far"
+        );
+    }
+}
+
+/// Logs one rate-limited warning about an inbound message from `peer` shed
+/// by the local node `me`.
+pub(crate) fn warn_inbound_drop(
+    stats: &TransportStats,
+    me: Actor,
+    peer: Actor,
+    reason: &str,
+    total: u64,
+) {
+    if stats.should_warn() {
+        eprintln!(
+            "[prestige-net] {me}: shedding inbound message from {peer} ({reason}); {total} total inbound drops for this peer so far"
+        );
     }
 }
 
@@ -51,6 +170,26 @@ pub trait Transport<M>: Send {
     /// backpressure or unreachable destination the message is dropped and
     /// counted.
     fn send(&mut self, to: Actor, message: M);
+
+    /// Queues one message for delivery to every actor in `recipients`.
+    ///
+    /// The default implementation clones the payload per recipient (correct
+    /// for in-process transports, where a clone of an `Arc`-shared payload is
+    /// a refcount bump). Serializing transports override it to encode the
+    /// frame exactly once and hand the shared bytes to every per-peer writer.
+    fn broadcast(&mut self, recipients: &[Actor], message: M)
+    where
+        M: Clone,
+    {
+        let mut recipients = recipients.iter();
+        let last = recipients.next_back();
+        for &to in recipients {
+            self.send(to, message.clone());
+        }
+        if let Some(&to) = last {
+            self.send(to, message);
+        }
+    }
 
     /// Waits up to `timeout` for an inbound message.
     fn recv_timeout(&mut self, timeout: Duration) -> Option<(Actor, M)>;
@@ -157,11 +296,13 @@ impl<M: Send + 'static> Transport<M> for LoopbackTransport<M> {
         match sender {
             Some(tx) => {
                 if tx.try_send((self.me, message)).is_err() {
-                    self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                    let total = self.stats.note_drop(to);
+                    warn_drop(&self.stats, self.me, to, "queue full", total);
                 }
             }
             None => {
-                self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                let total = self.stats.note_drop(to);
+                warn_drop(&self.stats, self.me, to, "unreachable", total);
             }
         }
     }
@@ -227,6 +368,58 @@ mod tests {
         let (sent, _, dropped) = a.stats().snapshot();
         assert_eq!(sent, 5);
         assert_eq!(dropped, 3);
+    }
+
+    #[test]
+    fn drops_are_attributed_per_peer() {
+        let net: LoopbackNet<u64> = LoopbackNet::with_capacity(1);
+        let mut a = net.endpoint(server(0));
+        let _b = net.endpoint(server(1));
+        // server(9) does not exist; server(1)'s queue holds one message.
+        a.send(server(9), 1);
+        a.send(server(9), 2);
+        a.send(server(1), 3);
+        a.send(server(1), 4);
+        a.send(server(1), 5);
+        let stats = a.stats();
+        assert_eq!(stats.dropped_to(server(9)), 2);
+        assert_eq!(stats.dropped_to(server(1)), 2);
+        assert_eq!(stats.dropped_to(server(0)), 0);
+        assert_eq!(stats.drops_by_peer(), vec![(server(1), 2), (server(9), 2)]);
+        assert_eq!(stats.snapshot().2, 4, "aggregate counter stays in sync");
+    }
+
+    #[test]
+    fn inbound_and_outbound_drops_are_tracked_separately() {
+        let stats = TransportStats::default();
+        assert_eq!(stats.note_drop(server(1)), 1);
+        assert_eq!(stats.note_inbound_drop(server(1)), 1);
+        assert_eq!(stats.note_inbound_drop(server(1)), 2);
+        assert_eq!(stats.dropped_to(server(1)), 1);
+        assert_eq!(stats.dropped_from(server(1)), 2);
+        assert_eq!(stats.drops_by_peer(), vec![(server(1), 1)]);
+        assert_eq!(stats.inbound_drops_by_peer(), vec![(server(1), 2)]);
+        assert_eq!(stats.snapshot().2, 3, "aggregate covers both directions");
+    }
+
+    #[test]
+    fn drop_warnings_are_rate_limited() {
+        let stats = TransportStats::default();
+        assert!(stats.should_warn(), "first warning passes");
+        assert!(!stats.should_warn(), "second within the interval is gated");
+    }
+
+    #[test]
+    fn default_broadcast_delivers_to_every_recipient() {
+        let net: LoopbackNet<u64> = LoopbackNet::new();
+        let mut a = net.endpoint(server(0));
+        let mut b = net.endpoint(server(1));
+        let mut c = net.endpoint(server(2));
+        a.broadcast(&[server(1), server(2)], 99);
+        let (_, vb) = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        let (_, vc) = c.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!((vb, vc), (99, 99));
+        assert_eq!(a.stats().snapshot().0, 2, "one send counted per recipient");
     }
 
     #[test]

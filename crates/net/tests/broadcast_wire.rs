@@ -1,0 +1,117 @@
+//! Wire compatibility of the encode-once broadcast path.
+//!
+//! The zero-copy hot path must not change what travels on the wire: a frame
+//! encoded once and shared across peers has to be byte-identical to a frame
+//! encoded separately for each peer, and TCP peers receiving a broadcast must
+//! decode exactly the message that per-peer sends would have delivered.
+
+use prestige_net::{BufferPool, FrameCodec, TcpConfig, TcpTransport, Transport};
+use prestige_types::{
+    Actor, ClientId, Digest, Message, Proposal, SeqNum, ServerId, Transaction, View,
+};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn server(i: u32) -> Actor {
+    Actor::Server(ServerId(i))
+}
+
+fn ord_message(batch: usize) -> Message {
+    Message::Ord {
+        view: View(7),
+        n: SeqNum(42),
+        batch: Arc::new(
+            (0..batch)
+                .map(|i| {
+                    Proposal::new(
+                        Transaction::with_size(ClientId(3), i as u64, 32),
+                        Digest([i as u8; 32]),
+                    )
+                })
+                .collect(),
+        ),
+        digest: Digest([9u8; 32]),
+        sig: [4u8; 32],
+    }
+}
+
+/// A shared (encode-once) frame is byte-identical to a per-peer encoded
+/// frame and decodes to the same message.
+#[test]
+fn shared_frame_equals_per_peer_frame() {
+    let codec = FrameCodec::new();
+    let pool = BufferPool::new();
+    let from = server(0);
+    for batch in [0usize, 1, 10, 250] {
+        let msg = ord_message(batch);
+        let per_peer = codec.encode(from, &msg).unwrap();
+        let shared = codec.encode_shared(from, &msg, &pool).unwrap();
+        assert_eq!(
+            &shared[..],
+            per_peer.as_slice(),
+            "encode-once must not change wire bytes (batch={batch})"
+        );
+        let (sender, decoded, used) = codec.decode::<Message>(&shared).unwrap().unwrap();
+        assert_eq!(sender, from);
+        assert_eq!(decoded, msg);
+        assert_eq!(used, shared.len());
+    }
+}
+
+fn free_ports(n: usize) -> Vec<SocketAddr> {
+    // Bind ephemeral listeners and release them so each port is free.
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind(SocketAddr::from(([127, 0, 0, 1], 0))).unwrap())
+        .collect();
+    listeners.iter().map(|l| l.local_addr().unwrap()).collect()
+}
+
+/// A TCP broadcast reaches every peer with the exact message per-peer sends
+/// would deliver, and unicast sends still interleave correctly.
+#[test]
+fn tcp_broadcast_delivers_identical_messages_to_all_peers() {
+    let addrs = free_ports(3);
+    let peers_of = |me: usize| -> HashMap<Actor, SocketAddr> {
+        (0..3)
+            .filter(|&i| i != me)
+            .map(|i| (server(i as u32), addrs[i]))
+            .collect()
+    };
+    let mut a: TcpTransport<Message> =
+        TcpTransport::bind(server(0), TcpConfig::new(addrs[0], peers_of(0))).unwrap();
+    let mut b: TcpTransport<Message> =
+        TcpTransport::bind(server(1), TcpConfig::new(addrs[1], peers_of(1))).unwrap();
+    let mut c: TcpTransport<Message> =
+        TcpTransport::bind(server(2), TcpConfig::new(addrs[2], peers_of(2))).unwrap();
+
+    let broadcast_msg = ord_message(50);
+    let unicast_msg = ord_message(1);
+    a.broadcast(&[server(1), server(2)], broadcast_msg.clone());
+    a.send(server(1), unicast_msg.clone());
+
+    let recv_n = |t: &mut TcpTransport<Message>, n: usize| -> Vec<Message> {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut got = Vec::new();
+        while got.len() < n && Instant::now() < deadline {
+            if let Some((from, m)) = t.recv_timeout(Duration::from_millis(50)) {
+                assert_eq!(from, server(0));
+                got.push(m);
+            }
+        }
+        got
+    };
+
+    let at_b = recv_n(&mut b, 2);
+    assert_eq!(at_b, vec![broadcast_msg.clone(), unicast_msg]);
+    let at_c = recv_n(&mut c, 1);
+    assert_eq!(at_c, vec![broadcast_msg]);
+
+    // Two broadcast recipients + one unicast = three sends counted.
+    assert_eq!(a.stats().snapshot().0, 3);
+    assert_eq!(a.stats().snapshot().2, 0, "nothing dropped");
+    a.shutdown();
+    b.shutdown();
+    c.shutdown();
+}

@@ -33,7 +33,7 @@ pub mod time;
 
 pub use event::{Event, EventPayload, TimerId};
 pub use network::{LatencyModel, LinkState, NetworkConfig};
-pub use process::{Context, Effects, Process};
+pub use process::{Context, Effects, Emission, Process};
 pub use rng::SimRng;
 pub use runtime::Simulation;
 pub use stats::NetStats;

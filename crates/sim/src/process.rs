@@ -23,8 +23,10 @@ use std::any::Any;
 /// never sees which runtime it is on.
 #[derive(Debug, Default)]
 pub struct Effects<M> {
-    /// Messages to transmit, in emission order.
-    pub sends: Vec<(Actor, M)>,
+    /// Messages to transmit, in emission order. Broadcasts are kept as a
+    /// single entry so the driving runtime can fan the payload out without
+    /// cloning it per recipient (the real transport encodes it exactly once).
+    pub emissions: Vec<Emission<M>>,
     /// Timers to arm: `(id, delay from now, protocol tag)`.
     pub timers: Vec<(TimerId, SimDuration, u64)>,
     /// Previously armed timers to cancel.
@@ -35,15 +37,38 @@ pub struct Effects<M> {
     pub cpu: SimDuration,
 }
 
+/// One outbound transmission buffered by a handler.
+#[derive(Debug)]
+pub enum Emission<M> {
+    /// A unicast message to one actor.
+    Send(Actor, M),
+    /// One payload addressed to many actors. The payload is stored once;
+    /// runtimes decide how to fan it out (the simulator clones per delivery
+    /// event, real transports serialize once and share the bytes).
+    Broadcast(Vec<Actor>, M),
+}
+
 impl<M> Effects<M> {
     /// An empty effects buffer.
     pub fn new() -> Self {
         Effects {
-            sends: Vec::new(),
+            emissions: Vec::new(),
             timers: Vec::new(),
             cancels: Vec::new(),
             cpu: SimDuration::ZERO,
         }
+    }
+
+    /// Total number of individual messages buffered (a broadcast to `k`
+    /// recipients counts as `k`).
+    pub fn message_count(&self) -> usize {
+        self.emissions
+            .iter()
+            .map(|e| match e {
+                Emission::Send(..) => 1,
+                Emission::Broadcast(tos, _) => tos.len(),
+            })
+            .sum()
     }
 }
 
@@ -96,18 +121,24 @@ impl<'a, M> Context<'a, M> {
     /// Sends a message to another actor (delivery time is decided by the
     /// network model).
     pub fn send(&mut self, to: Actor, message: M) {
-        self.outputs.sends.push((to, message));
+        self.outputs.emissions.push(Emission::Send(to, message));
     }
 
-    /// Sends a message to every actor in `recipients` (cloning the payload).
+    /// Sends one message to every actor in `recipients`. The payload is
+    /// buffered once — not cloned per recipient — so runtimes with an
+    /// encode-once transport broadcast it with a single serialization.
     pub fn broadcast<I>(&mut self, recipients: I, message: M)
     where
         M: Clone,
         I: IntoIterator<Item = Actor>,
     {
-        for to in recipients {
-            self.outputs.sends.push((to, message.clone()));
+        let recipients: Vec<Actor> = recipients.into_iter().collect();
+        if recipients.is_empty() {
+            return;
         }
+        self.outputs
+            .emissions
+            .push(Emission::Broadcast(recipients, message));
     }
 
     /// Arms a timer that fires after `delay`; `tag` is returned to the handler
@@ -206,7 +237,10 @@ mod tests {
         ctx.cancel_timer(t);
         ctx.charge_cpu_ms(1.0);
 
-        assert_eq!(outputs.sends.len(), 4);
+        assert_eq!(outputs.emissions.len(), 2);
+        assert_eq!(outputs.message_count(), 4);
+        assert!(matches!(&outputs.emissions[1],
+            Emission::Broadcast(tos, 9u32) if tos.len() == 3));
         assert_eq!(outputs.timers.len(), 1);
         assert_eq!(outputs.timers[0].2, 42);
         assert_eq!(outputs.cancels, vec![t]);
@@ -227,6 +261,9 @@ mod tests {
         let as_dyn: &dyn Process<u32> = &node;
         let echo = as_dyn.as_any().downcast_ref::<Echo>().unwrap();
         assert_eq!(echo.received, vec![3]);
-        assert_eq!(outputs.sends, vec![(Actor::Server(ServerId(1)), 4)]);
+        assert!(matches!(
+            outputs.emissions.as_slice(),
+            [Emission::Send(to, 4u32)] if *to == Actor::Server(ServerId(1))
+        ));
     }
 }

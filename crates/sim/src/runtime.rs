@@ -11,7 +11,7 @@
 
 use crate::event::{EventPayload, EventQueue, TimerId};
 use crate::network::{LinkState, NetworkConfig};
-use crate::process::{Context, Effects, Process};
+use crate::process::{Context, Effects, Emission, Process};
 use crate::rng::SimRng;
 use crate::stats::NetStats;
 use crate::time::{SimDuration, SimTime};
@@ -273,26 +273,46 @@ impl<M: Wire + 'static> Simulation<M> {
                 .push(self.now + delay, from, EventPayload::Timer { id, tag });
         }
 
-        // Message sends: NIC serialization + propagation latency.
-        for (to, message) in outputs.sends {
-            self.stats.sent_total += 1;
-            if !self.links.can_deliver(from, to) {
-                self.stats.blocked += 1;
-                continue;
+        // Message sends: NIC serialization + propagation latency. A
+        // broadcast expands into per-recipient delivery events here (the
+        // simulator models each copy on the NIC); the payload is cloned per
+        // extra recipient, which is cheap for the Arc-shared hot-path
+        // messages and preserves the per-recipient bandwidth accounting.
+        for emission in outputs.emissions {
+            match emission {
+                Emission::Send(to, message) => self.queue_send(from, to, message),
+                Emission::Broadcast(tos, message) => {
+                    if let Some((&last, rest)) = tos.split_last() {
+                        for &to in rest {
+                            self.queue_send(from, to, message.clone());
+                        }
+                        self.queue_send(from, last, message);
+                    }
+                }
             }
-            if self.network.should_drop(&mut self.net_rng) {
-                self.stats.dropped += 1;
-                continue;
-            }
-            let serialization = self.network.serialization_delay(message.wire_size());
-            let nic = self.nic_free.entry(from).or_insert(SimTime::ZERO);
-            let departure = (*nic).max(self.now) + serialization;
-            *nic = departure;
-            let latency = self.network.propagation_delay(&mut self.net_rng);
-            let arrival = departure + latency;
-            self.queue
-                .push(arrival, to, EventPayload::Deliver { from, message });
         }
+    }
+
+    /// Queues one unicast delivery, applying link state, drop probability,
+    /// NIC serialization, and propagation latency.
+    fn queue_send(&mut self, from: Actor, to: Actor, message: M) {
+        self.stats.sent_total += 1;
+        if !self.links.can_deliver(from, to) {
+            self.stats.blocked += 1;
+            return;
+        }
+        if self.network.should_drop(&mut self.net_rng) {
+            self.stats.dropped += 1;
+            return;
+        }
+        let serialization = self.network.serialization_delay(message.wire_size());
+        let nic = self.nic_free.entry(from).or_insert(SimTime::ZERO);
+        let departure = (*nic).max(self.now) + serialization;
+        *nic = departure;
+        let latency = self.network.propagation_delay(&mut self.net_rng);
+        let arrival = departure + latency;
+        self.queue
+            .push(arrival, to, EventPayload::Deliver { from, message });
     }
 }
 

@@ -17,6 +17,7 @@ use crate::qc::{PartialSig, QuorumCertificate};
 use crate::transaction::{Digest, Proposal};
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Minimal contract a message type must satisfy to travel over the simulated
 /// network: report its serialized size (for the bandwidth model) and a short
@@ -127,8 +128,11 @@ pub enum Message {
         view: View,
         /// Assigned sequence number.
         n: SeqNum,
-        /// The batched proposals.
-        batch: Vec<Proposal>,
+        /// The batched proposals. Shared (`Arc`) so the leader's broadcast
+        /// fan-out and its own in-flight bookkeeping reference one allocation
+        /// instead of deep-copying the batch per recipient; the encoding is
+        /// transparent, so the wire format is that of a plain proposal list.
+        batch: Arc<Vec<Proposal>>,
         /// Digest over (view, n, batch) that followers sign.
         digest: Digest,
         /// Leader's signature.
@@ -169,8 +173,11 @@ pub enum Message {
     },
     /// Leader broadcast of the finalized `txBlock` (terminates the instance).
     CommitBlock {
-        /// The committed transaction block with both QCs filled in.
-        block: TxBlock,
+        /// The committed transaction block with both QCs filled in. Shared
+        /// (`Arc`) for the same reason as [`Message::Ord`]'s batch: one block
+        /// allocation serves the local store, the broadcast to every replica,
+        /// and any buffered out-of-order copy.
+        block: Arc<TxBlock>,
         /// Leader's signature.
         sig: [u8; 32],
     },
@@ -489,14 +496,14 @@ mod tests {
         let small = Message::Ord {
             view: View(1),
             n: SeqNum(1),
-            batch: vec![sample_proposal()],
+            batch: Arc::new(vec![sample_proposal()]),
             digest: Digest::ZERO,
             sig: [0; 32],
         };
         let large = Message::Ord {
             view: View(1),
             n: SeqNum(1),
-            batch: (0..100).map(|_| sample_proposal()).collect(),
+            batch: Arc::new((0..100).map(|_| sample_proposal()).collect()),
             digest: Digest::ZERO,
             sig: [0; 32],
         };

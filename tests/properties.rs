@@ -139,6 +139,86 @@ proptest! {
     }
 }
 
+/// The pre-optimization `batch_digest` specification, kept verbatim: every
+/// field staged through an owned `Vec<u8>`, collected, then hashed with
+/// `hash_many`. The streaming implementation must match it byte-for-byte.
+fn legacy_batch_digest(view: View, n: SeqNum, batch: &[prestigebft::types::Proposal]) -> Digest {
+    let mut parts: Vec<Vec<u8>> = vec![
+        b"batch".to_vec(),
+        view.0.to_be_bytes().to_vec(),
+        n.0.to_be_bytes().to_vec(),
+    ];
+    for p in batch {
+        parts.push(p.tx.client.0.to_be_bytes().to_vec());
+        parts.push(p.tx.timestamp.to_be_bytes().to_vec());
+    }
+    prestigebft::crypto::hash_many(parts.iter().map(|p| p.as_slice()))
+}
+
+fn arbitrary_batch(ids: &[u64], payload: usize) -> Vec<prestigebft::types::Proposal> {
+    ids.iter()
+        .map(|&raw| {
+            // Split one arbitrary word into a (client, timestamp) identity.
+            let (client, ts) = (raw % 50, raw / 50);
+            let tx = prestigebft::types::Transaction::with_size(ClientId(client), ts, payload);
+            prestigebft::types::Proposal::new(tx, Digest::ZERO)
+        })
+        .collect()
+}
+
+proptest! {
+    /// Digest compatibility: the streaming `batch_digest` equals the seed's
+    /// list-of-parts spec byte-for-byte, for any batch contents.
+    #[test]
+    fn streaming_batch_digest_matches_legacy_spec(
+        view in 1u64..1_000_000, n in 0u64..1_000_000,
+        ids in proptest::collection::vec(any::<u64>(), 0..64),
+        payload in 0usize..128)
+    {
+        let batch = arbitrary_batch(&ids, payload);
+        prop_assert_eq!(
+            prestigebft::core::batch_digest(View(view), SeqNum(n), &batch),
+            legacy_batch_digest(View(view), SeqNum(n), &batch)
+        );
+    }
+
+    /// Order sensitivity survives the streaming rewrite: swapping two distinct
+    /// proposals changes the digest, exactly as the legacy spec demands.
+    #[test]
+    fn streaming_batch_digest_is_order_sensitive(
+        ids in proptest::collection::vec(any::<u64>(), 2..32),
+        i in 0usize..32, j in 0usize..32)
+    {
+        let batch = arbitrary_batch(&ids, 0);
+        let (i, j) = (i % batch.len(), j % batch.len());
+        let mut swapped = batch.clone();
+        swapped.swap(i, j);
+        let a = prestigebft::core::batch_digest(View(1), SeqNum(1), &batch);
+        let b = prestigebft::core::batch_digest(View(1), SeqNum(1), &swapped);
+        let distinct = batch[i].tx.key() != batch[j].tx.key();
+        prop_assert_eq!(a != b, distinct);
+        // And both orderings agree with the legacy spec.
+        prop_assert_eq!(b, legacy_batch_digest(View(1), SeqNum(1), &swapped));
+    }
+
+    /// Incremental (field-streamed) hashing equals the collected-parts hash
+    /// for arbitrary part lists — the invariant every protocol digest relies
+    /// on after the FramedHasher rewrite.
+    #[test]
+    fn framed_hasher_matches_hash_many(
+        parts in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..32))
+    {
+        let mut h = prestigebft::crypto::FramedHasher::new();
+        for p in &parts {
+            h.field(p);
+        }
+        prop_assert_eq!(
+            h.finish(),
+            prestigebft::crypto::hash_many(parts.iter().map(|p| p.as_slice()))
+        );
+    }
+}
+
 use rand::SeedableRng;
 
 proptest! {
@@ -153,13 +233,16 @@ proptest! {
         let msg = Message::Ord {
             view: View(view),
             n: SeqNum(n),
-            batch: batch
-                .iter()
-                .map(|&ts| {
-                    let tx = prestigebft::types::Transaction::new(ClientId(ts % 7), ts, payload.clone());
-                    prestigebft::types::Proposal::new(tx, Digest(digest))
-                })
-                .collect(),
+            batch: std::sync::Arc::new(
+                batch
+                    .iter()
+                    .map(|&ts| {
+                        let tx =
+                            prestigebft::types::Transaction::new(ClientId(ts % 7), ts, payload.clone());
+                        prestigebft::types::Proposal::new(tx, Digest(digest))
+                    })
+                    .collect(),
+            ),
             digest: Digest(digest),
             sig,
         };
