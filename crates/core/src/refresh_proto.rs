@@ -7,7 +7,7 @@
 //! values in everyone's current `vcBlock`.
 
 use crate::server::PrestigeServer;
-use prestige_crypto::{hash_many, sign_share, QcBuilder, ThresholdVerifier};
+use prestige_crypto::{hash_many, sign_share, QcBuilder};
 use prestige_sim::Context;
 use prestige_types::{
     Digest, Message, PartialSig, QcKind, QuorumCertificate, SeqNum, ServerId, View,
@@ -193,14 +193,12 @@ impl PrestigeServer {
         if view != self.current_view() {
             return;
         }
-        self.charge_verify_cost(ctx);
         let expected_digest = Self::refresh_digest(view, server);
+        let quorum = self.config.quorum();
         if rs_qc.kind != QcKind::Refresh
             || rs_qc.view != view
             || rs_qc.digest != expected_digest
-            || ThresholdVerifier::new(&self.registry)
-                .verify(&rs_qc, self.config.quorum())
-                .is_err()
+            || !self.verify_qc_cached(&rs_qc, quorum, ctx)
         {
             return;
         }

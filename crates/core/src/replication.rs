@@ -13,11 +13,28 @@
 //! Servers never respond to messages from a lower view. Blocks are applied in
 //! sequence-number order on every replica so the digest chain is identical
 //! everywhere.
+//!
+//! **Pipelining.** The leader keeps up to `Config::pipeline_depth`
+//! consecutive sequence numbers in flight: it flushes and broadcasts batch
+//! `n+k` while the ordering/commit QCs for `n` are still outstanding.
+//! Followers acknowledge ordering rounds in any order; commits are forced
+//! back into sequence order by the `pending_commit_blocks` buffer inside
+//! [`PrestigeServer::apply_committed_block`].
+//!
+//! **Off-loop verification.** When an asynchronous
+//! [`prestige_crypto::VerifyPool`] is attached, every signature, share, and
+//! QC check on this path is submitted as a job and the message parks until
+//! the verdict comes back as an ordinary event
+//! (`Process::on_job_complete` → the `*_verified` / `add_*_share`
+//! continuations below, which re-check all cheap guards because the view may
+//! have moved while the job was in flight). Without a pool — the
+//! deterministic simulator — the same checks run inline, in the original
+//! order, with the original CPU charges.
 
 use crate::pacemaker::timer_tags;
-use crate::server::{InflightInstance, PrestigeServer, ServerRole};
+use crate::server::{InflightInstance, PendingVerify, PrestigeServer, ServerRole};
 use crate::storage::tx_block_digest;
-use prestige_crypto::{sign_share, FramedHasher, QcBuilder, ThresholdVerifier};
+use prestige_crypto::{sign_share, QcBuilder, VerifyJob};
 use prestige_sim::Context;
 use prestige_types::{
     Actor, ClientId, Digest, Message, PartialSig, Proposal, QcKind, QuorumCertificate, SeqNum,
@@ -26,24 +43,9 @@ use prestige_types::{
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-/// Digest over an ordered batch that both phases' shares sign.
-///
-/// Fields stream into one incremental SHA-256 with the same length framing
-/// the original list-of-parts spec used (`hash_many` over
-/// `["batch", view, n, client₀, ts₀, client₁, ts₁, …]`), so the digest value
-/// is unchanged — pinned by the compatibility proptests — but computing it
-/// allocates nothing.
-pub fn batch_digest(view: View, n: SeqNum, batch: &[Proposal]) -> Digest {
-    let mut h = FramedHasher::new();
-    h.field(b"batch")
-        .field(&view.0.to_be_bytes())
-        .field(&n.0.to_be_bytes());
-    for p in batch {
-        h.field(&p.tx.client.0.to_be_bytes())
-            .field(&p.tx.timestamp.to_be_bytes());
-    }
-    h.finish()
-}
+// The batch digest moved to `prestige-crypto` so the verify pool can
+// recompute it off the protocol loop; re-exported here for compatibility.
+pub use prestige_crypto::batch_digest;
 
 /// CPU cost charged per transaction when hashing / validating a batch (ms).
 /// Roughly the cost of one digest computation on the paper's Skylake vCPUs.
@@ -82,12 +84,36 @@ impl PrestigeServer {
             && !self.behavior.silent_as_leader()
             && self.pending_proposals.len() >= self.config.batch_size
         {
+            self.flush_ready_batches(ctx);
+        }
+    }
+
+    /// The leader's in-flight window: how many consecutive sequence numbers
+    /// may be awaiting their QCs at once.
+    pub(crate) fn pipeline_depth(&self) -> usize {
+        self.config.pipeline_depth.max(1)
+    }
+
+    /// Leader pipeline fill: flushes *full* batches while the in-flight
+    /// window has room, so a backlog of proposals floods the window instead
+    /// of trickling out one batch per inbound event. Partial batches are left
+    /// for the batch timer.
+    pub(crate) fn flush_ready_batches(&mut self, ctx: &mut Context<Message>) {
+        while self.inflight.len() < self.pipeline_depth()
+            && self.pending_proposals.len() >= self.config.batch_size
+        {
+            let before = self.inflight.len();
             self.flush_batch(ctx);
+            if self.inflight.len() == before {
+                break; // Quiesced (rotation pending, role change, …).
+            }
         }
     }
 
     /// Leader batch flush: assigns the next sequence number to the pending
-    /// proposals (up to β of them) and broadcasts the `Ord` message.
+    /// proposals (up to β of them) and broadcasts the `Ord` message. Respects
+    /// the pipeline window: with `pipeline_depth` instances already in
+    /// flight, the flush waits until a commit frees a slot.
     pub(crate) fn flush_batch(&mut self, ctx: &mut Context<Message>) {
         if self.role != ServerRole::Leader || self.behavior.silent_as_leader() {
             return;
@@ -97,6 +123,9 @@ impl PrestigeServer {
         }
         if self.pending_proposals.is_empty() {
             return;
+        }
+        if self.inflight.len() >= self.pipeline_depth() {
+            return; // Window full: wait for an in-flight instance to commit.
         }
         let take = self.pending_proposals.len().min(self.config.batch_size);
         // The batch is assembled exactly once and shared: the broadcast `Ord`
@@ -162,6 +191,9 @@ impl PrestigeServer {
             };
             ctx.broadcast(self.other_servers(), message);
         } else {
+            // Fill the window with full batches, then flush any partial
+            // remainder so stragglers never wait longer than one interval.
+            self.flush_ready_batches(ctx);
             self.flush_batch(ctx);
         }
         ctx.set_timer(self.pacemaker.batch_interval(), timer_tags::BATCH);
@@ -172,7 +204,9 @@ impl PrestigeServer {
     // Phase 1: ordering
     // ------------------------------------------------------------------
 
-    /// Follower handling of the leader's `Ord` message.
+    /// Follower handling of the leader's `Ord` message: guard, verify the
+    /// leader signature and the batch digest (off-loop when a pool is
+    /// attached), then acknowledge via [`Self::handle_ord_verified`].
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn handle_ord(
         &mut self,
@@ -195,6 +229,39 @@ impl PrestigeServer {
         if n <= self.store.latest_seq() {
             return;
         }
+        // A sequence number must not be reused with a different payload —
+        // checked before paying for any crypto.
+        if let Some(existing) = self.ordered_digests.get(&n.0) {
+            if *existing != digest {
+                return;
+            }
+        }
+        if self.has_async_verify() {
+            // Collapse retransmissions onto the in-flight job: parking every
+            // copy would queue redundant whole-batch digest recomputations
+            // and grow the parked set without bound under a re-sending peer.
+            if !self.pending_ord_verifies.insert((n.0, digest.0)) {
+                return;
+            }
+            self.offload_verify(
+                VerifyJob::OrdBatch {
+                    leader: from,
+                    view,
+                    n,
+                    batch: Arc::clone(&batch),
+                    digest,
+                    sig,
+                },
+                PendingVerify::Ord {
+                    from,
+                    view,
+                    n,
+                    batch,
+                    digest,
+                },
+            );
+            return;
+        }
         self.charge_verify_cost(ctx);
         if !self.registry.verify(from, digest.as_ref(), &sig) {
             return;
@@ -203,21 +270,47 @@ impl PrestigeServer {
         if Self::batch_digest(view, n, &batch) != digest {
             return;
         }
-        // A sequence number must not be reused with a different payload.
+        self.handle_ord_verified(from, view, n, batch, digest, ctx);
+    }
+
+    /// Continuation of [`Self::handle_ord`] once the leader signature and
+    /// batch digest have been verified: record the ordering and reply with a
+    /// phase-1 share. Guards are re-checked — an off-loop verdict may arrive
+    /// after a view change or after the block already committed.
+    pub(crate) fn handle_ord_verified(
+        &mut self,
+        from: Actor,
+        view: View,
+        n: SeqNum,
+        batch: Arc<Vec<Proposal>>,
+        digest: Digest,
+        ctx: &mut Context<Message>,
+    ) {
+        if view != self.current_view()
+            || from != Actor::Server(self.current_leader())
+            || self.rotation_pending
+            || n <= self.store.latest_seq()
+        {
+            return;
+        }
         if let Some(existing) = self.ordered_digests.get(&n.0) {
             if *existing != digest {
                 return;
             }
         }
         self.ordered_digests.insert(n.0, digest);
-        // Remember the proposals so a later leader can re-propose them if this
-        // instance never commits.
+        // Remember the batch (shared handle, no copies) so a later leader can
+        // re-propose these proposals if the instance never commits. A key
+        // first seen here (not via `Prop`, not committed) is tracked in
+        // `ordered_only_keys`; commits prune it, so only genuinely
+        // uncommitted transactions survive into a view-change re-propose.
         for proposal in batch.iter() {
             let key = proposal.tx.key();
             if self.seen_tx.insert(key) {
-                self.pending_proposals.push(proposal.clone());
+                self.ordered_only_keys.insert(key);
             }
         }
+        self.ordered_batches.insert(n.0, Arc::clone(&batch));
 
         let share = if self.behavior.equivocates() {
             // F3: reply with a corrupted share.
@@ -254,19 +347,65 @@ impl PrestigeServer {
         if self.role != ServerRole::Leader || view != self.current_view() {
             return;
         }
+        if self.has_async_verify() {
+            // Only pay for the off-loop check if the share can still matter.
+            let relevant = matches!(
+                self.inflight.get(&n.0),
+                Some(i) if i.view == view && i.digest == digest && i.ordering_qc.is_none()
+            );
+            if relevant {
+                self.offload_verify(
+                    VerifyJob::Share {
+                        share: share.clone(),
+                        kind: QcKind::Ordering,
+                        view,
+                        seq: n,
+                        digest,
+                    },
+                    PendingVerify::OrdShare {
+                        view,
+                        n,
+                        digest,
+                        share,
+                    },
+                );
+            }
+            return;
+        }
         self.charge_verify_cost(ctx);
+        self.add_ordering_share(view, n, digest, share, false, ctx);
+    }
+
+    /// Adds a phase-1 share to the matching in-flight instance;
+    /// `pre_verified` shares (validated by the pool against exactly this
+    /// statement) skip the registry check. Completing the quorum broadcasts
+    /// `Cmt`.
+    pub(crate) fn add_ordering_share(
+        &mut self,
+        view: View,
+        n: SeqNum,
+        digest: Digest,
+        share: PartialSig,
+        pre_verified: bool,
+        ctx: &mut Context<Message>,
+    ) {
+        if self.role != ServerRole::Leader || view != self.current_view() {
+            return;
+        }
         let instance = match self.inflight.get_mut(&n.0) {
             Some(i) if i.view == view && i.digest == digest && i.ordering_qc.is_none() => i,
             _ => return,
         };
-        if instance
-            .ordering_builder
-            .add_share(&self.registry, &share)
-            .is_err()
-        {
-            return;
-        }
-        if !instance.ordering_builder.complete() {
+        let added = if pre_verified {
+            instance.ordering_builder.add_verified_share(&share);
+            true
+        } else {
+            instance
+                .ordering_builder
+                .add_share(&self.registry, &share)
+                .is_ok()
+        };
+        if !added || !instance.ordering_builder.complete() {
             return;
         }
         let ordering_qc = match instance.ordering_builder.assemble() {
@@ -280,6 +419,10 @@ impl PrestigeServer {
             let _ = commit_builder.add_share(&self.registry, &own);
         }
         instance.commit_builder = Some(commit_builder);
+        // The leader assembled this QC from verified shares: seed the memo so
+        // it is never re-verified if it comes back around (e.g. via sync).
+        let memo = Self::qc_memo_key(&ordering_qc, self.config.quorum());
+        self.memoize_qc(memo);
         let sig = self.sign(digest.as_ref());
         ctx.broadcast(
             self.other_servers(),
@@ -296,7 +439,9 @@ impl PrestigeServer {
     // Phase 2: commit
     // ------------------------------------------------------------------
 
-    /// Follower handling of the leader's `Cmt` message.
+    /// Follower handling of the leader's `Cmt` message: structural guards,
+    /// then the ordering-QC check (memoized; off-loop when a pool is
+    /// attached), then the phase-2 share via [`Self::handle_cmt_verified`].
     pub(crate) fn handle_cmt(
         &mut self,
         from: Actor,
@@ -312,13 +457,55 @@ impl PrestigeServer {
         if self.rotation_pending {
             return;
         }
-        self.charge_verify_cost(ctx);
-        if ordering_qc.kind != QcKind::Ordering
-            || ordering_qc.view != view
-            || ordering_qc.seq != n
-            || ThresholdVerifier::new(&self.registry)
-                .verify(&ordering_qc, self.config.quorum())
-                .is_err()
+        if ordering_qc.kind != QcKind::Ordering || ordering_qc.view != view || ordering_qc.seq != n
+        {
+            return;
+        }
+        let quorum = self.config.quorum();
+        let memo = Self::qc_memo_key(&ordering_qc, quorum);
+        if self.verified_qcs.contains(&memo) {
+            // Already verified this exact certificate (typically when the
+            // follower acknowledged the ordering itself): skip the crypto.
+            self.stats.qc_cache_hits += 1;
+            self.handle_cmt_verified(from, view, n, ordering_qc, ctx);
+            return;
+        }
+        if self.has_async_verify() {
+            self.offload_verify(
+                VerifyJob::Qc {
+                    qc: ordering_qc.clone(),
+                    threshold: quorum,
+                },
+                PendingVerify::Cmt {
+                    from,
+                    view,
+                    n,
+                    ordering_qc,
+                    memo,
+                },
+            );
+            return;
+        }
+        if !self.verify_qc_cached(&ordering_qc, quorum, ctx) {
+            return;
+        }
+        self.handle_cmt_verified(from, view, n, ordering_qc, ctx);
+    }
+
+    /// Continuation of [`Self::handle_cmt`] once the ordering QC is known
+    /// valid: reply with a commit share. Guards re-checked for off-loop
+    /// verdicts.
+    pub(crate) fn handle_cmt_verified(
+        &mut self,
+        from: Actor,
+        view: View,
+        n: SeqNum,
+        ordering_qc: QuorumCertificate,
+        ctx: &mut Context<Message>,
+    ) {
+        if view != self.current_view()
+            || from != Actor::Server(self.current_leader())
+            || self.rotation_pending
         {
             return;
         }
@@ -358,7 +545,50 @@ impl PrestigeServer {
         if self.role != ServerRole::Leader || view != self.current_view() {
             return;
         }
+        if self.has_async_verify() {
+            let relevant = matches!(
+                self.inflight.get(&n.0),
+                Some(i) if i.view == view && i.digest == digest && i.commit_builder.is_some()
+            );
+            if relevant {
+                self.offload_verify(
+                    VerifyJob::Share {
+                        share: share.clone(),
+                        kind: QcKind::Commit,
+                        view,
+                        seq: n,
+                        digest,
+                    },
+                    PendingVerify::CmtShare {
+                        view,
+                        n,
+                        digest,
+                        share,
+                    },
+                );
+            }
+            return;
+        }
         self.charge_verify_cost(ctx);
+        self.add_commit_share(view, n, digest, share, false, ctx);
+    }
+
+    /// Adds a phase-2 share to the matching in-flight instance (see
+    /// [`Self::add_ordering_share`] for the `pre_verified` contract).
+    /// Completing the quorum finalizes the block, broadcasts it, and refills
+    /// the pipeline window.
+    pub(crate) fn add_commit_share(
+        &mut self,
+        view: View,
+        n: SeqNum,
+        digest: Digest,
+        share: PartialSig,
+        pre_verified: bool,
+        ctx: &mut Context<Message>,
+    ) {
+        if self.role != ServerRole::Leader || view != self.current_view() {
+            return;
+        }
         let instance = match self.inflight.get_mut(&n.0) {
             Some(i) if i.view == view && i.digest == digest => i,
             _ => return,
@@ -367,13 +597,21 @@ impl PrestigeServer {
             Some(b) => b,
             None => return,
         };
-        if builder.add_share(&self.registry, &share).is_err() || !builder.complete() {
+        let added = if pre_verified {
+            builder.add_verified_share(&share);
+            true
+        } else {
+            builder.add_share(&self.registry, &share).is_ok()
+        };
+        if !added || !builder.complete() {
             return;
         }
         let commit_qc = match builder.assemble() {
             Ok(qc) => qc,
             Err(_) => return,
         };
+        let memo = Self::qc_memo_key(&commit_qc, self.config.quorum());
+        self.memoize_qc(memo);
         let instance = self.inflight.remove(&n.0).expect("instance present");
         // The in-flight batch is normally the last live reference by now (the
         // broadcast `Ord` payloads were consumed on delivery), so the
@@ -399,9 +637,18 @@ impl PrestigeServer {
             self.other_servers(),
             Message::CommitBlock { block: shared, sig },
         );
+        // A window slot just freed up: keep the pipeline full.
+        self.flush_ready_batches(ctx);
     }
 
     /// Follower handling of the finalized `CommitBlock` broadcast.
+    ///
+    /// Committed blocks are validated purely through their QCs: they may
+    /// legitimately arrive from the leader of an earlier view during a view
+    /// change, or via sync from any peer. Each certificate is verified at
+    /// most once per node: the ordering QC was usually already checked when
+    /// it arrived inside `Cmt`, so only the commit QC costs anything here —
+    /// previously both were re-verified (and charged) back to back.
     pub(crate) fn handle_commit_block(
         &mut self,
         _from: Actor,
@@ -409,26 +656,66 @@ impl PrestigeServer {
         _sig: [u8; 32],
         ctx: &mut Context<Message>,
     ) {
-        // Committed blocks are validated purely through their QCs: they may
-        // legitimately arrive from the leader of an earlier view during a view
-        // change, or via sync from any peer.
-        self.charge_verify_cost(ctx);
-        self.charge_verify_cost(ctx);
+        if block.n <= self.store.latest_seq() {
+            return; // Stale: no point paying for crypto.
+        }
+        self.verify_and_apply_block(block, ctx);
+    }
+
+    /// Shared QC validation + apply path for `CommitBlock` broadcasts and
+    /// synced txBlocks: structural checks, memoized QC verification (off-loop
+    /// when a pool is attached), then [`Self::apply_committed_block`].
+    pub(crate) fn verify_and_apply_block(
+        &mut self,
+        block: Arc<TxBlock>,
+        ctx: &mut Context<Message>,
+    ) {
         let quorum = self.config.quorum();
-        let verifier = ThresholdVerifier::new(&self.registry);
-        let valid = match (&block.ordering_qc, &block.commit_qc) {
+        let structurally_ok = match (&block.ordering_qc, &block.commit_qc) {
             (Some(o), Some(c)) => {
                 o.kind == QcKind::Ordering
                     && c.kind == QcKind::Commit
                     && o.seq == block.n
                     && c.seq == block.n
-                    && verifier.verify(o, quorum).is_ok()
-                    && verifier.verify(c, quorum).is_ok()
             }
             _ => false,
         };
-        if !valid {
+        if !structurally_ok {
             return;
+        }
+        // Collect the certificates not yet known valid.
+        let mut jobs = Vec::new();
+        let mut memo = Vec::new();
+        for qc in [&block.ordering_qc, &block.commit_qc] {
+            let qc = qc.as_ref().expect("structurally checked");
+            let key = Self::qc_memo_key(qc, quorum);
+            if self.verified_qcs.contains(&key) {
+                self.stats.qc_cache_hits += 1;
+            } else {
+                jobs.push(VerifyJob::Qc {
+                    qc: qc.clone(),
+                    threshold: quorum,
+                });
+                memo.push(key);
+            }
+        }
+        if jobs.is_empty() {
+            self.apply_committed_block(block, ctx);
+            return;
+        }
+        if self.has_async_verify() {
+            self.offload_verify(
+                VerifyJob::All(jobs),
+                PendingVerify::CommitBlock { block, memo },
+            );
+            return;
+        }
+        for (job, key) in jobs.iter().zip(&memo) {
+            self.charge_verify_cost(ctx);
+            if !self.verify_inline(job) {
+                return;
+            }
+            self.memoize_qc(*key);
         }
         self.apply_committed_block(block, ctx);
     }
@@ -492,6 +779,7 @@ impl PrestigeServer {
         for key in &committed_keys {
             self.complaints.remove(key);
             self.seen_tx.insert(*key);
+            self.ordered_only_keys.remove(key);
         }
         if !self.pending_proposals.is_empty() {
             let committed: std::collections::HashSet<_> = committed_keys.iter().copied().collect();
@@ -499,6 +787,7 @@ impl PrestigeServer {
                 .retain(|p| !committed.contains(&p.tx.key()));
         }
         self.ordered_digests.remove(&n.0);
+        self.ordered_batches.remove(&n.0);
 
         // Notify clients: one Notif per client listing its committed keys.
         let mut by_client: BTreeMap<ClientId, Vec<(ClientId, u64)>> = BTreeMap::new();
@@ -524,7 +813,387 @@ impl PrestigeServer {
 mod tests {
     use super::*;
     use prestige_crypto::KeyRegistry;
+    use prestige_sim::{Effects, Emission, Process, SimRng, SimTime};
     use prestige_types::{ClusterConfig, ServerId, Transaction};
+    use std::time::{Duration, Instant};
+
+    /// Runs `f` against a server with a fresh driver context and returns the
+    /// buffered effects.
+    fn with_ctx(
+        server: &mut PrestigeServer,
+        f: impl FnOnce(&mut PrestigeServer, &mut Context<Message>),
+    ) -> Effects<Message> {
+        let mut effects = Effects::new();
+        let mut rng = SimRng::new(3);
+        let mut next_timer_id = 100;
+        let me = Actor::Server(server.id());
+        let mut ctx = Context::new(
+            SimTime::from_ms(1.0),
+            me,
+            &mut rng,
+            &mut next_timer_id,
+            &mut effects,
+        );
+        f(server, &mut ctx);
+        effects
+    }
+
+    fn ord_fields(registry: &KeyRegistry, n: u64) -> (Arc<Vec<Proposal>>, Digest, [u8; 32]) {
+        let batch: Vec<Proposal> = vec![Proposal::new(
+            Transaction::with_size(ClientId(1), n, 16),
+            Digest::ZERO,
+        )];
+        let digest = batch_digest(View(1), SeqNum(n), &batch);
+        let leader = Actor::Server(ServerId(0));
+        let sig = registry.key_of(leader).unwrap().sign(digest.as_ref());
+        (Arc::new(batch), digest, sig)
+    }
+
+    fn contains_ord_reply(effects: &Effects<Message>) -> bool {
+        effects.emissions.iter().any(|e| {
+            matches!(
+                e,
+                Emission::Send(_, Message::OrdReply { .. })
+                    | Emission::Broadcast(_, Message::OrdReply { .. })
+            )
+        })
+    }
+
+    #[test]
+    fn offloaded_ord_parks_until_the_verdict_arrives() {
+        let config = ClusterConfig::new(4);
+        let registry = KeyRegistry::new(9, 4, 2);
+        let mut follower = PrestigeServer::new(ServerId(1), config, registry.clone(), 0);
+        let pool = follower.spawn_verify_pool(1);
+        let (batch, digest, sig) = ord_fields(&registry, 1);
+
+        // Delivery submits the job and parks the message — no reply yet.
+        let effects = with_ctx(&mut follower, |s, ctx| {
+            s.on_message(
+                Actor::Server(ServerId(0)),
+                Message::Ord {
+                    view: View(1),
+                    n: SeqNum(1),
+                    batch,
+                    digest,
+                    sig,
+                },
+                ctx,
+            );
+        });
+        assert!(!contains_ord_reply(&effects), "reply must wait for verdict");
+        assert_eq!(follower.stats().verify_offloaded, 1);
+
+        // The worker finishes; the runtime hands the verdict back.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let verdict = loop {
+            if let Some(v) = pool.try_completion() {
+                break v;
+            }
+            assert!(Instant::now() < deadline, "verify pool never completed");
+            std::thread::sleep(Duration::from_micros(50));
+        };
+        assert!(verdict.ok, "a well-formed Ord must verify");
+        let effects = with_ctx(&mut follower, |s, ctx| {
+            s.on_job_complete(verdict.token, verdict.ok, ctx);
+        });
+        assert!(
+            contains_ord_reply(&effects),
+            "verified Ord must be acknowledged"
+        );
+    }
+
+    #[test]
+    fn rejected_verdict_drops_the_parked_message() {
+        // A failed (or panicked) verify job must surface as a rejected
+        // message: the continuation never runs, the node keeps going.
+        let config = ClusterConfig::new(4);
+        let registry = KeyRegistry::new(9, 4, 2);
+        let mut follower = PrestigeServer::new(ServerId(1), config, registry.clone(), 0);
+        let pool = follower.spawn_verify_pool(1);
+        let (batch, digest, _) = ord_fields(&registry, 1);
+
+        let effects = with_ctx(&mut follower, |s, ctx| {
+            s.on_message(
+                Actor::Server(ServerId(0)),
+                Message::Ord {
+                    view: View(1),
+                    n: SeqNum(1),
+                    batch,
+                    digest,
+                    sig: [0xEE; 32], // forged leader signature
+                },
+                ctx,
+            );
+        });
+        assert!(!contains_ord_reply(&effects));
+
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let verdict = loop {
+            if let Some(v) = pool.try_completion() {
+                break v;
+            }
+            assert!(Instant::now() < deadline, "verify pool never completed");
+            std::thread::sleep(Duration::from_micros(50));
+        };
+        assert!(!verdict.ok, "forged signature must be rejected");
+        let effects = with_ctx(&mut follower, |s, ctx| {
+            s.on_job_complete(verdict.token, verdict.ok, ctx);
+        });
+        assert!(
+            !contains_ord_reply(&effects),
+            "rejected Ord must be dropped"
+        );
+        assert_eq!(follower.stats().verify_rejected, 1);
+
+        // The node is not hung: a valid Ord afterwards is processed normally.
+        let (batch, digest, sig) = ord_fields(&registry, 1);
+        let effects = with_ctx(&mut follower, |s, ctx| {
+            s.on_message(
+                Actor::Server(ServerId(0)),
+                Message::Ord {
+                    view: View(1),
+                    n: SeqNum(1),
+                    batch,
+                    digest,
+                    sig,
+                },
+                ctx,
+            );
+        });
+        assert!(!contains_ord_reply(&effects), "async path parks first");
+        let verdict = loop {
+            if let Some(v) = pool.try_completion() {
+                break v;
+            }
+            std::thread::sleep(Duration::from_micros(50));
+        };
+        let effects = with_ctx(&mut follower, |s, ctx| {
+            s.on_job_complete(verdict.token, verdict.ok, ctx);
+        });
+        assert!(
+            contains_ord_reply(&effects),
+            "node keeps serving after a rejection"
+        );
+    }
+
+    #[test]
+    fn stale_verdicts_for_unknown_tokens_are_ignored() {
+        let config = ClusterConfig::new(4);
+        let registry = KeyRegistry::new(9, 4, 2);
+        let mut server = PrestigeServer::new(ServerId(1), config, registry, 0);
+        let effects = with_ctx(&mut server, |s, ctx| {
+            s.on_job_complete(777, true, ctx);
+        });
+        assert!(effects.emissions.is_empty());
+        assert_eq!(server.stats().verify_rejected, 0);
+    }
+
+    #[test]
+    fn view_change_reproposes_uncommitted_but_never_committed_ordered_txs() {
+        // Regression: a transaction known only through an ordered batch that
+        // later commits under a *different* sequence number (re-proposed by a
+        // new leader, delivered e.g. via sync before the vcBlock installs)
+        // must not be re-proposed again at the view change — while a
+        // genuinely uncommitted ordered transaction must be.
+        let config = ClusterConfig::new(4);
+        let registry = KeyRegistry::new(9, 4, 2);
+        let mut follower = PrestigeServer::new(ServerId(1), config.clone(), registry.clone(), 0);
+        let quorum = config.quorum();
+        let view = View(1);
+        let leader = Actor::Server(ServerId(0));
+
+        // Ord at n=2 (a gap: n=1 is still outstanding) carrying txs X and Y.
+        let tx_x = Transaction::with_size(ClientId(1), 100, 16);
+        let tx_y = Transaction::with_size(ClientId(1), 200, 16);
+        let batch: Vec<Proposal> = vec![
+            Proposal::new(tx_x.clone(), Digest::ZERO),
+            Proposal::new(tx_y.clone(), Digest::ZERO),
+        ];
+        let digest = batch_digest(view, SeqNum(2), &batch);
+        let sig = registry.key_of(leader).unwrap().sign(digest.as_ref());
+        with_ctx(&mut follower, |s, ctx| {
+            s.on_message(
+                leader,
+                Message::Ord {
+                    view,
+                    n: SeqNum(2),
+                    batch: Arc::new(batch),
+                    digest,
+                    sig,
+                },
+                ctx,
+            );
+        });
+
+        // X commits inside block n=1 (different sequence number than its
+        // ordering round).
+        let commit_batch = vec![Proposal::new(tx_x.clone(), Digest::ZERO)];
+        let commit_digest = batch_digest(view, SeqNum(1), &commit_batch);
+        let build = |kind: QcKind| {
+            let mut b = QcBuilder::new(kind, view, SeqNum(1), commit_digest, quorum);
+            for s in 0..quorum {
+                let share = sign_share(
+                    &registry,
+                    ServerId(s),
+                    kind,
+                    view,
+                    SeqNum(1),
+                    &commit_digest,
+                )
+                .unwrap();
+                b.add_share(&registry, &share).unwrap();
+            }
+            b.assemble().unwrap()
+        };
+        let mut block = TxBlock::new(view, SeqNum(1), vec![tx_x.clone()]);
+        block.ordering_qc = Some(build(QcKind::Ordering));
+        block.commit_qc = Some(build(QcKind::Commit));
+        with_ctx(&mut follower, |s, ctx| {
+            s.on_message(
+                leader,
+                Message::CommitBlock {
+                    block: Arc::new(block),
+                    sig: [0u8; 32],
+                },
+                ctx,
+            );
+        });
+        assert_eq!(follower.store().latest_seq(), SeqNum(1));
+
+        // View change installs a new leader: materialization runs.
+        with_ctx(&mut follower, |s, ctx| {
+            s.note_view_installed(ctx, ServerId(2));
+        });
+        let pending: Vec<_> = follower
+            .pending_proposals
+            .iter()
+            .map(|p| p.tx.key())
+            .collect();
+        assert!(
+            !pending.contains(&tx_x.key()),
+            "committed tx must not be re-proposed: {pending:?}"
+        );
+        assert!(
+            pending.contains(&tx_y.key()),
+            "uncommitted ordered tx must survive into the new view: {pending:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_ord_collapses_onto_one_inflight_verification() {
+        let config = ClusterConfig::new(4);
+        let registry = KeyRegistry::new(9, 4, 2);
+        let mut follower = PrestigeServer::new(ServerId(1), config, registry.clone(), 0);
+        let pool = follower.spawn_verify_pool(1);
+        let (batch, digest, sig) = ord_fields(&registry, 1);
+        let deliver = |s: &mut PrestigeServer| {
+            let batch = Arc::clone(&batch);
+            with_ctx(s, |s, ctx| {
+                s.on_message(
+                    Actor::Server(ServerId(0)),
+                    Message::Ord {
+                        view: View(1),
+                        n: SeqNum(1),
+                        batch,
+                        digest,
+                        sig,
+                    },
+                    ctx,
+                );
+            })
+        };
+        deliver(&mut follower);
+        deliver(&mut follower);
+        deliver(&mut follower);
+        assert_eq!(
+            follower.stats().verify_offloaded,
+            1,
+            "retransmitted Ord must ride the in-flight job"
+        );
+        // After the verdict, the slot frees again.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let verdict = loop {
+            if let Some(v) = pool.try_completion() {
+                break v;
+            }
+            assert!(Instant::now() < deadline);
+            std::thread::sleep(Duration::from_micros(50));
+        };
+        with_ctx(&mut follower, |s, ctx| {
+            s.on_job_complete(verdict.token, verdict.ok, ctx);
+        });
+        assert!(follower.pending_ord_verifies.is_empty());
+    }
+
+    #[test]
+    fn commit_block_qc_is_verified_once_across_cmt_and_commit_block() {
+        // The memo-cache dedup: a follower that verified the ordering QC when
+        // it arrived in `Cmt` must not pay for it again inside `CommitBlock`.
+        let config = ClusterConfig::new(4);
+        let registry = KeyRegistry::new(9, 4, 2);
+        let mut follower = PrestigeServer::new(ServerId(1), config.clone(), registry.clone(), 0);
+        let (batch, digest, sig) = ord_fields(&registry, 1);
+        let view = View(1);
+        let n = SeqNum(1);
+        let quorum = config.quorum();
+
+        let build = |kind: QcKind| {
+            let mut b = QcBuilder::new(kind, view, n, digest, quorum);
+            for s in 0..quorum {
+                let share = sign_share(&registry, ServerId(s), kind, view, n, &digest).unwrap();
+                b.add_share(&registry, &share).unwrap();
+            }
+            b.assemble().unwrap()
+        };
+        let ordering_qc = build(QcKind::Ordering);
+        let commit_qc = build(QcKind::Commit);
+
+        with_ctx(&mut follower, |s, ctx| {
+            s.on_message(
+                Actor::Server(ServerId(0)),
+                Message::Ord {
+                    view,
+                    n,
+                    batch: Arc::clone(&batch),
+                    digest,
+                    sig,
+                },
+                ctx,
+            );
+            s.on_message(
+                Actor::Server(ServerId(0)),
+                Message::Cmt {
+                    view,
+                    n,
+                    ordering_qc: ordering_qc.clone(),
+                    sig,
+                },
+                ctx,
+            );
+        });
+        assert_eq!(follower.stats().qc_cache_hits, 0);
+
+        let mut block = TxBlock::new(view, n, batch.iter().map(|p| p.tx.clone()).collect());
+        block.ordering_qc = Some(ordering_qc);
+        block.commit_qc = Some(commit_qc);
+        with_ctx(&mut follower, |s, ctx| {
+            s.on_message(
+                Actor::Server(ServerId(0)),
+                Message::CommitBlock {
+                    block: Arc::new(block),
+                    sig: [0u8; 32],
+                },
+                ctx,
+            );
+        });
+        assert_eq!(follower.store().latest_seq(), n, "block must commit");
+        assert_eq!(
+            follower.stats().qc_cache_hits,
+            1,
+            "the ordering QC from Cmt must ride the memo cache"
+        );
+    }
 
     #[test]
     fn batch_digest_depends_on_contents_and_position() {

@@ -11,16 +11,19 @@
 use crate::faults::ByzantineBehavior;
 use crate::pacemaker::{timer_tags, Pacemaker};
 use crate::storage::BlockStore;
-use prestige_crypto::{KeyPair, KeyRegistry, PowSolution, PowSolver, QcBuilder};
+use prestige_crypto::{
+    execute_job, FramedHasher, KeyPair, KeyRegistry, PowSolution, PowSolver, QcBuilder,
+    ThresholdVerifier, VerifyJob, VerifyPool,
+};
 use prestige_reputation::{RefreshTracker, ReputationEngine};
 use prestige_sim::{Context, Process, SimTime, TimerId};
 use prestige_types::{
     Actor, ClientId, ClusterConfig, Digest, Message, Proposal, QuorumCertificate, SeqNum, ServerId,
-    VcBlock, View,
+    TxBlock, VcBlock, View,
 };
 use serde::{Deserialize, Serialize};
 use std::any::Any;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 /// The four server states of Figure 5.
@@ -69,6 +72,15 @@ pub struct ServerStats {
     pub commit_log: Vec<(f64, u64)>,
     /// Per-campaign log: (simulated ms at campaign start, rp used, pow ms).
     pub campaign_log: Vec<(f64, i64, f64)>,
+    /// Verification jobs offloaded to the verify pool.
+    pub verify_offloaded: u64,
+    /// Offloaded verification jobs that came back rejected (a forged
+    /// signature/QC — or a panicked verify job, which surfaces the same way).
+    pub verify_rejected: u64,
+    /// QC verifications skipped because the certificate was already verified
+    /// (memo cache hit, e.g. an ordering QC seen via `Cmt` and again inside
+    /// the `CommitBlock`).
+    pub qc_cache_hits: u64,
 }
 
 /// A leader's in-flight replication instance (one per sequence number).
@@ -81,6 +93,51 @@ pub(crate) struct InflightInstance {
     pub(crate) ordering_builder: QcBuilder,
     pub(crate) ordering_qc: Option<QuorumCertificate>,
     pub(crate) commit_builder: Option<QcBuilder>,
+}
+
+/// A message parked while its crypto checks run on the verify pool. Each
+/// variant carries exactly the state its post-verification continuation
+/// needs; guards (current view, leader identity, instance liveness) are
+/// re-checked when the verdict arrives, since the world may have moved on.
+#[derive(Debug, Clone)]
+pub(crate) enum PendingVerify {
+    /// A leader's `Ord` whose signature + batch digest are being checked.
+    Ord {
+        from: Actor,
+        view: View,
+        n: SeqNum,
+        batch: Arc<Vec<Proposal>>,
+        digest: Digest,
+    },
+    /// An `OrdReply` share being checked against the ordering statement.
+    OrdShare {
+        view: View,
+        n: SeqNum,
+        digest: Digest,
+        share: prestige_types::PartialSig,
+    },
+    /// A `Cmt` whose ordering QC is being checked; `memo` is the cache key to
+    /// record on success.
+    Cmt {
+        from: Actor,
+        view: View,
+        n: SeqNum,
+        ordering_qc: QuorumCertificate,
+        memo: [u8; 32],
+    },
+    /// A `CmtReply` share being checked against the commit statement.
+    CmtShare {
+        view: View,
+        n: SeqNum,
+        digest: Digest,
+        share: prestige_types::PartialSig,
+    },
+    /// A `CommitBlock` (or synced txBlock) whose not-yet-memoized QCs are
+    /// being checked; `memo` lists the cache keys to record on success.
+    CommitBlock {
+        block: Arc<TxBlock>,
+        memo: Vec<[u8; 32]>,
+    },
 }
 
 /// The state a server keeps while campaigning (redeemer / candidate).
@@ -141,12 +198,44 @@ pub struct PrestigeServer {
     pub(crate) inflight: BTreeMap<u64, InflightInstance>,
     /// Follower-side record of ordered digests (phase-1 acknowledgements).
     pub(crate) ordered_digests: HashMap<u64, Digest>,
+    /// Follower-side record of the ordered batches themselves, as shared
+    /// handles to the broadcast `Ord` payloads. Kept so a later leader can
+    /// re-propose proposals whose instance never commits — materialized into
+    /// `pending_proposals` only on the rare view change, instead of cloning
+    /// every proposal on the hot path.
+    pub(crate) ordered_batches: BTreeMap<u64, Arc<Vec<Proposal>>>,
+    /// Keys of transactions known *only* through an ordered batch (never via
+    /// a client `Prop`, never committed). Commits prune it — by key, in any
+    /// block — so view-change materialization cannot re-propose a
+    /// transaction that already committed under a different sequence number.
+    pub(crate) ordered_only_keys: HashSet<(ClientId, u64)>,
     /// Committed blocks received out of order, waiting for their predecessors
     /// so the digest chain stays identical on every replica. Shared handles:
     /// buffering never copies a block.
     pub(crate) pending_commit_blocks: BTreeMap<u64, Arc<prestige_types::TxBlock>>,
     /// Whether the leader batch timer is armed.
     pub(crate) batch_timer_armed: bool,
+
+    // --- verification state ---
+    /// Off-loop verification pool; `None` (or an inline pool) verifies on the
+    /// protocol loop, which is what the deterministic simulator requires.
+    pub(crate) verify_pool: Option<Arc<VerifyPool>>,
+    /// Next token for offloaded verification jobs.
+    pub(crate) next_verify_token: u64,
+    /// Messages parked while their crypto checks run off-loop.
+    pub(crate) pending_verify: HashMap<u64, PendingVerify>,
+    /// `(n, digest)` of `Ord` messages currently parked for verification, so
+    /// a retransmitted (or maliciously re-sent) `Ord` collapses onto the
+    /// in-flight job instead of parking another copy of the whole batch and
+    /// queueing a redundant digest recomputation.
+    pub(crate) pending_ord_verifies: HashSet<(u64, [u8; 32])>,
+    /// Memo cache of already-verified quorum certificates, keyed by
+    /// statement/threshold/aggregate, so a certificate seen via `Cmt` and
+    /// again via `CommitBlock` — or re-received through sync — is verified
+    /// once.
+    pub(crate) verified_qcs: HashSet<[u8; 32]>,
+    /// FIFO eviction order bounding the memo cache.
+    pub(crate) verified_qcs_order: VecDeque<[u8; 32]>,
 
     // --- view-change state ---
     /// Views this server has voted in (criterion C1).
@@ -244,8 +333,16 @@ impl PrestigeServer {
             next_seq: SeqNum(1),
             inflight: BTreeMap::new(),
             ordered_digests: HashMap::new(),
+            ordered_batches: BTreeMap::new(),
+            ordered_only_keys: HashSet::new(),
             pending_commit_blocks: BTreeMap::new(),
             batch_timer_armed: false,
+            verify_pool: None,
+            next_verify_token: 0,
+            pending_verify: HashMap::new(),
+            pending_ord_verifies: HashSet::new(),
+            verified_qcs: HashSet::new(),
+            verified_qcs_order: VecDeque::new(),
             voted_views: HashSet::new(),
             complaints: HashMap::new(),
             confvc_builders: HashMap::new(),
@@ -348,10 +445,131 @@ impl PrestigeServer {
         ctx.charge_cpu_ms(self.config.per_verify_cpu_ms);
     }
 
+    // ------------------------------------------------------------------
+    // Verification offload & QC memoization
+    // ------------------------------------------------------------------
+
+    /// Builds a verification pool over this server's key registry and attaches
+    /// it. Returns the handle the driving runtime polls for completions (and
+    /// feeds back through `Process::on_job_complete`). With `workers == 0`
+    /// the pool is the deterministic same-thread fallback and the server keeps
+    /// verifying inline.
+    pub fn spawn_verify_pool(&mut self, workers: usize) -> Arc<VerifyPool> {
+        let pool = Arc::new(VerifyPool::new(Arc::clone(&self.registry), workers));
+        self.verify_pool = Some(Arc::clone(&pool));
+        pool
+    }
+
+    /// Whether crypto checks run off the protocol loop.
+    pub(crate) fn has_async_verify(&self) -> bool {
+        self.verify_pool.as_ref().is_some_and(|p| p.is_async())
+    }
+
+    /// Offloads `job` to the verify pool, parking `pending` until the verdict
+    /// arrives via `on_job_complete`. Callers must have established
+    /// [`Self::has_async_verify`].
+    pub(crate) fn offload_verify(&mut self, job: VerifyJob, pending: PendingVerify) {
+        let pool = self.verify_pool.as_ref().expect("async pool attached");
+        let token = self.next_verify_token;
+        self.next_verify_token += 1;
+        self.pending_verify.insert(token, pending);
+        self.stats.verify_offloaded += 1;
+        pool.submit(token, job);
+    }
+
+    /// Memo key of a quorum certificate: statement + required threshold +
+    /// aggregate. Including the aggregate pins the *exact* certificate, so a
+    /// forged twin of a memoized statement can never ride the cache; including
+    /// the threshold keeps a certificate checked at `f+1` from satisfying a
+    /// later `2f+1` check.
+    pub(crate) fn qc_memo_key(qc: &QuorumCertificate, threshold: u32) -> [u8; 32] {
+        let mut h = FramedHasher::new();
+        h.field(&prestige_crypto::qc_statement(
+            qc.kind, qc.view, qc.seq, &qc.digest,
+        ))
+        .field(&threshold.to_be_bytes())
+        .field(&qc.aggregate);
+        h.finish().0
+    }
+
+    /// Bound on the QC memo cache (FIFO eviction). Large enough to cover every
+    /// certificate live in a deep pipeline plus sync bursts, small enough to
+    /// be irrelevant for memory.
+    const QC_MEMO_CAPACITY: usize = 8192;
+
+    /// Records a certificate as verified.
+    pub(crate) fn memoize_qc(&mut self, key: [u8; 32]) {
+        if self.verified_qcs.insert(key) {
+            self.verified_qcs_order.push_back(key);
+            if self.verified_qcs_order.len() > Self::QC_MEMO_CAPACITY {
+                if let Some(evicted) = self.verified_qcs_order.pop_front() {
+                    self.verified_qcs.remove(&evicted);
+                }
+            }
+        }
+    }
+
+    /// Verifies a QC inline, consulting the memo cache first. Charges the
+    /// verification CPU cost only when the certificate is actually verified —
+    /// this is the dedup the double `charge_verify_cost` on the old
+    /// `CommitBlock` path paid for twice.
+    pub(crate) fn verify_qc_cached(
+        &mut self,
+        qc: &QuorumCertificate,
+        threshold: u32,
+        ctx: &mut Context<Message>,
+    ) -> bool {
+        let key = Self::qc_memo_key(qc, threshold);
+        if self.verified_qcs.contains(&key) {
+            self.stats.qc_cache_hits += 1;
+            return true;
+        }
+        self.charge_verify_cost(ctx);
+        if ThresholdVerifier::new(&self.registry)
+            .verify(qc, threshold)
+            .is_ok()
+        {
+            self.memoize_qc(key);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Executes a verification job inline (same-thread), without the pool.
+    pub(crate) fn verify_inline(&self, job: &VerifyJob) -> bool {
+        execute_job(&self.registry, job)
+    }
+
     /// Records installation of a new view in local bookkeeping (role, timers,
     /// per-view vote bookkeeping, statistics).
     pub(crate) fn note_view_installed(&mut self, ctx: &mut Context<Message>, leader: ServerId) {
         self.stats.views_installed += 1;
+        // Materialize ordered-but-uncommitted batches into the re-proposal
+        // buffer so the new view can commit them (the hot path only keeps the
+        // shared batch handles; copies happen here, on the rare view change).
+        // Only keys still in `ordered_only_keys` qualify: anything received
+        // via `Prop` already sits in `pending_proposals`, and anything that
+        // committed — under any sequence number — was pruned from the set, so
+        // a transaction can never be re-proposed into a duplicate commit.
+        let latest = self.store.latest_seq().0;
+        let batches = std::mem::take(&mut self.ordered_batches);
+        if !batches.is_empty() {
+            let mut pending_keys: HashSet<(ClientId, u64)> =
+                self.pending_proposals.iter().map(|p| p.tx.key()).collect();
+            for (n, batch) in batches {
+                if n <= latest {
+                    continue;
+                }
+                for proposal in batch.iter() {
+                    let key = proposal.tx.key();
+                    if self.ordered_only_keys.remove(&key) && pending_keys.insert(key) {
+                        self.pending_proposals.push(proposal.clone());
+                    }
+                }
+            }
+        }
+        self.ordered_only_keys.clear();
         self.view_installed_at_ms = ctx.now().as_ms();
         self.policy_rotation_started = false;
         self.rotation_pending = false;
@@ -557,6 +775,60 @@ impl Process<Message> for PrestigeServer {
             timer_tags::POLICY_CAMPAIGN => self.on_policy_campaign_timer(ctx),
             timer_tags::ATTACK => self.on_attack_timer(ctx),
             _ => {}
+        }
+    }
+
+    fn on_job_complete(&mut self, token: u64, ok: bool, ctx: &mut Context<Message>) {
+        let Some(pending) = self.pending_verify.remove(&token) else {
+            return; // Superseded (e.g. cleared by a view change) — drop.
+        };
+        if let PendingVerify::Ord { n, digest, .. } = &pending {
+            // Whatever the verdict, the slot frees: a re-sent Ord may park
+            // again (and will usually be answered from `ordered_digests`).
+            self.pending_ord_verifies.remove(&(n.0, digest.0));
+        }
+        if !ok {
+            // The parked message failed verification (or its check panicked):
+            // reject it and move on, exactly as an inline failure would.
+            self.stats.verify_rejected += 1;
+            return;
+        }
+        match pending {
+            PendingVerify::Ord {
+                from,
+                view,
+                n,
+                batch,
+                digest,
+            } => self.handle_ord_verified(from, view, n, batch, digest, ctx),
+            PendingVerify::OrdShare {
+                view,
+                n,
+                digest,
+                share,
+            } => self.add_ordering_share(view, n, digest, share, true, ctx),
+            PendingVerify::Cmt {
+                from,
+                view,
+                n,
+                ordering_qc,
+                memo,
+            } => {
+                self.memoize_qc(memo);
+                self.handle_cmt_verified(from, view, n, ordering_qc, ctx);
+            }
+            PendingVerify::CmtShare {
+                view,
+                n,
+                digest,
+                share,
+            } => self.add_commit_share(view, n, digest, share, true, ctx),
+            PendingVerify::CommitBlock { block, memo } => {
+                for key in memo {
+                    self.memoize_qc(key);
+                }
+                self.apply_committed_block(block, ctx);
+            }
         }
     }
 

@@ -8,7 +8,6 @@
 //! received live.
 
 use crate::server::PrestigeServer;
-use prestige_crypto::ThresholdVerifier;
 use prestige_sim::Context;
 use prestige_types::{Actor, Message, QcKind, SyncKind, TxBlock, VcBlock};
 use std::sync::Arc;
@@ -60,36 +59,23 @@ impl PrestigeServer {
     ) {
         let verifier_quorum = self.config.quorum();
 
-        // Transaction blocks: validate commit QCs, then apply in order through
-        // the same path as live commits (which also notifies clients and
-        // resolves complaints).
+        // Transaction blocks: validate QCs (memoized, off-loop when a verify
+        // pool is attached), then apply in order through the same path as
+        // live commits (which also notifies clients and resolves complaints).
+        // Out-of-order verdicts are safe: `apply_committed_block` buffers
+        // blocks arriving ahead of a gap.
         let mut txs = tx_blocks;
         txs.sort_by_key(|b| b.n.0);
         for block in txs {
             if block.n <= self.store.latest_seq() {
                 continue;
             }
-            self.charge_verify_cost(ctx);
-            let ok = match (&block.ordering_qc, &block.commit_qc) {
-                (Some(o), Some(c)) => {
-                    o.kind == QcKind::Ordering
-                        && c.kind == QcKind::Commit
-                        && ThresholdVerifier::new(&self.registry)
-                            .verify(c, verifier_quorum)
-                            .is_ok()
-                        && ThresholdVerifier::new(&self.registry)
-                            .verify(o, verifier_quorum)
-                            .is_ok()
-                }
-                _ => false,
-            };
-            if ok {
-                self.apply_committed_block(Arc::new(block), ctx);
-            }
+            self.verify_and_apply_block(Arc::new(block), ctx);
         }
 
         // View-change blocks: validate vc_QCs and install; installing a higher
-        // view also updates the local role/timers.
+        // view also updates the local role/timers. View changes are rare and
+        // ordering-critical, so they verify inline (memoized).
         let mut vcs = vc_blocks;
         vcs.sort_by_key(|b| b.v.0);
         let mut highest_installed = None;
@@ -97,14 +83,11 @@ impl PrestigeServer {
             if block.v <= self.store.current_view() {
                 continue;
             }
-            self.charge_verify_cost(ctx);
             let ok = match &block.vc_qc {
                 Some(qc) => {
                     qc.kind == QcKind::ViewChange
                         && qc.view == block.v
-                        && ThresholdVerifier::new(&self.registry)
-                            .verify(qc, verifier_quorum)
-                            .is_ok()
+                        && self.verify_qc_cached(qc, verifier_quorum, ctx)
                 }
                 None => false,
             };

@@ -22,9 +22,7 @@ use crate::faults::AttackStrategy;
 use crate::pacemaker::timer_tags;
 use crate::server::{CampaignState, ComplaintState, PrestigeServer, ServerRole};
 use crate::storage::vc_block_digest;
-use prestige_crypto::{
-    hash_many, sign_share, PowPuzzle, PowSolution, PowSolver, QcBuilder, ThresholdVerifier,
-};
+use prestige_crypto::{hash_many, sign_share, PowPuzzle, PowSolution, PowSolver, QcBuilder};
 use prestige_reputation::CalcRpInput;
 use prestige_sim::{Context, TimerId};
 use prestige_types::{
@@ -463,12 +461,8 @@ impl PrestigeServer {
         // clock saying a rotation is due.
         match &conf_qc {
             Some(qc) => {
-                self.charge_verify_cost(ctx);
-                if qc.kind != QcKind::Confirm
-                    || ThresholdVerifier::new(&self.registry)
-                        .verify(qc, self.config.replicas.confirm_quorum())
-                        .is_err()
-                {
+                let confirm_quorum = self.config.replicas.confirm_quorum();
+                if qc.kind != QcKind::Confirm || !self.verify_qc_cached(qc, confirm_quorum, ctx) {
                     return;
                 }
             }
@@ -658,12 +652,10 @@ impl PrestigeServer {
             Some(qc) => qc,
             None => return,
         };
-        self.charge_verify_cost(ctx);
+        let quorum = self.config.quorum();
         if vc_qc.kind != QcKind::ViewChange
             || vc_qc.view != block.v
-            || ThresholdVerifier::new(&self.registry)
-                .verify(vc_qc, self.config.quorum())
-                .is_err()
+            || !self.verify_qc_cached(vc_qc, quorum, ctx)
         {
             return;
         }

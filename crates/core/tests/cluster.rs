@@ -281,6 +281,86 @@ fn same_seed_reproduces_identical_runs() {
 }
 
 #[test]
+fn verify_worker_count_does_not_perturb_simulated_runs() {
+    // `verify_workers` is a real-runtime knob: the simulator always verifies
+    // inline (same-thread), so configuring 0 or N workers must produce
+    // bit-identical runs — network stats, commit counts, and block chains.
+    let base = ClusterConfig::new(4).with_batch_size(30);
+    let behaviors = vec![ByzantineBehavior::Correct; 4];
+    let mut a = build_cluster(23, &base.clone().with_verify_workers(0), &behaviors, 2, 50);
+    let mut b = build_cluster(23, &base.with_verify_workers(4), &behaviors, 2, 50);
+    a.run_until(SimTime::from_secs(2.0));
+    b.run_until(SimTime::from_secs(2.0));
+    assert_eq!(a.stats(), b.stats(), "network traces must be identical");
+    for s in 0..4u32 {
+        let sa = sim_server(&a, s);
+        let sb = sim_server(&b, s);
+        assert_eq!(sa.stats(), sb.stats(), "server {s} stats must be identical");
+        assert_eq!(sa.store().latest_seq(), sb.store().latest_seq());
+        let latest = sa.store().latest_seq().0;
+        for n in 1..=latest {
+            assert_eq!(
+                sa.store().tx_block(n.into()).unwrap().header.digest,
+                sb.store().tx_block(n.into()).unwrap().header.digest,
+                "server {s} diverged at T{n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pipeline_depths_preserve_replica_agreement() {
+    // Pipelining changes batch boundaries and scheduling, never safety: at
+    // every depth (stop-and-wait through a deep window) the cluster makes
+    // healthy progress, every replica holds the same chain on the common
+    // prefix, and the log is gap-free with intact chain pointers.
+    let behaviors = vec![ByzantineBehavior::Correct; 4];
+    for depth in [1usize, 4, 8] {
+        let config = ClusterConfig::new(4)
+            .with_batch_size(20)
+            .with_pipeline_depth(depth);
+        let mut sim = build_cluster(7, &config, &behaviors, 2, 40);
+        sim.run_until(SimTime::from_secs(3.0));
+
+        let reference = sim_server(&sim, 0);
+        let ref_seq = reference.store().latest_seq();
+        assert!(ref_seq.0 > 10, "depth {depth}: cluster must progress");
+        // Gap-free chain with intact prev pointers on the reference replica.
+        let mut prev = None;
+        for n in 1..=ref_seq.0 {
+            let block = reference
+                .store()
+                .tx_block(n.into())
+                .unwrap_or_else(|| panic!("depth {depth}: gap at T{n}"));
+            if let Some(prev) = prev {
+                assert_eq!(
+                    block.header.prev_digest, prev,
+                    "depth {depth}: chain broken at T{n}"
+                );
+            }
+            prev = Some(block.header.digest);
+        }
+        // Every replica agrees on the common prefix.
+        for s in 1..4u32 {
+            let server = sim_server(&sim, s);
+            let common = ref_seq.min(server.store().latest_seq());
+            for n in 1..=common.0 {
+                assert_eq!(
+                    reference.store().tx_block(n.into()).unwrap().header.digest,
+                    server.store().tx_block(n.into()).unwrap().header.digest,
+                    "depth {depth}: server {s} diverged at T{n}"
+                );
+            }
+        }
+    }
+}
+
+fn sim_server(sim: &Simulation<Message>, id: u32) -> &PrestigeServer {
+    sim.node_as::<PrestigeServer>(Actor::Server(ServerId(id)))
+        .unwrap()
+}
+
+#[test]
 fn servers_start_in_expected_roles() {
     let config = ClusterConfig::new(4);
     let behaviors = vec![ByzantineBehavior::Correct; 4];

@@ -13,7 +13,7 @@
 //! aggregation) are written against it.
 
 use crate::sha256::Sha256;
-use prestige_types::Digest;
+use prestige_types::{Digest, Proposal, SeqNum, View};
 
 /// Streaming, length-framed hasher: each [`FramedHasher::field`] call hashes
 /// `(len as u64 BE) ‖ bytes`, the exact framing of [`hash_many`], so
@@ -43,6 +43,29 @@ impl FramedHasher {
     pub fn finish(self) -> Digest {
         Digest(self.inner.finalize())
     }
+}
+
+/// Digest over an ordered replication batch that both phases' shares sign.
+///
+/// Fields stream into one incremental SHA-256 with the same length framing
+/// the original list-of-parts spec used (`hash_many` over
+/// `["batch", view, n, client₀, ts₀, client₁, ts₁, …]`), so the digest value
+/// is unchanged — pinned by the compatibility proptests — but computing it
+/// allocates nothing.
+///
+/// Lives here (rather than in `prestige-core`, which re-exports it) so the
+/// [`crate::pool::VerifyPool`] can recompute ordering digests off the
+/// protocol loop.
+pub fn batch_digest(view: View, n: SeqNum, batch: &[Proposal]) -> Digest {
+    let mut h = FramedHasher::new();
+    h.field(b"batch")
+        .field(&view.0.to_be_bytes())
+        .field(&n.0.to_be_bytes());
+    for p in batch {
+        h.field(&p.tx.client.0.to_be_bytes())
+            .field(&p.tx.timestamp.to_be_bytes());
+    }
+    h.finish()
 }
 
 /// Hashes a single byte string into a [`Digest`].

@@ -14,6 +14,11 @@
 //!   shares are aggregated into constant-size quorum certificates and verified
 //!   against the registry, reproducing the O(n) → O(1) compression of
 //!   Shoup-style threshold signatures the paper relies on.
+//! * [`pool`] — an off-loop verification worker pool ([`VerifyPool`]): the
+//!   protocol loop submits signature/share/QC checks and consumes verdicts as
+//!   ordinary events, with a deterministic same-thread fallback and panic
+//!   isolation (a crashing job rejects one message instead of hanging the
+//!   node).
 //! * [`pow`] — the reputation-penalty proof-of-work puzzle (§4.2.2), with a
 //!   *real* solver (iterating SHA-256) and a *modeled* solver (sampling the
 //!   geometric attempt distribution) so that cluster experiments reproduce the
@@ -24,12 +29,14 @@
 #![warn(missing_docs)]
 
 pub mod hash;
+pub mod pool;
 pub mod pow;
 pub mod sha256;
 pub mod signature;
 pub mod threshold;
 
-pub use hash::{digest_of, hash_many, hash_pair, FramedHasher};
+pub use hash::{batch_digest, digest_of, hash_many, hash_pair, FramedHasher};
+pub use pool::{execute_job, VerifyJob, VerifyPool, VerifyVerdict};
 pub use pow::{PowPuzzle, PowSolution, PowSolver};
 pub use sha256::Sha256;
 pub use signature::{KeyPair, KeyRegistry, Signature};

@@ -1,0 +1,494 @@
+//! Off-loop verification pool: signature, share, and QC checks on worker
+//! threads.
+//!
+//! The protocol loop of a real node (`prestige-net`'s runtime) is a single
+//! thread; inline crypto verification serializes the canonical BFT
+//! bottleneck onto it. A [`VerifyPool`] moves that work onto `workers`
+//! threads: the protocol submits a [`VerifyJob`] under a caller-chosen token
+//! and consumes [`VerifyVerdict`]s as ordinary events
+//! (`Process::on_job_complete`), so message handlers never block on crypto.
+//!
+//! Design points:
+//!
+//! * **Same-thread fallback** — a pool with `workers == 0` executes jobs
+//!   synchronously at submit time. The deterministic simulator never attaches
+//!   an asynchronous pool at all, so simulated runs are bit-identical for any
+//!   configured worker count.
+//! * **Batching** — workers drain up to [`WORKER_BATCH`] queued jobs per
+//!   wakeup, verifying shares and QCs from many messages back-to-back before
+//!   publishing the verdicts, which amortizes channel traffic under load.
+//! * **Panic isolation** — a job that panics is reported as a *failed*
+//!   verification (the message it guarded is rejected); the worker thread
+//!   survives and keeps serving. A crypto bug can cost liveness for one
+//!   message, never a hung node.
+
+use crate::hash::batch_digest;
+use crate::signature::{KeyRegistry, Signature};
+use crate::threshold::{qc_statement, ThresholdVerifier};
+use prestige_types::{
+    Actor, Digest, PartialSig, Proposal, QcKind, QuorumCertificate, SeqNum, View,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// How many queued jobs one worker grabs per wakeup. Deliberately small:
+/// the grab happens under the shared queue lock, so a large batch would let
+/// one worker swallow a whole burst while its siblings idle — batching
+/// amortizes channel traffic, parallelism wins beyond a few jobs.
+const WORKER_BATCH: usize = 4;
+
+/// One unit of verification work, self-contained so it can run on any thread.
+#[derive(Debug, Clone)]
+pub enum VerifyJob {
+    /// A plain signature over an arbitrary byte string.
+    Signature {
+        /// Claimed signer.
+        signer: Actor,
+        /// The signed bytes.
+        message: Vec<u8>,
+        /// The signature to check.
+        sig: Signature,
+    },
+    /// A threshold share over the QC statement `(kind, view, seq, digest)`.
+    Share {
+        /// The share (signer + signature).
+        share: PartialSig,
+        /// Statement: certificate kind.
+        kind: QcKind,
+        /// Statement: view.
+        view: View,
+        /// Statement: sequence number.
+        seq: SeqNum,
+        /// Statement: digest.
+        digest: Digest,
+    },
+    /// A finished quorum certificate.
+    Qc {
+        /// The certificate.
+        qc: QuorumCertificate,
+        /// Required signer threshold.
+        threshold: u32,
+    },
+    /// A leader's `Ord` message: the leader's signature over the digest plus
+    /// the recomputation of the batch digest itself — the most expensive
+    /// follower-side check on the replication hot path.
+    OrdBatch {
+        /// The ordering leader.
+        leader: Actor,
+        /// View the batch was ordered in.
+        view: View,
+        /// Assigned sequence number.
+        n: SeqNum,
+        /// The ordered batch (shared with the parked message).
+        batch: Arc<Vec<Proposal>>,
+        /// The digest the leader signed.
+        digest: Digest,
+        /// The leader's signature over `digest`.
+        sig: Signature,
+    },
+    /// Several jobs verified as one unit; the verdict is the conjunction.
+    All(Vec<VerifyJob>),
+    /// Test-only: a job whose execution panics, proving worker panic
+    /// isolation. Never constructed by protocol code.
+    #[doc(hidden)]
+    PanicProbe,
+}
+
+/// The outcome of one submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyVerdict {
+    /// The token the job was submitted under.
+    pub token: u64,
+    /// Whether every check in the job passed.
+    pub ok: bool,
+}
+
+/// Executes a job synchronously. This is the single source of truth both the
+/// inline fallback and the worker threads run.
+pub fn execute_job(registry: &KeyRegistry, job: &VerifyJob) -> bool {
+    match job {
+        VerifyJob::Signature {
+            signer,
+            message,
+            sig,
+        } => registry.verify(*signer, message, sig),
+        VerifyJob::Share {
+            share,
+            kind,
+            view,
+            seq,
+            digest,
+        } => {
+            let stmt = qc_statement(*kind, *view, *seq, digest);
+            registry.verify(Actor::Server(share.signer), &stmt, &share.sig)
+        }
+        VerifyJob::Qc { qc, threshold } => ThresholdVerifier::new(registry)
+            .verify(qc, *threshold)
+            .is_ok(),
+        VerifyJob::OrdBatch {
+            leader,
+            view,
+            n,
+            batch,
+            digest,
+            sig,
+        } => {
+            registry.verify(*leader, digest.as_ref(), sig)
+                && batch_digest(*view, *n, batch) == *digest
+        }
+        VerifyJob::All(jobs) => jobs.iter().all(|j| execute_job(registry, j)),
+        VerifyJob::PanicProbe => panic!("VerifyJob::PanicProbe executed"),
+    }
+}
+
+/// A pool of verification workers with an inline (same-thread) fallback.
+///
+/// Shared as `Arc<VerifyPool>` between the submitting protocol code and the
+/// driving runtime, which polls [`VerifyPool::try_completion`] and feeds each
+/// verdict back into the node as an event.
+pub struct VerifyPool {
+    registry: Arc<KeyRegistry>,
+    /// Jobs submitted but whose verdicts have not been consumed yet.
+    in_flight: AtomicUsize,
+    done_tx: Sender<VerifyVerdict>,
+    done_rx: Mutex<Receiver<VerifyVerdict>>,
+    /// `None` in inline mode.
+    workers: Option<WorkerSet>,
+}
+
+struct WorkerSet {
+    job_tx: Sender<(u64, VerifyJob)>,
+    handles: Vec<JoinHandle<()>>,
+    count: usize,
+}
+
+impl VerifyPool {
+    /// Creates a pool with `workers` threads; `0` yields the inline
+    /// (same-thread) fallback.
+    pub fn new(registry: Arc<KeyRegistry>, workers: usize) -> Self {
+        let (done_tx, done_rx) = channel();
+        let worker_set = (workers > 0).then(|| {
+            let (job_tx, job_rx) = channel::<(u64, VerifyJob)>();
+            let job_rx = Arc::new(Mutex::new(job_rx));
+            let handles = (0..workers)
+                .map(|i| {
+                    let registry = Arc::clone(&registry);
+                    let job_rx = Arc::clone(&job_rx);
+                    let done_tx = done_tx.clone();
+                    std::thread::Builder::new()
+                        .name(format!("prestige-verify-{i}"))
+                        .spawn(move || worker_loop(&registry, &job_rx, &done_tx))
+                        .expect("spawn verify worker")
+                })
+                .collect();
+            WorkerSet {
+                job_tx,
+                handles,
+                count: workers,
+            }
+        });
+        VerifyPool {
+            registry,
+            in_flight: AtomicUsize::new(0),
+            done_tx,
+            done_rx: Mutex::new(done_rx),
+            workers: worker_set,
+        }
+    }
+
+    /// An inline pool (same-thread execution, deterministic).
+    pub fn inline(registry: Arc<KeyRegistry>) -> Self {
+        Self::new(registry, 0)
+    }
+
+    /// Number of worker threads (0 = inline).
+    pub fn workers(&self) -> usize {
+        self.workers.as_ref().map_or(0, |w| w.count)
+    }
+
+    /// Whether jobs run off the submitting thread.
+    pub fn is_async(&self) -> bool {
+        self.workers.is_some()
+    }
+
+    /// Submits a job. In inline mode the job executes immediately and its
+    /// verdict is available from [`Self::try_completion`] before `submit`
+    /// returns; with workers the verdict arrives asynchronously.
+    pub fn submit(&self, token: u64, job: VerifyJob) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        match &self.workers {
+            Some(set) => {
+                if set.job_tx.send((token, job)).is_err() {
+                    // Workers are gone (shutdown race): reject rather than
+                    // leaving the submitter waiting forever.
+                    let _ = self.done_tx.send(VerifyVerdict { token, ok: false });
+                }
+            }
+            None => {
+                let ok = run_guarded(&self.registry, &job);
+                let _ = self.done_tx.send(VerifyVerdict { token, ok });
+            }
+        }
+    }
+
+    /// Pops one finished verdict, if any.
+    pub fn try_completion(&self) -> Option<VerifyVerdict> {
+        let verdict = self
+            .done_rx
+            .lock()
+            .expect("verify completion queue lock")
+            .try_recv()
+            .ok()?;
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        Some(verdict)
+    }
+
+    /// Jobs submitted whose verdicts have not been consumed yet. Runtimes use
+    /// this to poll completions promptly while work is outstanding.
+    pub fn pending(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for VerifyPool {
+    fn drop(&mut self) {
+        if let Some(set) = self.workers.take() {
+            drop(set.job_tx); // Disconnect: workers drain and exit.
+            for handle in set.handles {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// Executes one job, mapping a panic to a failed verification.
+fn run_guarded(registry: &KeyRegistry, job: &VerifyJob) -> bool {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute_job(registry, job)))
+        .unwrap_or(false)
+}
+
+fn worker_loop(
+    registry: &KeyRegistry,
+    job_rx: &Mutex<Receiver<(u64, VerifyJob)>>,
+    done_tx: &Sender<VerifyVerdict>,
+) {
+    let mut batch: Vec<(u64, VerifyJob)> = Vec::with_capacity(WORKER_BATCH);
+    loop {
+        // Block for one job, then opportunistically drain more so bursts of
+        // shares/QCs from many messages verify back-to-back.
+        {
+            let rx = job_rx.lock().expect("verify job queue lock");
+            match rx.recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => return, // Pool dropped.
+            }
+            while batch.len() < WORKER_BATCH {
+                match rx.try_recv() {
+                    Ok(job) => batch.push(job),
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => break,
+                }
+            }
+        }
+        for (token, job) in batch.drain(..) {
+            let ok = run_guarded(registry, &job);
+            if done_tx.send(VerifyVerdict { token, ok }).is_err() {
+                return; // Consumer gone.
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threshold::{sign_share, QcBuilder};
+    use prestige_types::ServerId;
+    use std::time::{Duration, Instant};
+
+    fn registry() -> Arc<KeyRegistry> {
+        Arc::new(KeyRegistry::new(3, 4, 1))
+    }
+
+    fn wait_verdicts(pool: &VerifyPool, n: usize) -> Vec<VerifyVerdict> {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut out = Vec::new();
+        while out.len() < n && Instant::now() < deadline {
+            match pool.try_completion() {
+                Some(v) => out.push(v),
+                None => std::thread::sleep(Duration::from_micros(50)),
+            }
+        }
+        out
+    }
+
+    fn share_job(reg: &KeyRegistry, signer: u32, digest: Digest) -> VerifyJob {
+        let share = sign_share(
+            reg,
+            ServerId(signer),
+            QcKind::Ordering,
+            View(1),
+            SeqNum(1),
+            &digest,
+        )
+        .unwrap();
+        VerifyJob::Share {
+            share,
+            kind: QcKind::Ordering,
+            view: View(1),
+            seq: SeqNum(1),
+            digest,
+        }
+    }
+
+    fn qc_job(reg: &KeyRegistry) -> (VerifyJob, VerifyJob) {
+        let digest = Digest([7u8; 32]);
+        let mut builder = QcBuilder::new(QcKind::Commit, View(2), SeqNum(3), digest, 3);
+        for s in 0..3 {
+            let share = sign_share(
+                reg,
+                ServerId(s),
+                QcKind::Commit,
+                View(2),
+                SeqNum(3),
+                &digest,
+            )
+            .unwrap();
+            builder.add_share(reg, &share).unwrap();
+        }
+        let good = builder.assemble().unwrap();
+        let mut bad = good.clone();
+        bad.aggregate[0] ^= 0xff;
+        (
+            VerifyJob::Qc {
+                qc: good,
+                threshold: 3,
+            },
+            VerifyJob::Qc {
+                qc: bad,
+                threshold: 3,
+            },
+        )
+    }
+
+    #[test]
+    fn inline_pool_completes_at_submit_time() {
+        let reg = registry();
+        let pool = VerifyPool::inline(Arc::clone(&reg));
+        assert!(!pool.is_async());
+        pool.submit(7, share_job(&reg, 0, Digest([1u8; 32])));
+        assert_eq!(pool.pending(), 1);
+        let v = pool.try_completion().expect("inline verdict is immediate");
+        assert_eq!(v, VerifyVerdict { token: 7, ok: true });
+        assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    fn worker_pool_matches_inline_verdicts() {
+        let reg = registry();
+        let inline = VerifyPool::inline(Arc::clone(&reg));
+        let pool = VerifyPool::new(Arc::clone(&reg), 3);
+        assert_eq!(pool.workers(), 3);
+        let (good_qc, bad_qc) = qc_job(&reg);
+        let jobs = [
+            share_job(&reg, 0, Digest([1u8; 32])),
+            share_job(&reg, 1, Digest([2u8; 32])),
+            good_qc,
+            bad_qc,
+            VerifyJob::Signature {
+                signer: Actor::Server(ServerId(9)), // unknown signer
+                message: b"m".to_vec(),
+                sig: [0u8; 32],
+            },
+        ];
+        for (i, job) in jobs.iter().enumerate() {
+            inline.submit(i as u64, job.clone());
+            pool.submit(i as u64, job.clone());
+        }
+        let mut a = wait_verdicts(&inline, jobs.len());
+        let mut b = wait_verdicts(&pool, jobs.len());
+        a.sort_by_key(|v| v.token);
+        b.sort_by_key(|v| v.token);
+        assert_eq!(a, b, "worker pool and inline fallback must agree");
+        assert_eq!(
+            a.iter().map(|v| v.ok).collect::<Vec<_>>(),
+            vec![true, true, true, false, false]
+        );
+    }
+
+    #[test]
+    fn conjunction_job_requires_every_part() {
+        let reg = registry();
+        let pool = VerifyPool::inline(Arc::clone(&reg));
+        let (good, bad) = qc_job(&reg);
+        pool.submit(1, VerifyJob::All(vec![good.clone(), good.clone()]));
+        pool.submit(2, VerifyJob::All(vec![good, bad]));
+        let verdicts = wait_verdicts(&pool, 2);
+        assert_eq!(verdicts[0], VerifyVerdict { token: 1, ok: true });
+        assert_eq!(
+            verdicts[1],
+            VerifyVerdict {
+                token: 2,
+                ok: false
+            }
+        );
+    }
+
+    #[test]
+    fn panicking_job_is_rejected_not_hung() {
+        let reg = registry();
+        for workers in [0usize, 2] {
+            let pool = VerifyPool::new(Arc::clone(&reg), workers);
+            pool.submit(1, VerifyJob::PanicProbe);
+            let v = wait_verdicts(&pool, 1);
+            assert_eq!(
+                v,
+                vec![VerifyVerdict {
+                    token: 1,
+                    ok: false
+                }],
+                "panic with {workers} workers must surface as a rejection"
+            );
+            // The pool (and its workers) keep serving after the panic.
+            pool.submit(2, share_job(&reg, 2, Digest([9u8; 32])));
+            let v = wait_verdicts(&pool, 1);
+            assert_eq!(v, vec![VerifyVerdict { token: 2, ok: true }]);
+            assert_eq!(pool.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn ord_batch_job_checks_signature_and_digest() {
+        let reg = registry();
+        let batch: Vec<Proposal> = (0..4)
+            .map(|i| {
+                let tx = prestige_types::Transaction::with_size(prestige_types::ClientId(1), i, 16);
+                Proposal::new(tx, Digest::ZERO)
+            })
+            .collect();
+        let digest = batch_digest(View(1), SeqNum(2), &batch);
+        let leader = Actor::Server(ServerId(0));
+        let sig = reg.key_of(leader).unwrap().sign(digest.as_ref());
+        let ok_job = VerifyJob::OrdBatch {
+            leader,
+            view: View(1),
+            n: SeqNum(2),
+            batch: Arc::new(batch.clone()),
+            digest,
+            sig,
+        };
+        assert!(execute_job(&reg, &ok_job));
+        // Wrong sequence number → recomputed digest mismatch.
+        let bad_job = VerifyJob::OrdBatch {
+            leader,
+            view: View(1),
+            n: SeqNum(3),
+            batch: Arc::new(batch),
+            digest,
+            sig,
+        };
+        assert!(!execute_job(&reg, &bad_job));
+    }
+}

@@ -25,6 +25,8 @@ struct Options {
     concurrency: usize,
     batch_size: usize,
     payload: usize,
+    pipeline: usize,
+    verify_workers: usize,
     warmup_s: f64,
     duration_s: f64,
     out: String,
@@ -38,6 +40,12 @@ impl Default for Options {
             concurrency: 512,
             batch_size: 500,
             payload: 32,
+            // Defaults tuned for the 1-core benchmark container: a deep-ish
+            // window and inline verification (worker threads only pay off
+            // when there are spare cores — pass --verify-workers N to use
+            // them).
+            pipeline: 8,
+            verify_workers: 0,
             warmup_s: 2.0,
             duration_s: 10.0,
             out: "BENCH_peak.json".to_string(),
@@ -60,6 +68,14 @@ fn parse(args: &[String]) -> Result<Options, String> {
             }
             "--batch" => opts.batch_size = need("--batch")?.parse().map_err(|e| format!("{e}"))?,
             "--payload" => opts.payload = need("--payload")?.parse().map_err(|e| format!("{e}"))?,
+            "--pipeline" => {
+                opts.pipeline = need("--pipeline")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--verify-workers" => {
+                opts.verify_workers = need("--verify-workers")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
             "--warmup" => opts.warmup_s = need("--warmup")?.parse().map_err(|e| format!("{e}"))?,
             "--duration" => {
                 opts.duration_s = need("--duration")?.parse().map_err(|e| format!("{e}"))?
@@ -76,6 +92,14 @@ fn total_committed(stats: &[ClientStats]) -> u64 {
     stats.iter().map(|s| s.committed_tx).sum()
 }
 
+/// Pulls `"tx_per_sec": <value>` out of a previously written report, so the
+/// run can print a before/after comparison against the committed baseline.
+fn baseline_tps(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let tail = text.split("\"tx_per_sec\":").nth(1)?;
+    tail.split([',', '}']).next()?.trim().parse().ok()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let opts = match parse(&args) {
@@ -84,20 +108,31 @@ fn main() {
             eprintln!("peak_net: {message}");
             eprintln!(
                 "usage: peak_net [--servers N] [--clients N] [--concurrency N] [--batch N] \
-                 [--payload BYTES] [--warmup SECS] [--duration SECS] [--out PATH]"
+                 [--payload BYTES] [--pipeline N] [--verify-workers N] [--warmup SECS] \
+                 [--duration SECS] [--out PATH]"
             );
             std::process::exit(1);
         }
     };
 
+    let baseline = baseline_tps(&opts.out);
     let config = ClusterConfig::new(opts.servers)
         .with_batch_size(opts.batch_size)
-        .with_payload_size(opts.payload);
+        .with_payload_size(opts.payload)
+        .with_pipeline_depth(opts.pipeline)
+        .with_verify_workers(opts.verify_workers);
     eprintln!(
-        "peak_net: launching {} servers, {} clients (concurrency {}), batch {}, payload {}B",
-        opts.servers, opts.clients, opts.concurrency, opts.batch_size, opts.payload
+        "peak_net: launching {} servers, {} clients (concurrency {}), batch {}, payload {}B, \
+         pipeline {}, verify workers {}",
+        opts.servers,
+        opts.clients,
+        opts.concurrency,
+        opts.batch_size,
+        opts.payload,
+        config.pipeline_depth,
+        config.verify_workers
     );
-    let cluster = LocalCluster::launch(config, 7, opts.clients, opts.concurrency);
+    let cluster = LocalCluster::launch(config.clone(), 7, opts.clients, opts.concurrency);
 
     let snapshot = |c: &LocalCluster| -> Vec<ClientStats> {
         (0..opts.clients)
@@ -129,10 +164,15 @@ fn main() {
         merged.latency_count += stats.latency_count;
         merged.latency_samples.extend(&stats.latency_samples);
     }
+    let cpu_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let report = format!(
         "{{\n  \"bench\": \"peak_net\",\n  \"transport\": \"loopback\",\n  \
          \"servers\": {},\n  \"clients\": {},\n  \"concurrency\": {},\n  \
          \"batch_size\": {},\n  \"payload_bytes\": {},\n  \
+         \"pipeline_depth\": {},\n  \"verify_workers\": {},\n  \
+         \"cpu_cores\": {},\n  \
          \"measured_seconds\": {:.3},\n  \"committed_tx\": {},\n  \
          \"tx_per_sec\": {:.1},\n  \"latency_mean_ms\": {:.3},\n  \
          \"latency_p50_ms\": {:.3},\n  \"latency_p99_ms\": {:.3}\n}}\n",
@@ -141,6 +181,9 @@ fn main() {
         opts.concurrency,
         opts.batch_size,
         opts.payload,
+        config.pipeline_depth,
+        config.verify_workers,
+        cpu_cores,
         elapsed,
         committed,
         tps,
@@ -157,6 +200,17 @@ fn main() {
         "peak_net: {committed} tx in {elapsed:.1}s -> {tps:.0} tx/s (written to {})",
         opts.out
     );
+    match baseline {
+        Some(before) if before > 0.0 => eprintln!(
+            "peak_net: baseline in {} was {before:.0} tx/s -> now {tps:.0} tx/s ({:+.1}%)",
+            opts.out,
+            (tps - before) / before * 100.0
+        ),
+        _ => eprintln!(
+            "peak_net: no committed baseline in {} to compare against",
+            opts.out
+        ),
+    }
     if committed == 0 {
         eprintln!("peak_net: cluster committed nothing — hot path regression?");
         std::process::exit(2);

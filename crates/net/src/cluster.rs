@@ -35,11 +35,16 @@ impl LocalCluster {
         let mut servers = HashMap::new();
         for i in 0..config.n() {
             let id = ServerId(i);
-            let server = PrestigeServer::new(id, config.clone(), registry.clone(), seed);
+            let mut server = PrestigeServer::new(id, config.clone(), registry.clone(), seed);
+            // `verify_workers > 0` moves signature/QC checks off the protocol
+            // loop; the runtime polls the pool and feeds verdicts back as
+            // events.
+            let pool = (config.verify_workers > 0)
+                .then(|| server.spawn_verify_pool(config.verify_workers));
             let endpoint = net.endpoint(Actor::Server(id));
             servers.insert(
                 id,
-                NodeHandle::spawn(Box::new(server), Box::new(endpoint), seed),
+                NodeHandle::spawn_with_pool(Box::new(server), Box::new(endpoint), seed, pool),
             );
         }
 
@@ -181,11 +186,14 @@ pub fn launch_tcp_server(
 ) -> std::io::Result<NodeHandle<Message>> {
     let transport: TcpTransport<Message> =
         TcpTransport::bind(Actor::Server(id), TcpConfig::new(listen, peers))?;
-    let server = PrestigeServer::new(id, config, registry, seed);
-    Ok(NodeHandle::spawn(
+    let verify_workers = config.verify_workers;
+    let mut server = PrestigeServer::new(id, config, registry, seed);
+    let pool = (verify_workers > 0).then(|| server.spawn_verify_pool(verify_workers));
+    Ok(NodeHandle::spawn_with_pool(
         Box::new(server),
         Box::new(transport),
         seed,
+        pool,
     ))
 }
 

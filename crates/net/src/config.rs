@@ -245,6 +245,13 @@ impl NodeConfig {
         if let Some(m) = get("cluster", "payload_size").and_then(TomlValue::as_int) {
             cluster.payload_size = positive("cluster.payload_size", m)?;
         }
+        if let Some(depth) = get("cluster", "pipeline_depth").and_then(TomlValue::as_int) {
+            let depth: usize = positive("cluster.pipeline_depth", depth)?;
+            cluster.pipeline_depth = depth.max(1);
+        }
+        if let Some(workers) = get("cluster", "verify_workers").and_then(TomlValue::as_int) {
+            cluster.verify_workers = positive("cluster.verify_workers", workers)?;
+        }
         if let Some(ms) = get("timeouts", "base_timeout_ms").and_then(TomlValue::as_float) {
             cluster.timeouts.base_timeout_ms = ms;
         }
@@ -339,6 +346,8 @@ n = 4
 seed = 11
 batch_size = 200
 clients = 2
+pipeline_depth = 8
+verify_workers = 2
 
 [node]
 role = "server"
@@ -366,6 +375,8 @@ c1 = "127.0.0.1:7101"
         assert_eq!(cfg.role, NodeRole::Server(ServerId(2)));
         assert_eq!(cfg.cluster.n(), 4);
         assert_eq!(cfg.cluster.batch_size, 200);
+        assert_eq!(cfg.cluster.pipeline_depth, 8);
+        assert_eq!(cfg.cluster.verify_workers, 2);
         assert_eq!(cfg.cluster.timeouts.base_timeout_ms, 500.0);
         assert_eq!(cfg.seed, 11);
         assert_eq!(cfg.clients, 2);

@@ -15,17 +15,35 @@
 //! * `ctx.set_timer(..)` — kept in a local timer heap, fired by the event
 //!   loop when due (cancellations respected);
 //! * `ctx.charge_cpu(..)` — ignored: real CPU time passes by itself.
+//!
+//! When the node offloads crypto to a [`VerifyPool`], the event loop also
+//! drains the pool's completion queue and feeds each verdict back through
+//! `Process::on_job_complete` — verification results are ordinary events,
+//! interleaved with deliveries and timers on the same single protocol thread.
 
 use crate::transport::Transport;
+use prestige_crypto::VerifyPool;
 use prestige_sim::{Context, Effects, Emission, Process, SimRng, SimTime, TimerId};
 use prestige_types::{Actor, Wire};
 use std::collections::{BinaryHeap, HashSet};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Longest the event loop sleeps before re-checking control messages.
 const IDLE_TICK: Duration = Duration::from_millis(20);
+
+/// Cap on the transport wait while verification jobs are outstanding, so
+/// verdicts are consumed with sub-millisecond latency even when no messages
+/// arrive to wake the loop.
+const VERIFY_POLL_TICK: Duration = Duration::from_micros(200);
+
+/// How many additional queued messages one loop iteration drains after a
+/// successful receive, before re-checking timers and control. Bounded so a
+/// flood cannot starve timers; large enough to amortize the per-iteration
+/// bookkeeping under load.
+const MESSAGE_BURST: usize = 64;
 
 /// A pending timer in the node's local heap (min-heap by due time, FIFO on
 /// ties via the timer id, mirroring the simulator's tie-break).
@@ -75,14 +93,27 @@ impl<M: Wire + Send + 'static> NodeHandle<M> {
     /// derived the same way the simulator does it.
     pub fn spawn(
         node: Box<dyn Process<M> + Send>,
+        transport: Box<dyn Transport<M>>,
+        seed: u64,
+    ) -> Self {
+        Self::spawn_with_pool(node, transport, seed, None)
+    }
+
+    /// [`Self::spawn`] with an attached verification pool: the event loop
+    /// polls `pool` for finished crypto jobs and delivers each verdict to the
+    /// node via `Process::on_job_complete`. Pass the same pool handle the
+    /// node submits to (e.g. from `PrestigeServer::spawn_verify_pool`).
+    pub fn spawn_with_pool(
+        node: Box<dyn Process<M> + Send>,
         mut transport: Box<dyn Transport<M>>,
         seed: u64,
+        pool: Option<Arc<VerifyPool>>,
     ) -> Self {
         let actor = transport.me();
         let (ctl_tx, ctl_rx) = channel();
         let join = std::thread::Builder::new()
             .name(format!("prestige-node-{actor}"))
-            .spawn(move || run_event_loop(node, &mut *transport, seed, ctl_rx))
+            .spawn(move || run_event_loop(node, &mut *transport, seed, ctl_rx, pool))
             .expect("spawn node runtime thread");
         NodeHandle {
             actor,
@@ -158,6 +189,7 @@ fn run_event_loop<M: Wire + Send + 'static>(
     transport: &mut dyn Transport<M>,
     seed: u64,
     ctl: Receiver<Control<M>>,
+    pool: Option<Arc<VerifyPool>>,
 ) -> Box<dyn Process<M> + Send> {
     let me = transport.me();
     let epoch = Instant::now();
@@ -223,6 +255,17 @@ fn run_event_loop<M: Wire + Send + 'static>(
             }
         }
 
+        // Deliver finished verification verdicts as ordinary events.
+        if let Some(pool) = &pool {
+            while let Some(verdict) = pool.try_completion() {
+                let t = now(epoch);
+                let mut effects = Effects::new();
+                let mut ctx = Context::new(t, me, &mut rng, &mut next_timer_id, &mut effects);
+                node.on_job_complete(verdict.token, verdict.ok, &mut ctx);
+                apply(effects, &mut timers, &mut cancelled, transport, t);
+            }
+        }
+
         let t = now(epoch);
 
         // Fire every timer that is due (skipping cancelled ones).
@@ -243,20 +286,36 @@ fn run_event_loop<M: Wire + Send + 'static>(
         }
 
         // Sleep until the next timer (bounded by the idle tick), waking early
-        // for any inbound message.
-        let wait = match timers.peek() {
+        // for any inbound message; while crypto verdicts are outstanding the
+        // wait is capped so completions are consumed promptly.
+        let mut wait = match timers.peek() {
             Some(head) => {
                 let gap = head.due.since(now(epoch));
                 Duration::from_nanos(gap.0).min(IDLE_TICK)
             }
             None => IDLE_TICK,
         };
+        if pool.as_ref().is_some_and(|p| p.pending() > 0) {
+            wait = wait.min(VERIFY_POLL_TICK);
+        }
         if let Some((from, message)) = transport.recv_timeout(wait) {
             let t = now(epoch);
             let mut effects = Effects::new();
             let mut ctx = Context::new(t, me, &mut rng, &mut next_timer_id, &mut effects);
             node.on_message(from, message, &mut ctx);
             apply(effects, &mut timers, &mut cancelled, transport, t);
+            // Under load, drain a bounded burst of already-queued messages
+            // before paying for the timer/control bookkeeping again.
+            for _ in 0..MESSAGE_BURST {
+                let Some((from, message)) = transport.recv_timeout(Duration::ZERO) else {
+                    break;
+                };
+                let t = now(epoch);
+                let mut effects = Effects::new();
+                let mut ctx = Context::new(t, me, &mut rng, &mut next_timer_id, &mut effects);
+                node.on_message(from, message, &mut ctx);
+                apply(effects, &mut timers, &mut cancelled, transport, t);
+            }
         }
     }
 }

@@ -89,6 +89,58 @@ fn four_node_cluster_commits_1000_tx_and_survives_leader_kill() {
 }
 
 #[test]
+fn pipelined_cluster_with_verify_pool_commits_and_survives_leader_kill() {
+    // The new hot path end to end: a deep replication window plus off-loop
+    // verification workers. The cluster must reach the same milestones as the
+    // inline stop-and-wait configuration — commits flow, the leader kill is
+    // survived through the active view change, and commits resume.
+    let config = fast_config(4).with_pipeline_depth(8).with_verify_workers(2);
+    let mut cluster = LocalCluster::launch(config, 42, 2, 100);
+
+    let reached = cluster.wait_until(Duration::from_secs(60), |c| c.total_committed() >= 1000);
+    let committed_before = cluster.total_committed();
+    assert!(
+        reached,
+        "pipelined cluster must commit >= 1000 transactions, got {committed_before}"
+    );
+
+    // Offloading must actually be exercised on the followers.
+    let offloaded: u64 = cluster
+        .live_servers()
+        .iter()
+        .filter_map(|&id| cluster.server_stats(id))
+        .map(|s| s.verify_offloaded)
+        .sum();
+    assert!(
+        offloaded > 0,
+        "verify pool attached but no jobs were offloaded"
+    );
+
+    let (view_before, leader_before) = cluster.view_of(ServerId(1)).expect("server 1 answers");
+    cluster.crash_server(leader_before);
+    let survived = cluster.wait_until(Duration::from_secs(60), |c| {
+        c.live_servers().iter().all(|&id| {
+            c.view_of(id)
+                .map(|(view, leader)| view > view_before && leader != leader_before)
+                .unwrap_or(false)
+        })
+    });
+    assert!(
+        survived,
+        "pipelined cluster must elect a new leader after the kill"
+    );
+    let resumed = cluster.wait_until(Duration::from_secs(60), |c| {
+        c.total_committed() >= committed_before + 200
+    });
+    assert!(
+        resumed,
+        "commits must resume with pipelining enabled: stuck at {}",
+        cluster.total_committed()
+    );
+    cluster.shutdown();
+}
+
+#[test]
 fn cluster_reports_consistent_progress_across_servers() {
     // Smaller smoke check: all four servers observe committed transactions,
     // not just the leader, and client latency statistics are populated.

@@ -186,6 +186,18 @@ pub struct ClusterConfig {
     pub per_message_cpu_ms: f64,
     /// Per-signature-verification CPU cost in milliseconds.
     pub per_verify_cpu_ms: f64,
+    /// Leader-side replication window: how many consecutive sequence numbers
+    /// may be in flight (ordered but not yet commit-certified) at once. With
+    /// depth `k` the leader broadcasts `Ord` for batches `n+1..n+k` while the
+    /// ordering/commit QCs for `n` are still outstanding; followers accept
+    /// out-of-order ordering rounds and commit strictly in sequence order.
+    /// `1` recovers stop-and-wait replication.
+    pub pipeline_depth: usize,
+    /// Number of off-loop signature/QC verification worker threads per node.
+    /// `0` verifies inline on the protocol loop — the only mode the
+    /// deterministic simulator uses, regardless of this setting; real
+    /// runtimes (`prestige-net`) spawn a `VerifyPool` when it is positive.
+    pub verify_workers: usize,
 }
 
 impl ClusterConfig {
@@ -201,6 +213,8 @@ impl ClusterConfig {
             policy: ViewChangePolicy::OnFailureOnly,
             per_message_cpu_ms: 0.002,
             per_verify_cpu_ms: 0.01,
+            pipeline_depth: 4,
+            verify_workers: 0,
         }
     }
 
@@ -246,6 +260,18 @@ impl ClusterConfig {
     /// Builder-style setter for the PoW configuration.
     pub fn with_pow(mut self, pow: PowConfig) -> Self {
         self.pow = pow;
+        self
+    }
+
+    /// Builder-style setter for the replication pipeline depth (clamped to 1).
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth.max(1);
+        self
+    }
+
+    /// Builder-style setter for the verification worker count.
+    pub fn with_verify_workers(mut self, workers: usize) -> Self {
+        self.verify_workers = workers;
         self
     }
 }
@@ -296,6 +322,16 @@ mod tests {
                 interval_ms: 30_000.0
             }
         );
+    }
+
+    #[test]
+    fn pipeline_and_verify_defaults() {
+        let c = ClusterConfig::new(4);
+        assert_eq!(c.pipeline_depth, 4);
+        assert_eq!(c.verify_workers, 0, "simulator-safe default is inline");
+        let c = c.with_pipeline_depth(0).with_verify_workers(3);
+        assert_eq!(c.pipeline_depth, 1, "depth clamps to stop-and-wait");
+        assert_eq!(c.verify_workers, 3);
     }
 
     #[test]
