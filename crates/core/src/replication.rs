@@ -38,7 +38,7 @@ use prestige_crypto::{sign_share, QcBuilder, VerifyJob};
 use prestige_sim::Context;
 use prestige_types::{
     Actor, ClientId, Digest, Message, PartialSig, Proposal, QcKind, QuorumCertificate, SeqNum,
-    Transaction, TxBlock, View,
+    SyncKind, Transaction, TxBlock, View,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -131,10 +131,26 @@ impl PrestigeServer {
         // The batch is assembled exactly once and shared: the broadcast `Ord`
         // and the leader's in-flight instance reference the same allocation.
         let batch: Arc<Vec<Proposal>> = Arc::new(self.pending_proposals.drain(..take).collect());
-        let view = self.current_view();
         let n = self.next_seq;
         self.next_seq = self.next_seq.next();
+        self.propose_batch_at(n, batch, ctx);
+    }
 
+    /// Leader ordering round for `batch` at sequence number `n` in the
+    /// current view: broadcast the `Ord` and open the in-flight instance.
+    /// Used by [`Self::flush_batch`] for fresh batches and by the view-change
+    /// installation to re-propose preserved ordered batches at their
+    /// original sequence numbers.
+    pub(crate) fn propose_batch_at(
+        &mut self,
+        n: SeqNum,
+        batch: Arc<Vec<Proposal>>,
+        ctx: &mut Context<Message>,
+    ) {
+        if self.role != ServerRole::Leader || self.behavior.silent_as_leader() {
+            return;
+        }
+        let view = self.current_view();
         let digest = Self::batch_digest(view, n, &batch);
         ctx.charge_cpu_ms(PER_TX_CPU_MS * batch.len() as f64);
 
@@ -162,8 +178,69 @@ impl PrestigeServer {
                 ordering_builder,
                 ordering_qc: None,
                 commit_builder: None,
+                last_sent_ms: ctx.now().as_ms(),
             },
         );
+    }
+
+    /// How long an in-flight instance may wait for its quorum before the
+    /// batch timer re-broadcasts its phase message (ms). A quarter of the
+    /// client patience window: a couple of retransmission rounds fit before
+    /// clients start complaining and forcing a view change.
+    pub(crate) fn retransmit_interval_ms(&self) -> f64 {
+        (self.pacemaker.timeouts().client_timeout_ms / 4.0).max(20.0)
+    }
+
+    /// Re-broadcasts the current phase message of every in-flight instance
+    /// whose quorum has stalled past [`Self::retransmit_interval_ms`]: `Cmt`
+    /// when the ordering QC is already assembled, `Ord` otherwise. This is
+    /// what lets a leader whose broadcasts were lost (backpressure shed, a
+    /// partition that healed) make progress again instead of wedging with a
+    /// full window; followers handle both messages idempotently and re-send
+    /// their shares.
+    pub(crate) fn retransmit_stalled_instances(&mut self, ctx: &mut Context<Message>) {
+        let now = ctx.now().as_ms();
+        let interval = self.retransmit_interval_ms();
+        type Stalled = (
+            u64,
+            View,
+            Option<QuorumCertificate>,
+            Arc<Vec<Proposal>>,
+            Digest,
+        );
+        let mut stalled: Vec<Stalled> = Vec::new();
+        for (n, instance) in self.inflight.iter_mut() {
+            if now - instance.last_sent_ms < interval {
+                continue;
+            }
+            instance.last_sent_ms = now;
+            stalled.push((
+                *n,
+                instance.view,
+                instance.ordering_qc.clone(),
+                Arc::clone(&instance.batch),
+                instance.digest,
+            ));
+        }
+        for (n, view, ordering_qc, batch, digest) in stalled {
+            let sig = self.sign(digest.as_ref());
+            let message = match ordering_qc {
+                Some(ordering_qc) => Message::Cmt {
+                    view,
+                    n: SeqNum(n),
+                    ordering_qc,
+                    sig,
+                },
+                None => Message::Ord {
+                    view,
+                    n: SeqNum(n),
+                    batch,
+                    digest,
+                    sig,
+                },
+            };
+            ctx.broadcast(self.other_servers(), message);
+        }
     }
 
     /// Leader batch timer: flush whatever is pending (even a partial batch)
@@ -195,6 +272,9 @@ impl PrestigeServer {
             // remainder so stragglers never wait longer than one interval.
             self.flush_ready_batches(ctx);
             self.flush_batch(ctx);
+            // Nudge instances whose quorum has stalled (lost messages): a
+            // wedged window otherwise blocks the pipeline forever.
+            self.retransmit_stalled_instances(ctx);
         }
         ctx.set_timer(self.pacemaker.batch_interval(), timer_tags::BATCH);
         self.batch_timer_armed = true;
@@ -291,6 +371,15 @@ impl PrestigeServer {
             || self.rotation_pending
             || n <= self.store.latest_seq()
         {
+            return;
+        }
+        // Bound how far ahead of the committed tip an ordering may run:
+        // an honest leader never exceeds its pipeline window plus this
+        // follower's commit lag, while a Byzantine leader could otherwise
+        // stuff `ordered_batches` with far-future entries that are now
+        // retained across view changes. A refused legitimate `Ord` (extreme
+        // commit lag) is repaired by the leader's retransmission.
+        if n.0 > self.store.latest_seq().0 + self.pipeline_depth() as u64 + 1024 {
             return;
         }
         if let Some(existing) = self.ordered_digests.get(&n.0) {
@@ -521,6 +610,11 @@ impl PrestigeServer {
                 None => return,
             }
         };
+        // This share may complete a commit QC this server never hears about
+        // again (leader crash or partition right after assembly); C3 uses the
+        // recorded tip to refuse electing any candidate that could not
+        // re-propose the instance (committed-instance preservation).
+        self.signed_commit_tip = self.signed_commit_tip.max(n.0);
         ctx.send(
             from,
             Message::CmtReply {
@@ -737,6 +831,23 @@ impl PrestigeServer {
         if block.n.0 > self.store.latest_seq().0 + 1 {
             self.pending_commit_blocks
                 .insert(block.n.0, Arc::clone(&block));
+            // A gap means the predecessors' broadcasts were lost (shed under
+            // backpressure or cut by a partition): ask the leader to close it
+            // rather than waiting forever. Rate-limited — with an off-loop
+            // verify pool, out-of-order verdicts park blocks briefly all the
+            // time and usually resolve by themselves.
+            let now = ctx.now().as_ms();
+            if now - self.last_gap_sync_ms >= self.retransmit_interval_ms() {
+                self.last_gap_sync_ms = now;
+                ctx.send(
+                    Actor::Server(self.current_leader()),
+                    Message::SyncReq {
+                        kind: SyncKind::Transaction,
+                        from: self.store.latest_seq().0 + 1,
+                        to: block.n.0 - 1,
+                    },
+                );
+            }
             return block;
         }
         let n = block.n;
@@ -788,6 +899,12 @@ impl PrestigeServer {
         }
         self.ordered_digests.remove(&n.0);
         self.ordered_batches.remove(&n.0);
+        // A leader may learn of this commit externally (a straggler
+        // `CommitBlock` from the previous view racing a re-proposed
+        // instance, or sync): the in-flight instance is complete either way.
+        // Without this, the slot would leak from the pipeline window and the
+        // dead instance would be retransmitted forever.
+        self.inflight.remove(&n.0);
 
         // Notify clients: one Notif per client listing its committed keys.
         let mut by_client: BTreeMap<ClientId, Vec<(ClientId, u64)>> = BTreeMap::new();
@@ -991,11 +1108,13 @@ mod tests {
 
     #[test]
     fn view_change_reproposes_uncommitted_but_never_committed_ordered_txs() {
-        // Regression: a transaction known only through an ordered batch that
-        // later commits under a *different* sequence number (re-proposed by a
-        // new leader, delivered e.g. via sync before the vcBlock installs)
-        // must not be re-proposed again at the view change — while a
-        // genuinely uncommitted ordered transaction must be.
+        // Committed-instance preservation across a view change: the ordered
+        // batch at n=2 (contiguous above the committed tip) must be
+        // re-proposed verbatim *at sequence number 2* when this server is
+        // elected; the ordered batch beyond the gap (n=4) cannot be placed
+        // (its predecessor is unknown) and its never-committed transactions
+        // return to the proposal pool — while a transaction that already
+        // committed under a different sequence number must not.
         let config = ClusterConfig::new(4);
         let registry = KeyRegistry::new(9, 4, 2);
         let mut follower = PrestigeServer::new(ServerId(1), config.clone(), registry.clone(), 0);
@@ -1003,28 +1122,33 @@ mod tests {
         let view = View(1);
         let leader = Actor::Server(ServerId(0));
 
-        // Ord at n=2 (a gap: n=1 is still outstanding) carrying txs X and Y.
+        // Ord at n=2 carrying txs X and Y, and Ord at n=4 (gap at 3)
+        // carrying tx Z.
         let tx_x = Transaction::with_size(ClientId(1), 100, 16);
         let tx_y = Transaction::with_size(ClientId(1), 200, 16);
-        let batch: Vec<Proposal> = vec![
+        let tx_z = Transaction::with_size(ClientId(1), 300, 16);
+        let batch2: Vec<Proposal> = vec![
             Proposal::new(tx_x.clone(), Digest::ZERO),
             Proposal::new(tx_y.clone(), Digest::ZERO),
         ];
-        let digest = batch_digest(view, SeqNum(2), &batch);
-        let sig = registry.key_of(leader).unwrap().sign(digest.as_ref());
-        with_ctx(&mut follower, |s, ctx| {
-            s.on_message(
-                leader,
-                Message::Ord {
-                    view,
-                    n: SeqNum(2),
-                    batch: Arc::new(batch),
-                    digest,
-                    sig,
-                },
-                ctx,
-            );
-        });
+        let batch4: Vec<Proposal> = vec![Proposal::new(tx_z.clone(), Digest::ZERO)];
+        for (n, batch) in [(SeqNum(2), batch2.clone()), (SeqNum(4), batch4)] {
+            let digest = batch_digest(view, n, &batch);
+            let sig = registry.key_of(leader).unwrap().sign(digest.as_ref());
+            with_ctx(&mut follower, |s, ctx| {
+                s.on_message(
+                    leader,
+                    Message::Ord {
+                        view,
+                        n,
+                        batch: Arc::new(batch),
+                        digest,
+                        sig,
+                    },
+                    ctx,
+                );
+            });
+        }
 
         // X commits inside block n=1 (different sequence number than its
         // ordering round).
@@ -1061,10 +1185,34 @@ mod tests {
         });
         assert_eq!(follower.store().latest_seq(), SeqNum(1));
 
-        // View change installs a new leader: materialization runs.
-        with_ctx(&mut follower, |s, ctx| {
-            s.note_view_installed(ctx, ServerId(2));
+        // View change elects THIS server: the contiguous prefix (n=2) is
+        // re-proposed in place, the orphan beyond the gap (n=4) is
+        // materialized.
+        let effects = with_ctx(&mut follower, |s, ctx| {
+            s.note_view_installed(ctx, ServerId(1));
         });
+        let reproposed: Vec<(SeqNum, Vec<(ClientId, u64)>)> = effects
+            .emissions
+            .iter()
+            .filter_map(|e| match e {
+                Emission::Broadcast(_, Message::Ord { n, batch, .. }) => {
+                    Some((*n, batch.iter().map(|p| p.tx.key()).collect()))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            reproposed,
+            vec![(SeqNum(2), vec![tx_x.key(), tx_y.key()])],
+            "the contiguous ordered batch must be re-proposed verbatim at \
+             its original sequence number"
+        );
+        assert_eq!(
+            follower.next_seq,
+            SeqNum(3),
+            "fresh batches continue after the preserved prefix"
+        );
+        assert!(follower.inflight.contains_key(&2));
         let pending: Vec<_> = follower
             .pending_proposals
             .iter()
@@ -1075,9 +1223,209 @@ mod tests {
             "committed tx must not be re-proposed: {pending:?}"
         );
         assert!(
-            pending.contains(&tx_y.key()),
-            "uncommitted ordered tx must survive into the new view: {pending:?}"
+            pending.contains(&tx_z.key()),
+            "uncommitted tx beyond the gap must survive into the proposal \
+             pool: {pending:?}"
         );
+        assert!(
+            !follower.ordered_batches.contains_key(&4),
+            "orphaned entries are consumed by materialization"
+        );
+    }
+
+    #[test]
+    fn externally_committed_instance_releases_its_inflight_slot() {
+        // A leader's in-flight instance may commit through an external path
+        // (a straggler CommitBlock from the previous view racing the
+        // re-proposed instance): the pipeline slot must be released, or it
+        // leaks and the dead instance is retransmitted forever.
+        let config = ClusterConfig::new(4);
+        let registry = KeyRegistry::new(9, 4, 2);
+        let mut server = PrestigeServer::new(ServerId(0), config.clone(), registry.clone(), 0);
+        let quorum = config.quorum();
+        let view = View(1);
+
+        // The leader (S0 leads view 1) proposes a batch: inflight opens.
+        let tx = Transaction::with_size(ClientId(1), 50, 16);
+        with_ctx(&mut server, |s, ctx| {
+            s.handle_prop(
+                Actor::Client(ClientId(1)),
+                vec![Proposal::new(tx.clone(), Digest::ZERO)],
+                [0u8; 32],
+                ctx,
+            );
+            s.flush_batch(ctx);
+        });
+        assert!(server.inflight.contains_key(&1));
+
+        // The same instance commits via a CommitBlock built elsewhere.
+        let commit_digest =
+            batch_digest(view, SeqNum(1), &[Proposal::new(tx.clone(), Digest::ZERO)]);
+        let build = |kind: QcKind| {
+            let mut b = QcBuilder::new(kind, view, SeqNum(1), commit_digest, quorum);
+            for s in 0..quorum {
+                let share = sign_share(
+                    &registry,
+                    ServerId(s),
+                    kind,
+                    view,
+                    SeqNum(1),
+                    &commit_digest,
+                )
+                .unwrap();
+                b.add_share(&registry, &share).unwrap();
+            }
+            b.assemble().unwrap()
+        };
+        let mut block = TxBlock::new(view, SeqNum(1), vec![tx]);
+        block.ordering_qc = Some(build(QcKind::Ordering));
+        block.commit_qc = Some(build(QcKind::Commit));
+        with_ctx(&mut server, |s, ctx| {
+            s.apply_committed_block(Arc::new(block), ctx);
+        });
+        assert_eq!(server.store().latest_seq(), SeqNum(1));
+        assert!(
+            !server.inflight.contains_key(&1),
+            "the committed instance must release its pipeline slot"
+        );
+    }
+
+    #[test]
+    fn far_future_ord_is_refused() {
+        // `ordered_batches` persists across view changes now, so orderings
+        // absurdly far beyond the committed tip (only a Byzantine leader
+        // produces them) must be refused instead of retained.
+        let config = ClusterConfig::new(4);
+        let registry = KeyRegistry::new(9, 4, 2);
+        let mut follower = PrestigeServer::new(ServerId(1), config.clone(), registry.clone(), 0);
+        let view = View(1);
+        let leader = Actor::Server(ServerId(0));
+        let far = 1 + config.pipeline_depth as u64 + 1024 + 1;
+        let batch = vec![Proposal::new(
+            Transaction::with_size(ClientId(1), 60, 16),
+            Digest::ZERO,
+        )];
+        let digest = batch_digest(view, SeqNum(far), &batch);
+        let sig = registry.key_of(leader).unwrap().sign(digest.as_ref());
+        let effects = with_ctx(&mut follower, |s, ctx| {
+            s.on_message(
+                leader,
+                Message::Ord {
+                    view,
+                    n: SeqNum(far),
+                    batch: Arc::new(batch),
+                    digest,
+                    sig,
+                },
+                ctx,
+            );
+        });
+        assert!(
+            !follower.ordered_batches.contains_key(&far),
+            "a far-future ordering must not be retained"
+        );
+        assert!(
+            effects
+                .emissions
+                .iter()
+                .all(|e| !matches!(e, Emission::Send(_, Message::OrdReply { .. }))),
+            "a far-future ordering must not be acknowledged"
+        );
+    }
+
+    #[test]
+    fn follower_keeps_ordered_batches_keyed_across_view_changes() {
+        // A server that stays a follower keeps its uncommitted ordered
+        // batches keyed by sequence number across the view change (they back
+        // its C3 freshness claim and a later election's re-propose); nothing
+        // is materialized into its proposal pool.
+        let config = ClusterConfig::new(4);
+        let registry = KeyRegistry::new(9, 4, 2);
+        let mut follower = PrestigeServer::new(ServerId(1), config, registry.clone(), 0);
+        let view = View(1);
+        let leader = Actor::Server(ServerId(0));
+        let tx = Transaction::with_size(ClientId(1), 7, 16);
+        let batch = vec![Proposal::new(tx.clone(), Digest::ZERO)];
+        let digest = batch_digest(view, SeqNum(1), &batch);
+        let sig = registry.key_of(leader).unwrap().sign(digest.as_ref());
+        with_ctx(&mut follower, |s, ctx| {
+            s.on_message(
+                leader,
+                Message::Ord {
+                    view,
+                    n: SeqNum(1),
+                    batch: Arc::new(batch),
+                    digest,
+                    sig,
+                },
+                ctx,
+            );
+        });
+        assert_eq!(follower.ordered_contiguous_tip(), SeqNum(1));
+
+        with_ctx(&mut follower, |s, ctx| {
+            s.note_view_installed(ctx, ServerId(2));
+        });
+        assert!(
+            follower.ordered_batches.contains_key(&1),
+            "ordered batch survives the view change keyed by sequence number"
+        );
+        assert!(follower.pending_proposals.is_empty());
+        assert_eq!(follower.ordered_contiguous_tip(), SeqNum(1));
+    }
+
+    #[test]
+    fn commit_share_records_signed_commit_tip() {
+        // Sending a CmtReply is the act that can complete a commit QC this
+        // server never hears about again; the recorded tip is what C3 checks
+        // candidates against.
+        let config = ClusterConfig::new(4);
+        let registry = KeyRegistry::new(9, 4, 2);
+        let mut follower = PrestigeServer::new(ServerId(1), config.clone(), registry.clone(), 0);
+        let quorum = config.quorum();
+        let view = View(1);
+        let leader = Actor::Server(ServerId(0));
+        assert_eq!(follower.signed_commit_tip, 0);
+
+        let batch = vec![Proposal::new(
+            Transaction::with_size(ClientId(1), 9, 16),
+            Digest::ZERO,
+        )];
+        let digest = batch_digest(view, SeqNum(1), &batch);
+        let mut builder = QcBuilder::new(QcKind::Ordering, view, SeqNum(1), digest, quorum);
+        for s in 0..quorum {
+            let share = sign_share(
+                &registry,
+                ServerId(s),
+                QcKind::Ordering,
+                view,
+                SeqNum(1),
+                &digest,
+            )
+            .unwrap();
+            builder.add_share(&registry, &share).unwrap();
+        }
+        let ordering_qc = builder.assemble().unwrap();
+        let effects = with_ctx(&mut follower, |s, ctx| {
+            s.on_message(
+                leader,
+                Message::Cmt {
+                    view,
+                    n: SeqNum(1),
+                    ordering_qc,
+                    sig: [0u8; 32],
+                },
+                ctx,
+            );
+        });
+        assert!(
+            effects
+                .emissions
+                .iter()
+                .any(|e| matches!(e, Emission::Send(_, Message::CmtReply { .. }))),
+            "the follower must commit-sign the valid ordering QC"
+        );
+        assert_eq!(follower.signed_commit_tip, 1);
     }
 
     #[test]

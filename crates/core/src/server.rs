@@ -93,6 +93,12 @@ pub(crate) struct InflightInstance {
     pub(crate) ordering_builder: QcBuilder,
     pub(crate) ordering_qc: Option<QuorumCertificate>,
     pub(crate) commit_builder: Option<QcBuilder>,
+    /// When this instance's phase message (`Ord`, then `Cmt`) was last
+    /// broadcast (ms). An instance whose quorum stalls past the retransmit
+    /// interval is re-broadcast by the batch timer — the recovery path for
+    /// protocol messages lost to backpressure or a healed partition, without
+    /// which a full pipeline window can wedge a comeback leader forever.
+    pub(crate) last_sent_ms: f64,
 }
 
 /// A message parked while its crypto checks run on the verify pool. Each
@@ -162,6 +168,8 @@ pub(crate) struct CampaignState {
     pub(crate) tx_digest: Digest,
     /// The latest committed sequence number at campaign time.
     pub(crate) tx_seq: SeqNum,
+    /// The contiguous ordered tip at campaign time (criterion C3 claim).
+    pub(crate) ord_seq: SeqNum,
 }
 
 /// A relayed client complaint waiting for the leader to act.
@@ -213,6 +221,17 @@ pub struct PrestigeServer {
     /// so the digest chain stays identical on every replica. Shared handles:
     /// buffering never copies a block.
     pub(crate) pending_commit_blocks: BTreeMap<u64, Arc<prestige_types::TxBlock>>,
+    /// Highest sequence number this server has sent a `CmtReply` for. A
+    /// commit share enables a commit QC the leader may assemble without this
+    /// server ever seeing the resulting `CommitBlock` (crash, partition), so
+    /// criterion C3 refuses election votes to candidates whose ordered state
+    /// does not cover this point — the quorum-intersection guarantee that an
+    /// elected leader can re-propose every possibly-committed instance at
+    /// its original sequence number. Monotonic; never reset.
+    pub(crate) signed_commit_tip: u64,
+    /// Last time (ms) a commit-gap `SyncReq` was sent, rate-limiting gap
+    /// repair while out-of-order verify verdicts resolve on their own.
+    pub(crate) last_gap_sync_ms: f64,
     /// Whether the leader batch timer is armed.
     pub(crate) batch_timer_armed: bool,
 
@@ -336,6 +355,8 @@ impl PrestigeServer {
             ordered_batches: BTreeMap::new(),
             ordered_only_keys: HashSet::new(),
             pending_commit_blocks: BTreeMap::new(),
+            signed_commit_tip: 0,
+            last_gap_sync_ms: f64::NEG_INFINITY,
             batch_timer_armed: false,
             verify_pool: None,
             next_verify_token: 0,
@@ -408,6 +429,28 @@ impl PrestigeServer {
     /// Whether this server believes it is the current leader.
     pub fn is_leader(&self) -> bool {
         self.role == ServerRole::Leader
+    }
+
+    /// One-line snapshot of the live replication/view-change state, for
+    /// harness failure diagnostics (`chaos_net` prints it when a scenario
+    /// assertion fails).
+    pub fn debug_snapshot(&self) -> String {
+        format!(
+            "role={:?} view={} leader=s{} tip={} next_seq={} inflight={:?} pending_props={} \
+             ordered={:?} parked_commits={:?} signed_tip={} rotation_pending={} campaign={:?}",
+            self.role,
+            self.store.current_view().0,
+            self.current_leader().0,
+            self.store.latest_seq().0,
+            self.next_seq.0,
+            self.inflight.keys().collect::<Vec<_>>(),
+            self.pending_proposals.len(),
+            self.ordered_batches.keys().collect::<Vec<_>>(),
+            self.pending_commit_blocks.keys().collect::<Vec<_>>(),
+            self.signed_commit_tip,
+            self.rotation_pending,
+            self.campaign.as_ref().map(|c| (c.new_view.0, c.rp)),
+        )
     }
 
     // ------------------------------------------------------------------
@@ -541,35 +584,31 @@ impl PrestigeServer {
         execute_job(&self.registry, job)
     }
 
+    /// The candidate-freshness claim of criterion C3: the highest sequence
+    /// number reachable from the committed tip through contiguously held
+    /// ordered batches. Everything up to this point can be re-proposed *at
+    /// its original sequence number* should this server be elected, which is
+    /// what preserves instances that may have gathered a commit QC at a
+    /// leader this server can no longer reach.
+    pub(crate) fn ordered_contiguous_tip(&self) -> SeqNum {
+        let mut tip = self.store.latest_seq().0;
+        while self.ordered_batches.contains_key(&(tip + 1)) {
+            tip += 1;
+        }
+        SeqNum(tip)
+    }
+
     /// Records installation of a new view in local bookkeeping (role, timers,
     /// per-view vote bookkeeping, statistics).
     pub(crate) fn note_view_installed(&mut self, ctx: &mut Context<Message>, leader: ServerId) {
         self.stats.views_installed += 1;
-        // Materialize ordered-but-uncommitted batches into the re-proposal
-        // buffer so the new view can commit them (the hot path only keeps the
-        // shared batch handles; copies happen here, on the rare view change).
-        // Only keys still in `ordered_only_keys` qualify: anything received
-        // via `Prop` already sits in `pending_proposals`, and anything that
-        // committed — under any sequence number — was pruned from the set, so
-        // a transaction can never be re-proposed into a duplicate commit.
+        // Ordered-but-uncommitted batches survive the view change keyed by
+        // their sequence numbers (shared handles — no copies): they back
+        // future C3 freshness claims, and an elected leader re-proposes its
+        // contiguous prefix *at the original sequence numbers* below.
+        // Committed entries are pruned.
         let latest = self.store.latest_seq().0;
-        let batches = std::mem::take(&mut self.ordered_batches);
-        if !batches.is_empty() {
-            let mut pending_keys: HashSet<(ClientId, u64)> =
-                self.pending_proposals.iter().map(|p| p.tx.key()).collect();
-            for (n, batch) in batches {
-                if n <= latest {
-                    continue;
-                }
-                for proposal in batch.iter() {
-                    let key = proposal.tx.key();
-                    if self.ordered_only_keys.remove(&key) && pending_keys.insert(key) {
-                        self.pending_proposals.push(proposal.clone());
-                    }
-                }
-            }
-        }
-        self.ordered_only_keys.clear();
+        self.ordered_batches.retain(|n, _| *n > latest);
         self.view_installed_at_ms = ctx.now().as_ms();
         self.policy_rotation_started = false;
         self.rotation_pending = false;
@@ -582,7 +621,47 @@ impl PrestigeServer {
         self.inflight.clear();
         if leader == self.id {
             self.role = ServerRole::Leader;
-            self.next_seq = self.store.latest_seq().next();
+            // Committed-instance preservation: re-propose the contiguous
+            // ordered prefix at its original sequence numbers in the new
+            // view. Criterion C3 guarantees this prefix covers every
+            // instance a commit QC may exist for, so no replica that already
+            // committed one of them can ever diverge from the new chain.
+            let tip = self.ordered_contiguous_tip().0;
+            let preserved: Vec<(u64, Arc<Vec<Proposal>>)> = self
+                .ordered_batches
+                .range(..=tip)
+                .map(|(n, batch)| (*n, Arc::clone(batch)))
+                .collect();
+            // Instances beyond a gap cannot be re-proposed in place (their
+            // predecessors are unknown here), and C3 proves no commit QC can
+            // exist for them — their transactions return to the proposal
+            // pool under the usual dedup, to be batched at fresh sequence
+            // numbers.
+            let orphans: Vec<Arc<Vec<Proposal>>> = self
+                .ordered_batches
+                .split_off(&(tip + 1))
+                .into_values()
+                .collect();
+            if !orphans.is_empty() {
+                let mut pending_keys: HashSet<(ClientId, u64)> =
+                    self.pending_proposals.iter().map(|p| p.tx.key()).collect();
+                for batch in orphans {
+                    for proposal in batch.iter() {
+                        let key = proposal.tx.key();
+                        // `remove`: the transaction is now in the proposal
+                        // pool, no longer known *only* through an ordered
+                        // batch — keeping the set consistent with the batches
+                        // actually retained bounds its growth.
+                        if self.ordered_only_keys.remove(&key) && pending_keys.insert(key) {
+                            self.pending_proposals.push(proposal.clone());
+                        }
+                    }
+                }
+            }
+            self.next_seq = SeqNum(tip).next();
+            for (n, batch) in preserved {
+                self.propose_batch_at(SeqNum(n), batch, ctx);
+            }
             self.arm_batch_timer(ctx);
         } else {
             self.role = ServerRole::Follower;
@@ -700,6 +779,7 @@ impl Process<Message> for PrestigeServer {
                 nonce,
                 hash_result,
                 latest_seq,
+                latest_ord_seq,
                 latest_tx_digest,
                 sig,
             } => self.handle_camp(
@@ -712,6 +792,7 @@ impl Process<Message> for PrestigeServer {
                 nonce,
                 hash_result,
                 latest_seq,
+                latest_ord_seq,
                 latest_tx_digest,
                 sig,
                 ctx,

@@ -11,11 +11,19 @@ use prestige_types::{Digest, SeqNum, ServerId, TxBlock, VcBlock, View};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-/// Computes the digest identifying a `txBlock` (over its view, sequence
-/// number, previous pointer, and transaction identities). Fields stream into
-/// one incremental SHA-256 with the same length framing the original
-/// `hash_many` spec used, so digests are unchanged but no intermediate
-/// buffers are built.
+/// Computes the digest identifying a `txBlock` (over its sequence number,
+/// previous pointer, and transaction identities). Fields stream into one
+/// incremental SHA-256 with length framing, so no intermediate buffers are
+/// built.
+///
+/// The digest deliberately excludes the block's *view*: it identifies the
+/// state-machine decision (which transactions occupy which position on which
+/// history), not the view that happened to order it. A block committed in
+/// view `V` and the same batch re-proposed at the same sequence number by
+/// the leader of `V+1` (committed-instance preservation across view changes)
+/// must converge to the same chain digest on every replica — per-view
+/// uniqueness of the *ordering* is enforced separately by the view-bound
+/// ordering/commit QC statements.
 pub fn tx_block_digest(block: &TxBlock) -> Digest {
     tx_block_digest_with_prev(block, block.header.prev_digest)
 }
@@ -26,7 +34,6 @@ pub fn tx_block_digest(block: &TxBlock) -> Digest {
 pub fn tx_block_digest_with_prev(block: &TxBlock, prev: Digest) -> Digest {
     let mut h = FramedHasher::new();
     h.field(b"txblock")
-        .field(&block.view.0.to_be_bytes())
         .field(&block.n.0.to_be_bytes())
         .field(&prev.0);
     for tx in &block.tx {
@@ -160,6 +167,18 @@ impl BlockStore {
         self.tx_blocks
             .range(from..=to)
             .map(|(_, b)| (**b).clone())
+            .collect()
+    }
+
+    /// The committed txBlock chain as `(sequence number, digest)` pairs in
+    /// sequence order, genesis included. Digests chain each block to its
+    /// predecessor, so two replicas agreeing on the digest at sequence `n`
+    /// agree on the entire prefix up to `n` — this is the per-replica
+    /// fingerprint the adversarial harness compares for fork detection.
+    pub fn chain_digests(&self) -> Vec<(u64, Digest)> {
+        self.tx_blocks
+            .iter()
+            .map(|(n, b)| (*n, b.header.digest))
             .collect()
     }
 
@@ -358,6 +377,25 @@ mod tests {
         let conflicting = genesis.successor(View(2), ServerId(2), 2, 1, None, None);
         assert!(!store.insert_vc_block(conflicting));
         assert_eq!(store.vc_block(View(2)).unwrap().leader_id, ServerId(1));
+    }
+
+    #[test]
+    fn chain_digests_fingerprint_the_committed_log() {
+        let mut a = BlockStore::new(4);
+        let mut b = BlockStore::new(4);
+        for n in 1..=3u64 {
+            a.insert_tx_block(TxBlock::new(View(1), SeqNum(n), batch(2)));
+            b.insert_tx_block(TxBlock::new(View(1), SeqNum(n), batch(2)));
+        }
+        assert_eq!(a.chain_digests(), b.chain_digests());
+        assert_eq!(a.chain_digests().len(), 4, "genesis + 3 blocks");
+        assert_eq!(a.chain_digests()[0].0, 0);
+
+        // A divergent block at the same height yields a different digest.
+        let mut c = BlockStore::new(4);
+        c.insert_tx_block(TxBlock::new(View(1), SeqNum(1), batch(2)));
+        c.insert_tx_block(TxBlock::new(View(2), SeqNum(2), batch(1)));
+        assert_ne!(a.chain_digests()[2].1, c.chain_digests()[2].1);
     }
 
     #[test]

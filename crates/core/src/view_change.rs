@@ -297,6 +297,7 @@ impl PrestigeServer {
         let ci = outcome.new_ci;
         let tx_digest = self.store.latest_tx_digest();
         let tx_seq = self.store.latest_seq();
+        let ord_seq = self.ordered_contiguous_tip();
 
         // Replication stops while campaigning (§4.2.2 line 34).
         self.role = ServerRole::Redeemer;
@@ -335,6 +336,7 @@ impl PrestigeServer {
             vote_builder: None,
             tx_digest,
             tx_seq,
+            ord_seq,
         });
         match self.pow_solver {
             PowSolver::Real { .. } => {
@@ -409,6 +411,7 @@ impl PrestigeServer {
             nonce: solution.nonce,
             hash_result: solution.hash_result,
             latest_seq: campaign.tx_seq,
+            latest_ord_seq: campaign.ord_seq,
             latest_tx_digest: campaign.tx_digest,
             sig: self.sign(digest.as_ref()),
         };
@@ -434,6 +437,7 @@ impl PrestigeServer {
         nonce: u64,
         hash_result: Digest,
         latest_seq: SeqNum,
+        latest_ord_seq: SeqNum,
         latest_tx_digest: Digest,
         sig: [u8; 32],
         ctx: &mut Context<Message>,
@@ -489,6 +493,16 @@ impl PrestigeServer {
 
         // C3: the candidate's replication must be at least as up-to-date.
         if latest_seq < self.store.latest_seq() {
+            return;
+        }
+        // C3, ordered-state half (committed-instance preservation): a commit
+        // share this server signed may have completed a commit QC at a leader
+        // nobody can reach any more, so the next leader must hold the ordered
+        // batches up to that point — contiguously, at their original sequence
+        // numbers — to re-propose them. Refusing here makes the guarantee a
+        // quorum-intersection property: any election quorum contains at least
+        // one correct signer of the highest possibly-committed instance.
+        if latest_ord_seq < latest_seq || latest_ord_seq.0 < self.signed_commit_tip {
             return;
         }
         if latest_seq > self.store.latest_seq() {
@@ -820,6 +834,7 @@ impl PrestigeServer {
 mod tests {
     use super::*;
     use prestige_crypto::KeyRegistry;
+    use prestige_sim::{Effects, Emission, Process, SimRng};
     use prestige_types::ClusterConfig;
 
     fn server(n: u32, id: u32) -> PrestigeServer {
@@ -861,5 +876,134 @@ mod tests {
         let b = s3.calc_rp_for(ServerId(3), View(2));
         assert_eq!(a.new_rp, b.new_rp);
         assert_eq!(a.new_ci, b.new_ci);
+    }
+
+    /// Builds a fully valid V1→V2 campaign message for `candidate` (genesis
+    /// state, conf_QC-justified), with an explicit ordered-tip claim.
+    fn genesis_camp(
+        registry: &KeyRegistry,
+        voter: &PrestigeServer,
+        candidate: ServerId,
+        latest_ord_seq: SeqNum,
+    ) -> Message {
+        let view = View(1);
+        let new_view = View(2);
+        // C4: from genesis, the engine computes rp 2 / ci 1 for any campaign
+        // V1 → V2 (pinned by `calc_rp_for_initial_campaign_matches_engine`).
+        let outcome = voter.calc_rp_for(candidate, new_view);
+        // C2: a Confirm QC at threshold f+1 over the ConfVC digest.
+        let digest = PrestigeServer::confvc_digest(view);
+        let confirm_quorum = voter.config.replicas.confirm_quorum();
+        let mut builder = QcBuilder::new(QcKind::Confirm, view, SeqNum(0), digest, confirm_quorum);
+        for s in 0..confirm_quorum {
+            let share = sign_share(
+                registry,
+                ServerId(s),
+                QcKind::Confirm,
+                view,
+                SeqNum(0),
+                &digest,
+            )
+            .unwrap();
+            builder.add_share(registry, &share).unwrap();
+        }
+        let conf_qc = builder.assemble().unwrap();
+        // C5: solve the (modeled) puzzle over the claimed latest tx digest.
+        let tx_digest = voter.store.latest_tx_digest();
+        let puzzle = PowPuzzle::new(tx_digest, outcome.new_rp);
+        let mut rng = SimRng::new(11);
+        let (solution, _) = voter.pow_solver.solve(&puzzle, rng.rng());
+        let campaign_digest = PrestigeServer::campaign_digest(
+            candidate,
+            new_view,
+            outcome.new_rp,
+            solution.nonce,
+            &solution.hash_result,
+        );
+        let sig = registry
+            .key_of(Actor::Server(candidate))
+            .unwrap()
+            .sign(campaign_digest.as_ref());
+        Message::Camp {
+            conf_qc: Some(conf_qc),
+            view,
+            new_view,
+            rp: outcome.new_rp,
+            ci: outcome.new_ci,
+            nonce: solution.nonce,
+            hash_result: solution.hash_result,
+            latest_seq: SeqNum(0),
+            latest_ord_seq,
+            latest_tx_digest: tx_digest,
+            sig,
+        }
+    }
+
+    fn deliver(voter: &mut PrestigeServer, message: Message) -> Effects<Message> {
+        let mut effects = Effects::new();
+        let mut rng = SimRng::new(3);
+        let mut next_timer_id = 500;
+        let me = Actor::Server(voter.id());
+        let mut ctx = Context::new(
+            prestige_sim::SimTime::from_ms(1.0),
+            me,
+            &mut rng,
+            &mut next_timer_id,
+            &mut effects,
+        );
+        voter.on_message(Actor::Server(ServerId(3)), message, &mut ctx);
+        effects
+    }
+
+    #[test]
+    fn vote_refused_when_candidate_ordered_state_trails_signed_commit_tip() {
+        // Committed-instance preservation (C3, ordered half): a voter that
+        // has commit-signed instance n must refuse any candidate whose
+        // ordered state cannot re-propose n — otherwise an elected stale
+        // leader would overwrite a possibly-committed instance and fork the
+        // chain against whoever assembled the commit QC.
+        let registry = KeyRegistry::new(5, 4, 2);
+        let config = ClusterConfig::new(4);
+
+        // Sanity: the same campaign IS accepted by a voter with no signed
+        // commit shares outstanding.
+        let mut fresh_voter = PrestigeServer::new(ServerId(1), config.clone(), registry.clone(), 0);
+        let camp = genesis_camp(&registry, &fresh_voter, ServerId(3), SeqNum(0));
+        let effects = deliver(&mut fresh_voter, camp.clone());
+        assert!(
+            effects
+                .emissions
+                .iter()
+                .any(|e| matches!(e, Emission::Send(_, Message::VoteCP { .. }))),
+            "a valid campaign earns the vote of an unencumbered voter"
+        );
+
+        // The voter has commit-signed instance 3; the candidate claims an
+        // ordered tip of 0 — refuse.
+        let mut voter = PrestigeServer::new(ServerId(1), config.clone(), registry.clone(), 0);
+        voter.signed_commit_tip = 3;
+        let effects = deliver(&mut voter, camp);
+        assert!(
+            effects
+                .emissions
+                .iter()
+                .all(|e| !matches!(e, Emission::Send(_, Message::VoteCP { .. }))),
+            "the vote must be refused: the candidate could not re-propose \
+             the possibly-committed instance 3"
+        );
+
+        // A candidate whose ordered claim covers the signed tip is accepted.
+        let mut covered_voter = PrestigeServer::new(ServerId(1), config, registry.clone(), 0);
+        covered_voter.signed_commit_tip = 3;
+        let camp = genesis_camp(&registry, &covered_voter, ServerId(3), SeqNum(3));
+        let effects = deliver(&mut covered_voter, camp);
+        assert!(
+            effects
+                .emissions
+                .iter()
+                .any(|e| matches!(e, Emission::Send(_, Message::VoteCP { .. }))),
+            "a candidate holding ordered state through the signed tip wins \
+             the vote"
+        );
     }
 }

@@ -231,12 +231,22 @@ fn repeated_vc_attacker_is_penalized_and_progress_resumes() {
         ByzantineBehavior::RepeatedVcQuiet(AttackStrategy::Always),
     ];
     let mut sim = build_cluster(19, &config, &behaviors, 2, 50);
-    sim.run_until(SimTime::from_secs(30.0));
 
-    // The attacker won early views but was then penalized: on the correct
-    // servers' books its penalty exceeds the initial value, and the required
-    // proof-of-work now makes it lose every race, so it holds at most a small
-    // share of the installed views.
+    // First half: the attacker contests every rotation and may win a fair
+    // share of early reigns while its penalty is still cheap to pay.
+    sim.run_until(SimTime::from_secs(30.0));
+    let wins_first_half = sim
+        .node_as::<PrestigeServer>(Actor::Server(ServerId(3)))
+        .unwrap()
+        .stats()
+        .elections_won;
+    let committed_first_half = committed_tx(&sim, 0);
+
+    // Second half: the accumulated penalty has priced it out — this is the
+    // paper's suppression claim (Figure 13), which is about the *trend*, not
+    // about never winning an early race.
+    sim.run_until(SimTime::from_secs(60.0));
+
     let s1 = sim
         .node_as::<PrestigeServer>(Actor::Server(ServerId(0)))
         .unwrap();
@@ -260,12 +270,32 @@ fn repeated_vc_attacker_is_penalized_and_progress_resumes() {
         attacker_wins * 2 <= total_views,
         "attacker won {attacker_wins} of {total_views} views — not suppressed"
     );
-    // The attacker keeps paying for its campaigns: its cumulative puzzle time
-    // dwarfs a correct server's.
-    let correct_pow = s1.stats().pow_ms_total;
-    assert!(attacker.stats().pow_ms_total > correct_pow);
-    // The cluster kept committing despite the attack.
-    assert!(committed_tx(&sim, 0) > 500);
+    let wins_second_half = attacker_wins - wins_first_half;
+    assert!(
+        wins_second_half <= 2,
+        "suppression must strengthen over time: {wins_first_half} first-half \
+         wins, then {wins_second_half} more"
+    );
+    // The attacker keeps paying for its campaigns, and the price climbs: its
+    // latest campaigns run at a visibly higher penalty than its first (the
+    // exponential-cost story of Figure 12). Cumulative puzzle-time
+    // comparisons against correct servers are a coin flip at this horizon —
+    // under a timing policy every rotation winner's penalty climbs too, and
+    // one unlucky geometric draw at rp 4 dominates any total.
+    let campaign_rps: Vec<i64> = attacker
+        .stats()
+        .campaign_log
+        .iter()
+        .map(|(_, rp, _)| *rp)
+        .collect();
+    assert!(
+        campaign_rps.last().copied().unwrap_or(0) >= 3,
+        "the attacker's campaign penalty must have climbed: {campaign_rps:?}"
+    );
+    assert!(attacker.stats().pow_ms_total > 0.0);
+    // The cluster kept committing despite the attack — including in the
+    // second half, under the suppressed attacker.
+    assert!(committed_tx(&sim, 0) > committed_first_half + 10_000);
 }
 
 #[test]

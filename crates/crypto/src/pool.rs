@@ -14,7 +14,7 @@
 //!   synchronously at submit time. The deterministic simulator never attaches
 //!   an asynchronous pool at all, so simulated runs are bit-identical for any
 //!   configured worker count.
-//! * **Batching** — workers drain up to [`WORKER_BATCH`] queued jobs per
+//! * **Batching** — workers drain up to `WORKER_BATCH` (4) queued jobs per
 //!   wakeup, verifying shares and QCs from many messages back-to-back before
 //!   publishing the verdicts, which amortizes channel traffic under load.
 //! * **Panic isolation** — a job that panics is reported as a *failed*

@@ -1,19 +1,22 @@
 //! # prestige-metrics
 //!
 //! Measurement toolkit for the experiment harness: throughput computation
-//! from commit logs, latency statistics, availability tracking over time, and
+//! from commit logs, latency statistics, availability tracking over time,
 //! plain-text report tables matching the rows/series the paper's figures
-//! report.
+//! report, and a minimal JSON builder for the machine-readable reports the
+//! benchmark and chaos binaries write.
 
 #![warn(missing_docs)]
 
 pub mod availability;
+pub mod json;
 pub mod latency;
 pub mod report;
 pub mod throughput;
 pub mod timeseries;
 
 pub use availability::availability_series;
+pub use json::Json;
 pub use latency::LatencyStats;
 pub use report::Table;
 pub use throughput::{throughput_series, total_tps};

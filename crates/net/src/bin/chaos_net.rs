@@ -1,0 +1,636 @@
+//! `chaos_net` — run one of the paper's Byzantine attack scenarios (F1–F4,
+//! S1/S2) against a *real* PrestigeBFT cluster, composed with network chaos
+//! (delay, loss, partitions), and assert safety + recovery.
+//!
+//! The scenario is declarative: a mini-TOML file (same dialect as
+//! `prestige-node`'s cluster config) names the cluster shape, the fault plan
+//! (reusing `prestige_workloads::FaultPlan`), the link chaos, an optional
+//! timed partition with scheduled heal, and the assertions. The runner
+//! launches the cluster on real node runtimes, drives the timeline, samples
+//! per-node progress, and writes a JSON report:
+//!
+//! ```text
+//! cargo run --release -p prestige-net --bin chaos_net -- \
+//!     --scenario scenarios/f4_s1_partition.toml --out CHAOS_report.json
+//! ```
+//!
+//! Exit status is non-zero when an assertion fails:
+//!
+//! * **no-fork** — every pair of correct replicas agrees on the block digest
+//!   at every sequence number both have committed (digest chaining makes the
+//!   whole prefix identical);
+//! * **recovery** — committed throughput over the trailing window is above
+//!   the configured floor, and the post-heal commit count reaches the
+//!   configured minimum.
+//!
+//! See `docs/ATTACKS.md` for the scenario vocabulary and the mapping to the
+//! paper's experiments.
+
+use prestige_metrics::Json;
+use prestige_net::cluster::LocalCluster;
+use prestige_net::config::{parse_toml, TomlDoc, TomlValue};
+use prestige_net::NetChaos;
+use prestige_types::{Actor, ClientId, ClusterConfig, ServerId, TimeoutConfig, ViewChangePolicy};
+use prestige_workloads::FaultPlan;
+use std::time::{Duration, Instant};
+
+/// How a partition cuts links around its target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PartitionMode {
+    /// Both directions (the target is fully isolated).
+    Symmetric,
+    /// Only traffic *to* the target is cut (it can talk, nobody answers).
+    Inbound,
+    /// Only traffic *from* the target is cut (it hears, nobody hears it).
+    Outbound,
+}
+
+/// Which server a partition isolates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PartitionTarget {
+    /// Whoever leads the view current when the partition starts.
+    Leader,
+    /// A fixed server.
+    Server(u32),
+}
+
+#[derive(Debug, Clone)]
+struct PartitionSpec {
+    at_s: f64,
+    duration_ms: f64,
+    target: PartitionTarget,
+    mode: PartitionMode,
+}
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    name: String,
+    servers: u32,
+    clients: u64,
+    concurrency: usize,
+    batch_size: usize,
+    payload_size: usize,
+    seed: u64,
+    duration_s: f64,
+    timeouts: TimeoutConfig,
+    rotation_ms: Option<f64>,
+    pipeline_depth: usize,
+    verify_workers: usize,
+    fault_plan: FaultPlan,
+    strategy_label: String,
+    delay_ms: f64,
+    jitter_ms: f64,
+    loss: f64,
+    partition: Option<PartitionSpec>,
+    assert_no_fork: bool,
+    min_committed_after: u64,
+    recovery_floor_tps: f64,
+    recovery_window_s: f64,
+}
+
+fn get<'d>(doc: &'d TomlDoc, section: &str, key: &str) -> Option<&'d TomlValue> {
+    doc.get(section).and_then(|s| s.get(key))
+}
+
+fn get_f64(doc: &TomlDoc, section: &str, key: &str, default: f64) -> Result<f64, String> {
+    match get(doc, section, key) {
+        Some(TomlValue::Float(f)) => Ok(*f),
+        Some(TomlValue::Int(i)) => Ok(*i as f64),
+        None => Ok(default),
+        // A mistyped value must be an error, not a silent fallback — a quoted
+        // assertion floor would otherwise disable the gate it configures.
+        Some(other) => Err(format!("{section}.{key}: expected a number, got {other:?}")),
+    }
+}
+
+fn get_u64(doc: &TomlDoc, section: &str, key: &str, default: u64) -> Result<u64, String> {
+    match get(doc, section, key) {
+        Some(TomlValue::Int(i)) => {
+            u64::try_from(*i).map_err(|_| format!("{section}.{key} = {i} is out of range"))
+        }
+        None => Ok(default),
+        Some(other) => Err(format!(
+            "{section}.{key}: expected an integer, got {other:?}"
+        )),
+    }
+}
+
+fn get_str<'d>(doc: &'d TomlDoc, section: &str, key: &str) -> Option<&'d str> {
+    match get(doc, section, key) {
+        Some(TomlValue::Str(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+impl Scenario {
+    fn from_toml(text: &str) -> Result<Scenario, String> {
+        let doc = parse_toml(text).map_err(|e| format!("scenario parse error: {e}"))?;
+
+        let timeouts = match get_str(&doc, "scenario", "timeouts").unwrap_or("fast") {
+            "fast" => TimeoutConfig::fast(),
+            "default" => TimeoutConfig::default(),
+            other => return Err(format!("scenario.timeouts `{other}` (fast or default)")),
+        };
+
+        let strategy_label = get_str(&doc, "faults", "strategy")
+            .unwrap_or("s1")
+            .to_string();
+        let fault_plan = match get_str(&doc, "faults", "plan") {
+            None => FaultPlan::None,
+            Some(label) => {
+                let count = get_u64(&doc, "faults", "count", 1)? as u32;
+                let strategy = FaultPlan::parse_strategy(&strategy_label)
+                    .ok_or_else(|| format!("faults.strategy `{strategy_label}` (s1 or s2)"))?;
+                FaultPlan::from_parts(label, count, strategy)
+                    .ok_or_else(|| format!("faults.plan `{label}`"))?
+            }
+        };
+
+        let servers = get_u64(&doc, "scenario", "servers", 4)? as u32;
+        let partition = if doc.contains_key("partition") {
+            let target = match get_str(&doc, "partition", "target").unwrap_or("leader") {
+                "leader" => PartitionTarget::Leader,
+                name => {
+                    let id = name
+                        .strip_prefix('s')
+                        .and_then(|rest| rest.parse::<u32>().ok())
+                        .filter(|id| *id < servers)
+                        .ok_or_else(|| {
+                            format!(
+                                "partition.target `{name}` (leader, or s0..s{})",
+                                servers.saturating_sub(1)
+                            )
+                        })?;
+                    PartitionTarget::Server(id)
+                }
+            };
+            let mode = match get_str(&doc, "partition", "mode").unwrap_or("sym") {
+                "sym" => PartitionMode::Symmetric,
+                "inbound" => PartitionMode::Inbound,
+                "outbound" => PartitionMode::Outbound,
+                other => return Err(format!("partition.mode `{other}` (sym, inbound, outbound)")),
+            };
+            Some(PartitionSpec {
+                at_s: get_f64(&doc, "partition", "at_s", 1.0)?,
+                duration_ms: get_f64(&doc, "partition", "duration_ms", 500.0)?,
+                target,
+                mode,
+            })
+        } else {
+            None
+        };
+
+        let rotation = get_f64(&doc, "scenario", "rotation_ms", 0.0)?;
+        Ok(Scenario {
+            name: get_str(&doc, "scenario", "name")
+                .unwrap_or("unnamed")
+                .to_string(),
+            servers,
+            clients: get_u64(&doc, "scenario", "clients", 2)?,
+            concurrency: get_u64(&doc, "scenario", "concurrency", 100)? as usize,
+            batch_size: get_u64(&doc, "scenario", "batch_size", 100)? as usize,
+            payload_size: get_u64(&doc, "scenario", "payload_size", 32)? as usize,
+            seed: get_u64(&doc, "scenario", "seed", 42)?,
+            duration_s: get_f64(&doc, "scenario", "duration_s", 5.0)?,
+            timeouts,
+            rotation_ms: (rotation > 0.0).then_some(rotation),
+            pipeline_depth: get_u64(&doc, "scenario", "pipeline_depth", 4)? as usize,
+            verify_workers: get_u64(&doc, "scenario", "verify_workers", 0)? as usize,
+            fault_plan,
+            strategy_label,
+            delay_ms: get_f64(&doc, "chaos", "delay_ms", 0.0)?,
+            jitter_ms: get_f64(&doc, "chaos", "jitter_ms", 0.0)?,
+            loss: get_f64(&doc, "chaos", "loss", 0.0)?,
+            partition,
+            assert_no_fork: !matches!(get(&doc, "assert", "no_fork"), Some(TomlValue::Bool(false))),
+            min_committed_after: get_u64(&doc, "assert", "min_committed", 0)?,
+            recovery_floor_tps: get_f64(&doc, "assert", "recovery_floor_tps", 0.0)?,
+            recovery_window_s: get_f64(&doc, "assert", "recovery_window_s", 1.0)?,
+        })
+    }
+
+    fn cluster_config(&self) -> ClusterConfig {
+        let mut config = ClusterConfig::new(self.servers)
+            .with_batch_size(self.batch_size)
+            .with_payload_size(self.payload_size)
+            .with_timeouts(self.timeouts.clone())
+            .with_pipeline_depth(self.pipeline_depth)
+            .with_verify_workers(self.verify_workers);
+        if let Some(interval_ms) = self.rotation_ms {
+            config.policy = ViewChangePolicy::Timing { interval_ms };
+        }
+        config
+    }
+}
+
+/// One timeline sample: elapsed seconds, cluster-wide commits, and each
+/// server's committed tx count (shows who stalls during the fault window).
+struct Sample {
+    t_s: f64,
+    total: u64,
+    per_server: Vec<u64>,
+}
+
+fn sample(cluster: &LocalCluster, t_s: f64, n: u32) -> Sample {
+    Sample {
+        t_s,
+        total: cluster.total_committed(),
+        per_server: (0..n)
+            .map(|i| {
+                cluster
+                    .server_stats(ServerId(i))
+                    .map(|s| s.committed_tx)
+                    .unwrap_or(0)
+            })
+            .collect(),
+    }
+}
+
+/// All actors other than `target` (servers and clients), i.e. the side of
+/// the partition the target is cut off from.
+fn everyone_but(scenario: &Scenario, target: ServerId) -> Vec<Actor> {
+    let mut others: Vec<Actor> = (0..scenario.servers)
+        .filter(|&i| ServerId(i) != target)
+        .map(|i| Actor::Server(ServerId(i)))
+        .collect();
+    others.extend((0..scenario.clients).map(|c| Actor::Client(ClientId(c))));
+    others
+}
+
+struct Options {
+    scenario: String,
+    out: String,
+    duration_override: Option<f64>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut scenario = None;
+    let mut out = "CHAOS_report.json".to_string();
+    let mut duration_override = None;
+    let mut i = 1;
+    while i < args.len() {
+        let need = |name: &str| -> Result<&String, String> {
+            args.get(i + 1).ok_or(format!("{name} needs a value"))
+        };
+        match args[i].as_str() {
+            "--scenario" => scenario = Some(need("--scenario")?.clone()),
+            "--out" => out = need("--out")?.clone(),
+            "--duration" => {
+                duration_override = Some(need("--duration")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+        i += 2;
+    }
+    Ok(Options {
+        scenario: scenario.ok_or("missing --scenario")?,
+        out,
+        duration_override,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(message) => {
+            eprintln!("chaos_net: {message}");
+            eprintln!("usage: chaos_net --scenario <file.toml> [--out PATH] [--duration SECS]");
+            std::process::exit(1);
+        }
+    };
+    let text = match std::fs::read_to_string(&opts.scenario) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("chaos_net: reading {}: {e}", opts.scenario);
+            std::process::exit(1);
+        }
+    };
+    let mut scenario = match Scenario::from_toml(&text) {
+        Ok(s) => s,
+        Err(message) => {
+            eprintln!("chaos_net: {}: {message}", opts.scenario);
+            std::process::exit(1);
+        }
+    };
+    if let Some(secs) = opts.duration_override {
+        scenario.duration_s = secs;
+    }
+
+    match run(&scenario, &opts.out) {
+        Ok(()) => {}
+        Err(failures) => {
+            for failure in &failures {
+                eprintln!("chaos_net: ASSERTION FAILED: {failure}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run(scenario: &Scenario, out_path: &str) -> Result<(), Vec<String>> {
+    let n = scenario.servers;
+    let behaviors = scenario.fault_plan.behaviors(n);
+    let chaos = NetChaos::new();
+    if scenario.delay_ms > 0.0 || scenario.jitter_ms > 0.0 {
+        chaos.set_link_delay(
+            Duration::from_secs_f64(scenario.delay_ms / 1000.0),
+            Duration::from_secs_f64(scenario.jitter_ms / 1000.0),
+        );
+    }
+    if scenario.loss > 0.0 {
+        chaos.set_loss(scenario.loss);
+    }
+
+    eprintln!(
+        "chaos_net: scenario `{}` — n={n}, fault plan {:?}, delay {}±{} ms, loss {:.1}%, \
+         partition {:?}",
+        scenario.name,
+        scenario.fault_plan,
+        scenario.delay_ms,
+        scenario.jitter_ms,
+        scenario.loss * 100.0,
+        scenario.partition,
+    );
+    let cluster = LocalCluster::launch_adversarial(
+        scenario.cluster_config(),
+        scenario.seed,
+        scenario.clients,
+        scenario.concurrency,
+        &behaviors,
+        Some(chaos.clone()),
+    );
+
+    // --- timeline: sample progress, fire the partition, schedule its heal ---
+    let started = Instant::now();
+    let mut series: Vec<Sample> = Vec::new();
+    let mut partition_fired = false;
+    let mut partition_window: Option<(f64, f64)> = None; // (start_s, heal_s)
+    let mut partitioned_server: Option<ServerId> = None;
+    let tick = Duration::from_millis(100);
+    loop {
+        let t_s = started.elapsed().as_secs_f64();
+        if t_s >= scenario.duration_s {
+            break;
+        }
+        series.push(sample(&cluster, t_s, n));
+
+        if let Some(spec) = &scenario.partition {
+            if !partition_fired && t_s >= spec.at_s {
+                partition_fired = true;
+                let target = match spec.target {
+                    PartitionTarget::Server(id) => ServerId(id),
+                    PartitionTarget::Leader => cluster
+                        .correct_servers()
+                        .first()
+                        .and_then(|&observer| cluster.view_of(observer))
+                        .map(|(_, leader)| leader)
+                        .unwrap_or(ServerId(0)),
+                };
+                let others = everyone_but(scenario, target);
+                let me = [Actor::Server(target)];
+                match spec.mode {
+                    PartitionMode::Symmetric => chaos.partition_between(&me, &others),
+                    PartitionMode::Inbound => chaos.partition_oneway(&others, &me),
+                    PartitionMode::Outbound => chaos.partition_oneway(&me, &others),
+                }
+                chaos.heal_after(Duration::from_secs_f64(spec.duration_ms / 1000.0));
+                partition_window = Some((t_s, t_s + spec.duration_ms / 1000.0));
+                partitioned_server = Some(target);
+                eprintln!(
+                    "chaos_net: t={t_s:.2}s partition {:?} around {target:?} for {} ms \
+                     (heal scheduled)",
+                    spec.mode, spec.duration_ms
+                );
+            }
+        }
+        std::thread::sleep(tick);
+    }
+    let final_t = started.elapsed().as_secs_f64();
+    series.push(sample(&cluster, final_t, n));
+
+    // --- gather ---------------------------------------------------------
+    let final_sample = series.last().expect("series has the final sample");
+    let total_committed = final_sample.total;
+    let overall_tps = total_committed as f64 / final_t.max(1e-9);
+
+    // A scenario that declares a partition but never runs it to the heal
+    // (fired too late, or not at all) must not let the "after the fault
+    // window" assertions pass vacuously: count zero post-heal commits so the
+    // min_committed gate fails loudly, and record the defect explicitly.
+    let heal_s = partition_window.map(|(_, heal)| heal).unwrap_or(0.0);
+    let partition_incomplete =
+        scenario.partition.is_some() && (partition_window.is_none() || heal_s > final_t);
+    let committed_at_heal = if partition_incomplete {
+        total_committed
+    } else {
+        series
+            .iter()
+            .find(|s| s.t_s >= heal_s)
+            .map(|s| s.total)
+            .unwrap_or(total_committed)
+    };
+    let committed_after_heal = total_committed.saturating_sub(committed_at_heal);
+
+    // Clamp the recovery window to the actual run so a short run is not
+    // penalized by dividing a partial window's commits by the full width.
+    let window = scenario.recovery_window_s.max(0.1).min(final_t.max(0.1));
+    let window_start = (final_t - window).max(0.0);
+    let committed_at_window_start = series
+        .iter()
+        .find(|s| s.t_s >= window_start)
+        .map(|s| s.total)
+        .unwrap_or(0);
+    let recovery_tps = total_committed.saturating_sub(committed_at_window_start) as f64 / window;
+
+    let correct = cluster.correct_servers();
+    let fork_check = cluster.verify_no_fork(&correct);
+
+    let observer = correct.first().copied().unwrap_or(ServerId(0));
+    let reputations = cluster.reputations_at(observer).unwrap_or_default();
+    let max_tip = (0..n)
+        .filter_map(|i| cluster.committed_chain(ServerId(i)))
+        .filter_map(|chain| chain.last().map(|(tip, _)| *tip))
+        .max()
+        .unwrap_or(0);
+
+    let mut server_reports = Vec::new();
+    for i in 0..n {
+        let id = ServerId(i);
+        let stats = cluster.server_stats(id);
+        let tip = cluster
+            .committed_chain(id)
+            .and_then(|chain| chain.last().map(|(tip, _)| *tip))
+            .unwrap_or(0);
+        let mut node = Json::obj();
+        node.push("server", format!("s{i}"))
+            .push("behavior", format!("{:?}", cluster.behavior_of(id)))
+            .push(
+                "role",
+                cluster
+                    .role_of(id)
+                    .map(|r| Json::from(format!("{r:?}")))
+                    .unwrap_or(Json::Null),
+            )
+            .push(
+                "view",
+                cluster
+                    .view_of(id)
+                    .map(|(v, _)| Json::UInt(v.0))
+                    .unwrap_or(Json::Null),
+            )
+            .push("latest_seq", tip)
+            .push("commit_gap", max_tip.saturating_sub(tip));
+        if let Some(stats) = &stats {
+            node.push("committed_tx", stats.committed_tx)
+                .push("committed_blocks", stats.committed_blocks)
+                .push("views_installed", stats.views_installed)
+                .push("elections_won", stats.elections_won)
+                .push("campaigns_started", stats.campaigns_started);
+        }
+        if let Some((_, rp)) = reputations.iter().find(|(s, _)| *s == id) {
+            node.push("reputation_penalty", *rp);
+        }
+        server_reports.push(node);
+    }
+
+    // --- assert ---------------------------------------------------------
+    let mut failures = Vec::new();
+    if partition_incomplete {
+        failures.push(format!(
+            "the configured partition did not run to its heal within the {final_t:.1}s run \
+             (fired: {}, heal at {heal_s:.1}s) — extend duration_s or move partition.at_s \
+             earlier",
+            partition_window.is_some()
+        ));
+    }
+    if scenario.assert_no_fork {
+        match &fork_check {
+            Ok(prefix) => eprintln!(
+                "chaos_net: no-fork holds across {} correct servers \
+                 (identical up to sequence {prefix})",
+                correct.len()
+            ),
+            Err(message) => failures.push(format!("safety violated — {message}")),
+        }
+    }
+    if recovery_tps < scenario.recovery_floor_tps {
+        failures.push(format!(
+            "recovery throughput {recovery_tps:.0} tx/s over the trailing {window:.1}s is \
+             below the {:.0} tx/s floor",
+            scenario.recovery_floor_tps
+        ));
+    }
+    if committed_after_heal < scenario.min_committed_after {
+        failures.push(format!(
+            "only {committed_after_heal} tx committed after the fault window \
+             (need {})",
+            scenario.min_committed_after
+        ));
+    }
+
+    // --- report ---------------------------------------------------------
+    let mut chaos_obj = Json::obj();
+    chaos_obj
+        .push("delay_ms", scenario.delay_ms)
+        .push("jitter_ms", scenario.jitter_ms)
+        .push("loss", scenario.loss);
+    let partition_obj = match (&scenario.partition, partition_window) {
+        (Some(spec), Some((start, heal))) => {
+            let mut p = Json::obj();
+            p.push("mode", format!("{:?}", spec.mode))
+                .push(
+                    "server",
+                    partitioned_server
+                        .map(|s| format!("s{}", s.0))
+                        .unwrap_or_default(),
+                )
+                .push("started_s", start)
+                .push("healed_s", heal)
+                .push("duration_ms", spec.duration_ms);
+            p
+        }
+        _ => Json::Null,
+    };
+
+    let mut liveness = Vec::new();
+    for s in &series {
+        let mut entry = Json::obj();
+        entry
+            .push("t_s", s.t_s)
+            .push("committed_total", s.total)
+            .push(
+                "per_server_committed",
+                s.per_server
+                    .iter()
+                    .map(|&c| Json::from(c))
+                    .collect::<Vec<_>>(),
+            );
+        liveness.push(entry);
+    }
+
+    let mut report = Json::obj();
+    report
+        .push("bench", "chaos_net")
+        .push("scenario", scenario.name.as_str())
+        .push("transport", "loopback+chaos")
+        .push("servers", n)
+        .push("clients", scenario.clients)
+        .push("concurrency", scenario.concurrency)
+        .push("batch_size", scenario.batch_size)
+        .push("seed", scenario.seed)
+        .push("fault_plan", scenario.fault_plan.label())
+        .push("fault_count", scenario.fault_plan.count())
+        .push("strategy", scenario.strategy_label.as_str())
+        .push("chaos", chaos_obj)
+        .push("partition", partition_obj)
+        .push("measured_seconds", final_t)
+        .push("committed_tx", total_committed)
+        .push("tx_per_sec", overall_tps)
+        .push("committed_after_heal", committed_after_heal)
+        .push("recovery_window_s", window)
+        .push("recovery_tx_per_sec", recovery_tps)
+        .push(
+            "no_fork",
+            match &fork_check {
+                Ok(_) => Json::Bool(true),
+                Err(_) => Json::Bool(false),
+            },
+        )
+        .push(
+            "identical_prefix_seq",
+            match &fork_check {
+                Ok(prefix) => Json::UInt(*prefix),
+                Err(_) => Json::Null,
+            },
+        )
+        .push("nodes", Json::Arr(server_reports))
+        .push("liveness", Json::Arr(liveness))
+        .push("assertions_passed", failures.is_empty());
+
+    if !failures.is_empty() {
+        for i in 0..n {
+            if let Some(snapshot) = cluster.debug_snapshot(ServerId(i)) {
+                eprintln!("chaos_net: s{i} {snapshot}");
+            }
+        }
+    }
+
+    let rendered = report.render();
+    print!("{rendered}");
+    if let Err(e) = std::fs::write(out_path, &rendered) {
+        eprintln!("chaos_net: failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "chaos_net: {total_committed} tx in {final_t:.1}s ({overall_tps:.0} tx/s overall, \
+         {recovery_tps:.0} tx/s in the last {window:.1}s) -> {out_path}"
+    );
+
+    cluster.shutdown();
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures)
+    }
+}

@@ -80,6 +80,13 @@ fn run(args: &[String]) -> Result<(), String> {
 
     match config.role {
         NodeRole::Server(id) => {
+            let behavior = config.behavior();
+            if behavior.is_faulty() {
+                eprintln!(
+                    "prestige-node: server {id:?} runs ADVERSARIALLY as {behavior:?} \
+                     (from the [faults] section)"
+                );
+            }
             let handle = launch_tcp_server(
                 id,
                 config.cluster.clone(),
@@ -87,6 +94,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 config.seed,
                 config.listen,
                 config.peers.clone(),
+                behavior,
             )
             .map_err(|e| format!("binding {}: {e}", config.listen))?;
 

@@ -6,21 +6,52 @@
 //! loopback variant is what integration tests and the example use; the TCP
 //! variant backs multi-process deployments via the `prestige-node` binary
 //! (which launches exactly one node per process from a TOML config).
+//!
+//! Clusters can be launched *adversarially*: [`LocalCluster::launch_adversarial`]
+//! attaches per-server [`ByzantineBehavior`]s (the paper's F1–F4 attacks, with
+//! S1/S2 strategies) and an optional [`NetChaos`] controller that injects
+//! delay, loss, and partitions at the [`Transport`] seam while the cluster
+//! runs. Safety under those conditions is checked with
+//! [`LocalCluster::verify_no_fork`], which compares the digest-chained
+//! committed logs across replicas.
 
+use crate::chaos::{ChaosTransport, NetChaos};
 use crate::runtime::NodeHandle;
 use crate::tcp::{TcpConfig, TcpTransport};
-use crate::transport::LoopbackNet;
-use prestige_core::{ClientConfig, ClientStats, PrestigeClient, PrestigeServer, ServerStats};
+use crate::transport::{LoopbackNet, Transport};
+use prestige_core::{
+    ByzantineBehavior, ClientConfig, ClientStats, PrestigeClient, PrestigeServer, ServerStats,
+};
 use prestige_crypto::KeyRegistry;
-use prestige_types::{Actor, ClientId, ClusterConfig, Message, ServerId, View};
+use prestige_types::{Actor, ClientId, ClusterConfig, Digest, Message, ServerId, View};
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
+
+/// Wraps a transport endpoint in the chaos filter when a controller is
+/// attached. `salt` differentiates the per-endpoint loss/jitter RNG streams.
+fn maybe_chaotic(
+    endpoint: impl Transport<Message> + 'static,
+    chaos: &Option<NetChaos>,
+    seed: u64,
+    salt: u64,
+) -> Box<dyn Transport<Message>> {
+    match chaos {
+        Some(controller) => Box::new(ChaosTransport::new(
+            Box::new(endpoint),
+            controller.clone(),
+            seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        )),
+        None => Box::new(endpoint),
+    }
+}
 
 /// A PrestigeBFT cluster running on real node runtimes in this process.
 pub struct LocalCluster {
     config: ClusterConfig,
     net: LoopbackNet<Message>,
+    chaos: Option<NetChaos>,
+    behaviors: HashMap<ServerId, ByzantineBehavior>,
     servers: HashMap<ServerId, NodeHandle<Message>>,
     clients: HashMap<ClientId, NodeHandle<Message>>,
 }
@@ -28,23 +59,45 @@ pub struct LocalCluster {
 impl LocalCluster {
     /// Launches `config.n()` servers and `clients` closed-loop clients (each
     /// keeping `concurrency` proposals in flight) over a loopback transport.
+    /// All servers are correct and all links are healthy.
     pub fn launch(config: ClusterConfig, seed: u64, clients: u64, concurrency: usize) -> Self {
+        Self::launch_adversarial(config, seed, clients, concurrency, &[], None)
+    }
+
+    /// [`Self::launch`] under adversarial conditions: server `i` runs with
+    /// `behaviors[i]` (missing entries are [`ByzantineBehavior::Correct`]),
+    /// and, when `chaos` is given, every endpoint — servers and clients — is
+    /// wrapped in a [`ChaosTransport`] controlled by it, so partitions,
+    /// delay, and loss can be injected while the cluster runs.
+    pub fn launch_adversarial(
+        config: ClusterConfig,
+        seed: u64,
+        clients: u64,
+        concurrency: usize,
+        behaviors: &[ByzantineBehavior],
+        chaos: Option<NetChaos>,
+    ) -> Self {
         let registry = KeyRegistry::new(seed, config.n(), clients);
         let net: LoopbackNet<Message> = LoopbackNet::new();
 
+        let mut behavior_map = HashMap::new();
         let mut servers = HashMap::new();
         for i in 0..config.n() {
             let id = ServerId(i);
-            let mut server = PrestigeServer::new(id, config.clone(), registry.clone(), seed);
+            let behavior = behaviors.get(i as usize).copied().unwrap_or_default();
+            behavior_map.insert(id, behavior);
+            let mut server =
+                PrestigeServer::with_behavior(id, config.clone(), registry.clone(), seed, behavior);
             // `verify_workers > 0` moves signature/QC checks off the protocol
             // loop; the runtime polls the pool and feeds verdicts back as
             // events.
             let pool = (config.verify_workers > 0)
                 .then(|| server.spawn_verify_pool(config.verify_workers));
             let endpoint = net.endpoint(Actor::Server(id));
+            let transport = maybe_chaotic(endpoint, &chaos, seed, i as u64);
             servers.insert(
                 id,
-                NodeHandle::spawn_with_pool(Box::new(server), Box::new(endpoint), seed, pool),
+                NodeHandle::spawn_with_pool(Box::new(server), transport, seed, pool),
             );
         }
 
@@ -59,15 +112,15 @@ impl LocalCluster {
             );
             let client = PrestigeClient::new(cc, &registry);
             let endpoint = net.endpoint(Actor::Client(id));
-            client_handles.insert(
-                id,
-                NodeHandle::spawn(Box::new(client), Box::new(endpoint), seed),
-            );
+            let transport = maybe_chaotic(endpoint, &chaos, seed, 0x1_0000_0000u64 + c);
+            client_handles.insert(id, NodeHandle::spawn(Box::new(client), transport, seed));
         }
 
         LocalCluster {
             config,
             net,
+            chaos,
+            behaviors: behavior_map,
             servers,
             clients: client_handles,
         }
@@ -81,6 +134,16 @@ impl LocalCluster {
     /// The underlying loopback fabric (for advanced fault injection).
     pub fn net(&self) -> &LoopbackNet<Message> {
         &self.net
+    }
+
+    /// The chaos controller the cluster was launched with, if any.
+    pub fn chaos(&self) -> Option<&NetChaos> {
+        self.chaos.as_ref()
+    }
+
+    /// The Byzantine behaviour server `id` was launched with.
+    pub fn behavior_of(&self, id: ServerId) -> ByzantineBehavior {
+        self.behaviors.get(&id).copied().unwrap_or_default()
     }
 
     /// Live server stats snapshot.
@@ -125,6 +188,79 @@ impl LocalCluster {
             .inspect_as::<PrestigeServer, _, _>(|s| (s.current_view(), s.current_leader()))
     }
 
+    /// The current role of server `id` (follower / redeemer / candidate /
+    /// leader), for scenario reports and diagnostics.
+    pub fn role_of(&self, id: ServerId) -> Option<prestige_core::ServerRole> {
+        self.servers
+            .get(&id)?
+            .inspect_as::<PrestigeServer, _, _>(|s| s.role())
+    }
+
+    /// One-line live state snapshot of server `id`
+    /// ([`PrestigeServer::debug_snapshot`]), for failure diagnostics.
+    pub fn debug_snapshot(&self, id: ServerId) -> Option<String> {
+        self.servers
+            .get(&id)?
+            .inspect_as::<PrestigeServer, _, _>(|s| s.debug_snapshot())
+    }
+
+    /// The reputation penalties of every server as recorded in the latest
+    /// vcBlock installed at observer `id`, sorted by server.
+    pub fn reputations_at(&self, id: ServerId) -> Option<Vec<(ServerId, i64)>> {
+        let n = self.config.n();
+        self.servers
+            .get(&id)?
+            .inspect_as::<PrestigeServer, _, _>(move |s| {
+                (0..n)
+                    .map(|i| (ServerId(i), s.store().current_rp(ServerId(i))))
+                    .collect()
+            })
+    }
+
+    /// Snapshot of server `id`'s committed txBlock chain as
+    /// `(sequence number, digest)` pairs (genesis included).
+    pub fn committed_chain(&self, id: ServerId) -> Option<Vec<(u64, Digest)>> {
+        self.servers
+            .get(&id)?
+            .inspect_as::<PrestigeServer, _, _>(|s| s.store().chain_digests())
+    }
+
+    /// Safety check: verifies that the given servers' committed logs contain
+    /// **no fork** — wherever two replicas have committed a block at the same
+    /// sequence number, the block digests (and therefore, by chaining, the
+    /// whole prefix) are identical. Lagging replicas are fine; disagreeing
+    /// ones are not.
+    ///
+    /// Returns the highest sequence number committed on *every* checked
+    /// server (the guaranteed-identical common prefix), or a description of
+    /// the first divergence found.
+    pub fn verify_no_fork(&self, servers: &[ServerId]) -> Result<u64, String> {
+        let mut reference: HashMap<u64, (Digest, ServerId)> = HashMap::new();
+        let mut common_tip: Option<u64> = None;
+        for &id in servers {
+            let chain = self
+                .committed_chain(id)
+                .ok_or_else(|| format!("server {id:?} did not answer the chain snapshot"))?;
+            let tip = chain.last().map(|(n, _)| *n).unwrap_or(0);
+            common_tip = Some(common_tip.map_or(tip, |t| t.min(tip)));
+            for (n, digest) in chain {
+                match reference.get(&n) {
+                    Some((seen, owner)) if *seen != digest => {
+                        return Err(format!(
+                            "fork at sequence {n}: {id:?} committed {digest:?} but {owner:?} \
+                             committed {seen:?}"
+                        ));
+                    }
+                    Some(_) => {}
+                    None => {
+                        reference.insert(n, (digest, id));
+                    }
+                }
+            }
+        }
+        Ok(common_tip.unwrap_or(0))
+    }
+
     /// Crashes a server abruptly: its runtime thread stops and its endpoint
     /// deregisters, so all traffic toward it is dropped — exactly what a
     /// killed process looks like to the rest of the cluster.
@@ -138,6 +274,19 @@ impl LocalCluster {
     /// Server ids currently alive.
     pub fn live_servers(&self) -> Vec<ServerId> {
         let mut ids: Vec<ServerId> = self.servers.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Server ids currently alive and launched as correct (the replicas whose
+    /// logs the safety assertions compare).
+    pub fn correct_servers(&self) -> Vec<ServerId> {
+        let mut ids: Vec<ServerId> = self
+            .servers
+            .keys()
+            .copied()
+            .filter(|id| !self.behavior_of(*id).is_faulty())
+            .collect();
         ids.sort();
         ids
     }
@@ -175,6 +324,8 @@ impl LocalCluster {
 }
 
 /// Launches one server node over TCP, as the `prestige-node` binary does.
+/// `behavior` is the server's Byzantine behaviour — [`ByzantineBehavior::Correct`]
+/// for production nodes, an attack variant for adversarial deployments.
 /// Returns the runtime handle; the process typically parks afterwards.
 pub fn launch_tcp_server(
     id: ServerId,
@@ -183,11 +334,12 @@ pub fn launch_tcp_server(
     seed: u64,
     listen: SocketAddr,
     peers: HashMap<Actor, SocketAddr>,
+    behavior: ByzantineBehavior,
 ) -> std::io::Result<NodeHandle<Message>> {
     let transport: TcpTransport<Message> =
         TcpTransport::bind(Actor::Server(id), TcpConfig::new(listen, peers))?;
     let verify_workers = config.verify_workers;
-    let mut server = PrestigeServer::new(id, config, registry, seed);
+    let mut server = PrestigeServer::with_behavior(id, config, registry, seed, behavior);
     let pool = (verify_workers > 0).then(|| server.spawn_verify_pool(verify_workers));
     Ok(NodeHandle::spawn_with_pool(
         Box::new(server),

@@ -14,6 +14,9 @@
 //! batch_size = 100
 //! payload_size = 32
 //! clients = 1
+//! # pipeline_depth = 4     # leader replication window
+//! # verify_workers = 0     # off-loop crypto worker threads
+//! # rotation_ms = 10000.0  # timing view-change policy (r10); omit = on-failure-only
 //!
 //! [node]
 //! role = "server"     # or "client"
@@ -23,6 +26,15 @@
 //! concurrency = 64
 //! duration_s = 30.0
 //!
+//! # Optional adversarial deployment: which of the paper's §6.2 attacks the
+//! # *last* `count` servers of the cluster perform (every node derives the
+//! # same assignment from the shared file; this node misbehaves only if its
+//! # own id falls in that suffix).
+//! [faults]
+//! plan = "vc_quiet"   # none | timeout | quiet | equiv | vc_quiet | vc_equiv
+//! count = 1
+//! strategy = "s1"     # s1 = attack always, s2 = only when compensable
+//!
 //! [peers]
 //! s0 = "127.0.0.1:7000"
 //! s1 = "127.0.0.1:7001"
@@ -31,7 +43,9 @@
 //! c0 = "127.0.0.1:7100"
 //! ```
 
-use prestige_types::{Actor, ClientId, ClusterConfig, ServerId};
+use prestige_core::{AttackStrategy, ByzantineBehavior};
+use prestige_types::{Actor, ClientId, ClusterConfig, ServerId, ViewChangePolicy};
+use prestige_workloads::FaultPlan;
 use std::collections::{BTreeMap, HashMap};
 use std::net::SocketAddr;
 
@@ -197,6 +211,9 @@ pub struct NodeConfig {
     pub concurrency: usize,
     /// How long to run before reporting and exiting; `None` = run forever.
     pub duration_s: Option<f64>,
+    /// The cluster-wide fault plan (which servers misbehave and how);
+    /// [`FaultPlan::None`] for benign deployments.
+    pub fault_plan: FaultPlan,
     /// Address this node listens on (its own entry in `[peers]`).
     pub listen: SocketAddr,
     /// Peer addresses (including this node's own entry).
@@ -252,6 +269,11 @@ impl NodeConfig {
         if let Some(workers) = get("cluster", "verify_workers").and_then(TomlValue::as_int) {
             cluster.verify_workers = positive("cluster.verify_workers", workers)?;
         }
+        if let Some(ms) = get("cluster", "rotation_ms").and_then(TomlValue::as_float) {
+            if ms > 0.0 {
+                cluster.policy = ViewChangePolicy::Timing { interval_ms: ms };
+            }
+        }
         if let Some(ms) = get("timeouts", "base_timeout_ms").and_then(TomlValue::as_float) {
             cluster.timeouts.base_timeout_ms = ms;
         }
@@ -300,6 +322,32 @@ impl NodeConfig {
             .get(&role.actor())
             .ok_or_else(|| ConfigError::Missing(format!("peers entry for {}", role_text)))?;
 
+        let fault_plan = match get("faults", "plan").and_then(TomlValue::as_str) {
+            None => FaultPlan::None,
+            Some(label) => {
+                let count: u32 = positive(
+                    "faults.count",
+                    get("faults", "count")
+                        .and_then(TomlValue::as_int)
+                        .unwrap_or(1),
+                )?;
+                let strategy = match get("faults", "strategy").and_then(TomlValue::as_str) {
+                    None => AttackStrategy::Always,
+                    Some(text) => FaultPlan::parse_strategy(text).ok_or_else(|| {
+                        ConfigError::Invalid(format!(
+                            "faults.strategy `{text}` (expected s1 or s2)"
+                        ))
+                    })?,
+                };
+                FaultPlan::from_parts(label, count, strategy).ok_or_else(|| {
+                    ConfigError::Invalid(format!(
+                        "faults.plan `{label}` (expected none, timeout, quiet, equiv, vc_quiet, \
+                         or vc_equiv)"
+                    ))
+                })?
+            }
+        };
+
         let concurrency: usize = positive(
             "workload.concurrency",
             get("workload", "concurrency")
@@ -315,9 +363,21 @@ impl NodeConfig {
             clients,
             concurrency,
             duration_s,
+            fault_plan,
             listen,
             peers,
         })
+    }
+
+    /// The Byzantine behaviour this node runs with under the configured
+    /// fault plan. Clients are always correct; a server misbehaves only when
+    /// its id falls in the plan's faulty suffix — every process derives the
+    /// same assignment from the shared cluster file.
+    pub fn behavior(&self) -> ByzantineBehavior {
+        match self.role {
+            NodeRole::Server(id) => self.fault_plan.behavior_of(self.cluster.n(), id.0),
+            NodeRole::Client(_) => ByzantineBehavior::Correct,
+        }
     }
 }
 
@@ -391,6 +451,59 @@ c1 = "127.0.0.1:7101"
         let cfg = NodeConfig::from_toml(SAMPLE, Some("c1")).unwrap();
         assert_eq!(cfg.role, NodeRole::Client(ClientId(1)));
         assert_eq!(cfg.listen, "127.0.0.1:7101".parse().unwrap());
+    }
+
+    #[test]
+    fn benign_config_has_no_faults_and_failure_only_policy() {
+        let cfg = NodeConfig::from_toml(SAMPLE, None).unwrap();
+        assert_eq!(cfg.fault_plan, FaultPlan::None);
+        assert_eq!(cfg.behavior(), ByzantineBehavior::Correct);
+        assert_eq!(cfg.cluster.policy, ViewChangePolicy::OnFailureOnly);
+    }
+
+    #[test]
+    fn fault_plan_and_rotation_policy_parse() {
+        let text =
+            format!("{SAMPLE}\n[faults]\nplan = \"vc_quiet\"\ncount = 1\nstrategy = \"s2\"\n");
+        let text = text.replace("n = 4", "n = 4\nrotation_ms = 5000.0");
+        let cfg = NodeConfig::from_toml(&text, Some("s3")).unwrap();
+        assert_eq!(
+            cfg.fault_plan,
+            FaultPlan::RepeatedVcQuiet {
+                count: 1,
+                strategy: AttackStrategy::WhenCompensable,
+            }
+        );
+        // s3 is the last server of 4 → it is the faulty one; s0 stays correct.
+        assert_eq!(
+            cfg.behavior(),
+            ByzantineBehavior::RepeatedVcQuiet(AttackStrategy::WhenCompensable)
+        );
+        let correct = NodeConfig::from_toml(&text, Some("s0")).unwrap();
+        assert_eq!(correct.behavior(), ByzantineBehavior::Correct);
+        // Clients under the same plan stay correct.
+        let client = NodeConfig::from_toml(&text, Some("c0")).unwrap();
+        assert_eq!(client.behavior(), ByzantineBehavior::Correct);
+        assert_eq!(
+            cfg.cluster.policy,
+            ViewChangePolicy::Timing {
+                interval_ms: 5000.0
+            }
+        );
+    }
+
+    #[test]
+    fn bad_fault_plan_and_strategy_are_rejected() {
+        let bad_plan = format!("{SAMPLE}\n[faults]\nplan = \"nonsense\"\n");
+        assert!(matches!(
+            NodeConfig::from_toml(&bad_plan, None),
+            Err(ConfigError::Invalid(_))
+        ));
+        let bad_strategy = format!("{SAMPLE}\n[faults]\nplan = \"vc_equiv\"\nstrategy = \"s9\"\n");
+        assert!(matches!(
+            NodeConfig::from_toml(&bad_strategy, None),
+            Err(ConfigError::Invalid(_))
+        ));
     }
 
     #[test]

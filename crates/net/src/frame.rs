@@ -25,7 +25,7 @@ pub const MAGIC: [u8; 4] = *b"PBFT";
 
 /// Version of the body encoding. Bump on any change to the serde stand-in's
 /// format or to message layouts.
-pub const WIRE_VERSION: u16 = 1;
+pub const WIRE_VERSION: u16 = 2;
 
 /// Default upper bound on a frame body (16 MiB — a full batch of maximum-size
 /// proposals plus QCs fits comfortably).

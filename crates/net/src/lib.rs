@@ -21,6 +21,13 @@
 //!    cluster bring-up for tests, plus the TOML-configured building blocks
 //!    the `prestige-node` binary uses for multi-process deployments.
 //!
+//! On top of these sits the **adversarial harness**: [`chaos`] injects link
+//! delay, loss, and (a)symmetric partitions with scheduled heal at the
+//! `Transport` seam, [`cluster::LocalCluster::launch_adversarial`] attaches
+//! the paper's Byzantine behaviours (F1–F4, S1/S2) to real nodes, and the
+//! `chaos_net` binary runs declarative attack scenarios with no-fork and
+//! recovery assertions (see `docs/ATTACKS.md`).
+//!
 //! ## Why the simulator and the runtime can share protocol code
 //!
 //! `prestige-core` servers and clients are deterministic event handlers: they
@@ -49,6 +56,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod cluster;
 pub mod config;
 pub mod frame;
@@ -56,6 +64,7 @@ pub mod runtime;
 pub mod tcp;
 pub mod transport;
 
+pub use chaos::{ChaosTransport, NetChaos};
 pub use cluster::{launch_tcp_client, launch_tcp_server, LocalCluster};
 pub use config::{NodeConfig, NodeRole};
 pub use frame::{BufferPool, FrameCodec, FrameError, DEFAULT_MAX_FRAME, MAGIC, WIRE_VERSION};

@@ -120,9 +120,9 @@ impl TransportStats {
         drops
     }
 
-    /// True at most once per [`DROP_WARN_INTERVAL`]: gates drop-warning log
-    /// lines so a hot loop losing thousands of messages per second emits a
-    /// bounded number of them.
+    /// True at most once per drop-warn interval (one second): gates
+    /// drop-warning log lines so a hot loop losing thousands of messages per
+    /// second emits a bounded number of them.
     pub fn should_warn(&self) -> bool {
         let mut last = self.last_drop_warn.lock().expect("warn gate lock");
         match *last {
@@ -162,6 +162,34 @@ pub(crate) fn warn_inbound_drop(
 
 /// A bidirectional message channel binding one actor to the rest of the
 /// cluster.
+///
+/// The node runtime drives a `Process` against this trait only, so the same
+/// protocol code runs over loopback channels, TCP sockets, or a
+/// chaos-wrapped transport injecting partitions and loss
+/// ([`ChaosTransport`](crate::chaos::ChaosTransport)).
+///
+/// # Examples
+///
+/// ```
+/// use prestige_net::transport::{LoopbackNet, Transport};
+/// use prestige_types::{Actor, ServerId};
+/// use std::time::Duration;
+///
+/// let net: LoopbackNet<&'static str> = LoopbackNet::new();
+/// let s0 = Actor::Server(ServerId(0));
+/// let s1 = Actor::Server(ServerId(1));
+/// let mut a = net.endpoint(s0);
+/// let mut b = net.endpoint(s1);
+///
+/// a.send(s1, "ping");
+/// let (from, message) = b.recv_timeout(Duration::from_secs(1)).unwrap();
+/// assert_eq!((from, message), (s0, "ping"));
+///
+/// // Delivery is counted on both sides; sends never block, they drop
+/// // under backpressure (and the drop is counted too).
+/// assert_eq!(a.stats().snapshot(), (1, 0, 0)); // (sent, received, dropped)
+/// assert_eq!(b.stats().snapshot(), (0, 1, 0));
+/// ```
 pub trait Transport<M>: Send {
     /// The actor this endpoint belongs to.
     fn me(&self) -> Actor;

@@ -59,6 +59,32 @@ pub struct RpOutcome {
 }
 
 /// The reputation engine. One per server; stateless apart from configuration.
+///
+/// # Examples
+///
+/// The paper's Appendix C campaign for view 6 after replicating 20 txBlocks:
+/// the view jump raises the penalty to 6, but the replication history earns a
+/// compensation of 1, so the installed penalty stays 5 and the compensation
+/// index advances to the consumed log position:
+///
+/// ```
+/// use prestige_reputation::{CalcRpInput, ReputationEngine};
+/// use prestige_types::{SeqNum, View};
+///
+/// let engine = ReputationEngine::default();
+/// let outcome = engine.calc_rp(&CalcRpInput {
+///     current_view: View(5),
+///     new_view: View(6),
+///     current_rp: 5,
+///     current_ci: 1,
+///     latest_tx_seq: SeqNum(20),
+///     penalty_history: vec![1, 2, 3, 4, 5],
+/// });
+/// assert!(outcome.compensated);
+/// assert_eq!(outcome.rp_temp, 6);
+/// assert_eq!(outcome.new_rp, 5);
+/// assert_eq!(outcome.new_ci, 20);
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReputationEngine {
     config: ReputationConfig,

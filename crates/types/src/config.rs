@@ -164,6 +164,27 @@ impl ViewChangePolicy {
 }
 
 /// Full cluster configuration shared by PrestigeBFT and the baselines.
+///
+/// # Examples
+///
+/// Quorum sizes derive from `n`, and the builder setters compose:
+///
+/// ```
+/// use prestige_types::{ClusterConfig, TimeoutConfig, ViewChangePolicy};
+///
+/// let config = ClusterConfig::new(4)
+///     .with_batch_size(500)
+///     .with_timeouts(TimeoutConfig::fast())
+///     .with_pipeline_depth(8)
+///     .with_policy(ViewChangePolicy::r10());
+/// assert_eq!(config.f(), 1);
+/// assert_eq!(config.quorum(), 3);
+/// assert_eq!(config.batch_size, 500);
+/// assert_eq!(
+///     config.policy,
+///     ViewChangePolicy::Timing { interval_ms: 10_000.0 }
+/// );
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct ClusterConfig {

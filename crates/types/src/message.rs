@@ -223,6 +223,12 @@ pub enum Message {
         /// Sequence number of the candidate's latest committed txBlock
         /// (criterion C3 input).
         latest_seq: SeqNum,
+        /// Highest sequence number the candidate holds *ordered batches* for,
+        /// contiguously above `latest_seq` (criterion C3 input: a voter that
+        /// has commit-signed an instance beyond this refuses the vote, so an
+        /// elected leader can always re-propose every possibly-committed
+        /// instance at its original sequence number).
+        latest_ord_seq: SeqNum,
         /// Digest of that txBlock (puzzle input and sync anchor).
         latest_tx_digest: Digest,
         /// The candidate's signature.
@@ -407,7 +413,7 @@ impl Wire for Message {
             Message::ConfVC { .. } => BASE + 24,
             Message::ReVC { .. } => BASE + 24 + 36,
             Message::Camp { conf_qc, .. } => {
-                BASE + 96 + conf_qc.as_ref().map(|q| q.wire_size()).unwrap_or(0)
+                BASE + 104 + conf_qc.as_ref().map(|q| q.wire_size()).unwrap_or(0)
             }
             Message::VoteCP { .. } => BASE + 12 + 36,
             Message::NewVcBlock { block, .. } => BASE + block.wire_size(),

@@ -56,12 +56,9 @@ impl FaultPlan {
         }
     }
 
-    /// The per-server behaviour vector for a cluster of `n` servers. Faulty
-    /// servers are the last `count` servers, so the initial leader (S1) starts
-    /// correct — matching the paper's setups.
-    pub fn behaviors(&self, n: u32) -> Vec<ByzantineBehavior> {
-        let count = self.count().min(n);
-        let behavior = match self {
+    /// The behaviour this plan's faulty servers perform.
+    fn faulty_behavior(&self) -> ByzantineBehavior {
+        match self {
             FaultPlan::None => ByzantineBehavior::Correct,
             FaultPlan::TimeoutAttack { .. } => ByzantineBehavior::TimeoutAttack,
             FaultPlan::Quiet { .. } => ByzantineBehavior::Quiet,
@@ -72,16 +69,52 @@ impl FaultPlan {
             FaultPlan::RepeatedVcEquivocate { strategy, .. } => {
                 ByzantineBehavior::RepeatedVcEquivocate(*strategy)
             }
-        };
-        (0..n)
-            .map(|i| {
-                if i >= n - count {
-                    behavior
-                } else {
-                    ByzantineBehavior::Correct
-                }
-            })
-            .collect()
+        }
+    }
+
+    /// The per-server behaviour vector for a cluster of `n` servers. Faulty
+    /// servers are the last `count` servers, so the initial leader (S1) starts
+    /// correct — matching the paper's setups.
+    pub fn behaviors(&self, n: u32) -> Vec<ByzantineBehavior> {
+        (0..n).map(|i| self.behavior_of(n, i)).collect()
+    }
+
+    /// The behaviour of server `id` in a cluster of `n` servers under this
+    /// plan — [`Self::behaviors`] without materializing the whole vector,
+    /// for single-node launchers like `prestige-node`. Ids outside the
+    /// cluster are correct.
+    pub fn behavior_of(&self, n: u32, id: u32) -> ByzantineBehavior {
+        let count = self.count().min(n);
+        if id < n && id >= n - count {
+            self.faulty_behavior()
+        } else {
+            ByzantineBehavior::Correct
+        }
+    }
+
+    /// Parses a plan from its label plus a fault count and F4 strategy
+    /// (ignored by non-F4 plans), as scenario files and node configs spell
+    /// it. Inverse of [`Self::label`]; returns `None` for unknown labels.
+    pub fn from_parts(label: &str, count: u32, strategy: AttackStrategy) -> Option<FaultPlan> {
+        Some(match label {
+            "none" => FaultPlan::None,
+            "timeout" => FaultPlan::TimeoutAttack { count },
+            "quiet" => FaultPlan::Quiet { count },
+            "equiv" => FaultPlan::Equivocate { count },
+            "vc_quiet" => FaultPlan::RepeatedVcQuiet { count, strategy },
+            "vc_equiv" => FaultPlan::RepeatedVcEquivocate { count, strategy },
+            _ => return None,
+        })
+    }
+
+    /// Parses an attack strategy from its paper name: `s1` (attack at every
+    /// opportunity) or `s2` (attack only when compensable).
+    pub fn parse_strategy(text: &str) -> Option<AttackStrategy> {
+        match text {
+            "s1" | "S1" | "always" => Some(AttackStrategy::Always),
+            "s2" | "S2" | "compensable" => Some(AttackStrategy::WhenCompensable),
+            _ => None,
+        }
     }
 
     /// Short suffix used in scenario names (`quiet`, `equiv`, ...).
@@ -125,6 +158,64 @@ mod tests {
         assert_eq!(
             plan.behaviors(4).iter().filter(|x| x.is_faulty()).count(),
             4
+        );
+    }
+
+    #[test]
+    fn from_parts_round_trips_every_label() {
+        for plan in [
+            FaultPlan::None,
+            FaultPlan::TimeoutAttack { count: 2 },
+            FaultPlan::Quiet { count: 2 },
+            FaultPlan::Equivocate { count: 2 },
+            FaultPlan::RepeatedVcQuiet {
+                count: 2,
+                strategy: AttackStrategy::Always,
+            },
+            FaultPlan::RepeatedVcEquivocate {
+                count: 2,
+                strategy: AttackStrategy::Always,
+            },
+        ] {
+            let count = if plan == FaultPlan::None { 0 } else { 2 };
+            assert_eq!(
+                FaultPlan::from_parts(plan.label(), count, AttackStrategy::Always),
+                Some(plan)
+            );
+        }
+        assert_eq!(
+            FaultPlan::from_parts("bogus", 1, AttackStrategy::Always),
+            None
+        );
+    }
+
+    #[test]
+    fn strategy_labels_parse() {
+        assert_eq!(
+            FaultPlan::parse_strategy("s1"),
+            Some(AttackStrategy::Always)
+        );
+        assert_eq!(
+            FaultPlan::parse_strategy("S2"),
+            Some(AttackStrategy::WhenCompensable)
+        );
+        assert_eq!(FaultPlan::parse_strategy("s3"), None);
+    }
+
+    #[test]
+    fn behavior_of_matches_behaviors_vector() {
+        let plan = FaultPlan::RepeatedVcQuiet {
+            count: 1,
+            strategy: AttackStrategy::Always,
+        };
+        let all = plan.behaviors(4);
+        for id in 0..4 {
+            assert_eq!(plan.behavior_of(4, id), all[id as usize]);
+        }
+        assert_eq!(
+            plan.behavior_of(4, 99),
+            ByzantineBehavior::Correct,
+            "out-of-range ids default to correct"
         );
     }
 

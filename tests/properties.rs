@@ -452,6 +452,7 @@ proptest! {
             nonce,
             hash_result: Digest(hash),
             latest_seq: SeqNum(9),
+            latest_ord_seq: SeqNum(11),
             latest_tx_digest: Digest(hash),
             sig: [1u8; 32],
         };
