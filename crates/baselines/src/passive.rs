@@ -909,6 +909,7 @@ impl PassiveBftServer {
             Message::SyncResp {
                 vc_blocks: Vec::new(),
                 tx_blocks: blocks,
+                ordered: Vec::new(),
             },
         );
     }

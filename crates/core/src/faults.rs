@@ -47,6 +47,13 @@ pub enum ByzantineBehavior {
     /// F4 combined with F3: repeatedly campaign for leadership and, once in
     /// power, equivocate.
     RepeatedVcEquivocate(AttackStrategy),
+    /// F5 (this repository's extension, targeting the certified recovery
+    /// plane): repeatedly campaign for leadership like F4, but **overstate
+    /// the certified ordered-tip claim** (`Camp.latest_ord_seq`) without
+    /// holding the ordering QCs that would prove it. Before wire v3 this
+    /// attack won elections and could overwrite a possibly-committed
+    /// instance; the per-instance certificate check exists to refuse it.
+    OverclaimTip(AttackStrategy),
 }
 
 impl ByzantineBehavior {
@@ -78,20 +85,29 @@ impl ByzantineBehavior {
         )
     }
 
-    /// True if this behaviour launches repeated view-change campaigns (F4).
+    /// True if this behaviour launches repeated view-change campaigns
+    /// (F4, and the F5 tip liar which campaigns the same way).
     pub fn attacks_view_changes(&self) -> bool {
         matches!(
             self,
-            ByzantineBehavior::RepeatedVcQuiet(_) | ByzantineBehavior::RepeatedVcEquivocate(_)
+            ByzantineBehavior::RepeatedVcQuiet(_)
+                | ByzantineBehavior::RepeatedVcEquivocate(_)
+                | ByzantineBehavior::OverclaimTip(_)
         )
     }
 
-    /// The F4 strategy, if any.
+    /// True if this behaviour overstates its certified ordered-tip claim
+    /// when campaigning (F5).
+    pub fn overclaims_tip(&self) -> bool {
+        matches!(self, ByzantineBehavior::OverclaimTip(_))
+    }
+
+    /// The F4/F5 strategy, if any.
     pub fn strategy(&self) -> Option<AttackStrategy> {
         match self {
-            ByzantineBehavior::RepeatedVcQuiet(s) | ByzantineBehavior::RepeatedVcEquivocate(s) => {
-                Some(*s)
-            }
+            ByzantineBehavior::RepeatedVcQuiet(s)
+            | ByzantineBehavior::RepeatedVcEquivocate(s)
+            | ByzantineBehavior::OverclaimTip(s) => Some(*s),
             _ => None,
         }
     }
@@ -152,5 +168,20 @@ mod tests {
     fn timeout_attack_flag() {
         assert!(ByzantineBehavior::TimeoutAttack.mimics_timeouts());
         assert!(ByzantineBehavior::TimeoutAttack.is_faulty());
+    }
+
+    #[test]
+    fn tip_liar_campaigns_but_is_otherwise_benign_looking() {
+        let f5 = ByzantineBehavior::OverclaimTip(AttackStrategy::Always);
+        assert!(f5.is_faulty());
+        assert!(f5.attacks_view_changes());
+        assert!(f5.overclaims_tip());
+        assert_eq!(f5.strategy(), Some(AttackStrategy::Always));
+        // The lie lives only in its campaign claims: it neither goes quiet
+        // nor equivocates, so nothing but the certificate check can flag it.
+        assert!(!f5.silent_as_follower());
+        assert!(!f5.silent_as_leader());
+        assert!(!f5.equivocates());
+        assert!(!ByzantineBehavior::RepeatedVcQuiet(AttackStrategy::Always).overclaims_tip());
     }
 }

@@ -20,6 +20,12 @@
 //! * a closed-loop **client** ([`client`]) that proposes transactions,
 //!   collects `f + 1` notifications, and complains about unresponsive leaders.
 //!
+//! * the **certified recovery plane**: PBFT-new-view-style certified
+//!   view-change state transfer (campaign tip claims proven by ordering
+//!   QCs — see `view_change::certify`) and a first-class rate-limited
+//!   sync/retransmission subsystem (`sync`) that repairs stalled quorum
+//!   rounds without a view change.
+//!
 //! The crate has no I/O: all communication goes through the simulator's
 //! context, so every experiment is reproducible from a seed.
 

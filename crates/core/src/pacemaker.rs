@@ -30,6 +30,11 @@ pub mod timer_tags {
     pub const ATTACK: u64 = 8;
     /// Randomized back-off before campaigning for a policy-driven rotation.
     pub const POLICY_CAMPAIGN: u64 = 9;
+    /// Periodic recovery-plane repair tick: a server whose committed tip has
+    /// stalled requests the missing committed blocks or certified ordered
+    /// batches from a rotating peer instead of waiting for the
+    /// client-complaint → view-change path.
+    pub const SYNC_REPAIR: u64 = 10;
 }
 
 /// Server-side timing logic.

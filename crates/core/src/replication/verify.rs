@@ -1,0 +1,227 @@
+//! Certificate validation and the in-order apply path, shared by live
+//! `CommitBlock` broadcasts and blocks acquired through sync.
+
+use crate::server::{PendingVerify, PrestigeServer};
+use prestige_crypto::VerifyJob;
+use prestige_sim::Context;
+use prestige_types::{Actor, ClientId, Message, QcKind, SyncKind, TxBlock};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+impl PrestigeServer {
+    /// Shared QC validation + apply path for `CommitBlock` broadcasts and
+    /// synced txBlocks: structural checks, memoized QC verification (off-loop
+    /// when a pool is attached), then [`Self::apply_committed_block`].
+    pub(crate) fn verify_and_apply_block(
+        &mut self,
+        block: Arc<TxBlock>,
+        ctx: &mut Context<Message>,
+    ) {
+        let quorum = self.config.quorum();
+        let structurally_ok = match (&block.ordering_qc, &block.commit_qc) {
+            (Some(o), Some(c)) => {
+                o.kind == QcKind::Ordering
+                    && c.kind == QcKind::Commit
+                    && o.seq == block.n
+                    && c.seq == block.n
+            }
+            _ => false,
+        };
+        if !structurally_ok {
+            return;
+        }
+        // Collect the certificates not yet known valid.
+        let mut jobs = Vec::new();
+        let mut memo = Vec::new();
+        for qc in [&block.ordering_qc, &block.commit_qc] {
+            let qc = qc.as_ref().expect("structurally checked");
+            let key = Self::qc_memo_key(qc, quorum);
+            if self.verified_qcs.contains(&key) {
+                self.stats.qc_cache_hits += 1;
+            } else {
+                jobs.push(VerifyJob::Qc {
+                    qc: qc.clone(),
+                    threshold: quorum,
+                });
+                memo.push(key);
+            }
+        }
+        if jobs.is_empty() {
+            self.apply_committed_block(block, ctx);
+            return;
+        }
+        if self.has_async_verify() {
+            self.offload_verify(
+                VerifyJob::All(jobs),
+                PendingVerify::CommitBlock { block, memo },
+            );
+            return;
+        }
+        for (job, key) in jobs.iter().zip(&memo) {
+            self.charge_verify_cost(ctx);
+            if !self.verify_inline(job) {
+                return;
+            }
+            self.memoize_qc(*key);
+        }
+        self.apply_committed_block(block, ctx);
+    }
+
+    /// Applies a committed block locally: store it, update bookkeeping, and
+    /// notify the owning clients. Blocks arriving ahead of a gap are buffered
+    /// so every replica applies the log in the same order.
+    ///
+    /// Returns the shared block — the stored, chain-linked form when it was
+    /// applied in order — so a leader can fan it out without another copy.
+    pub(crate) fn apply_committed_block(
+        &mut self,
+        block: Arc<TxBlock>,
+        ctx: &mut Context<Message>,
+    ) -> Arc<TxBlock> {
+        if block.n <= self.store.latest_seq() {
+            return block;
+        }
+        if block.n.0 > self.store.latest_seq().0 + 1 {
+            self.pending_commit_blocks
+                .insert(block.n.0, Arc::clone(&block));
+            // A gap means the predecessors' broadcasts were lost (shed under
+            // backpressure or cut by a partition): ask the leader to close it
+            // rather than waiting forever. Rate-limited — with an off-loop
+            // verify pool, out-of-order verdicts park blocks briefly all the
+            // time and usually resolve by themselves. The sync repair timer
+            // re-asks a *rotating* peer if the leader itself is unreachable.
+            self.request_sync(
+                Actor::Server(self.current_leader()),
+                SyncKind::Transaction,
+                self.store.latest_seq().0 + 1,
+                block.n.0 - 1,
+                ctx,
+            );
+            return block;
+        }
+        let n = block.n;
+        self.apply_in_order(block, ctx);
+        // Drain any buffered successors that are now contiguous.
+        while let Some((&next, _)) = self.pending_commit_blocks.iter().next() {
+            if next != self.store.latest_seq().0 + 1 {
+                break;
+            }
+            let block = self.pending_commit_blocks.remove(&next).expect("present");
+            self.apply_in_order(block, ctx);
+        }
+        // `n` was beyond `latest_seq` and contiguous, so `apply_in_order`
+        // inserted it (or an identical block already present won the race).
+        self.store
+            .tx_block_shared(n)
+            .expect("in-order block was just inserted")
+    }
+
+    /// Applies one block whose predecessor is already committed.
+    pub(crate) fn apply_in_order(&mut self, block: Arc<TxBlock>, ctx: &mut Context<Message>) {
+        let n = block.n;
+        let view = block.view;
+        // One pass over the batch does all the per-transaction bookkeeping:
+        // snapshot the keys, record them as committed, and — the
+        // execution-layer half of the double-assign defense — detect
+        // transactions that already committed in an earlier block (the
+        // insert's return value *is* the duplicate check). Duplicates are
+        // marked `status = false` before the block is stored; the rule is a
+        // pure function of the committed prefix, so every replica derives
+        // the same statuses, and the chain digest (which covers transaction
+        // identities, not statuses) is unaffected.
+        let mut block = block;
+        let mut committed_keys: Vec<(ClientId, u64)> = Vec::with_capacity(block.tx.len());
+        let mut duplicates: Vec<usize> = Vec::new();
+        for (i, tx) in block.tx.iter().enumerate() {
+            let key = tx.key();
+            committed_keys.push(key);
+            if !self.committed_tx_keys.insert(key) {
+                duplicates.push(i);
+            }
+        }
+        if !duplicates.is_empty() {
+            let inner = Arc::make_mut(&mut block);
+            for i in duplicates {
+                if inner.status[i] {
+                    inner.status[i] = false;
+                    self.stats.duplicate_tx_suppressed += 1;
+                }
+            }
+        }
+        if !self.store.insert_tx_block(block) {
+            // Conflicting block at `n` (never on honest paths): the keys
+            // recorded above make `committed_tx_keys` a harmless superset.
+            return;
+        }
+        self.stats.committed_blocks += 1;
+        self.stats.committed_tx += committed_keys.len() as u64;
+        self.stats
+            .commit_log
+            .push((ctx.now().as_ms(), committed_keys.len() as u64));
+
+        // Clear complaint state and pending proposals for committed keys.
+        // The complaint/ordered-only maps are empty in steady state, so the
+        // per-key removals (a hash each) are gated on non-emptiness.
+        for key in &committed_keys {
+            self.seen_tx.insert(*key);
+        }
+        if !self.complaints.is_empty() {
+            for key in &committed_keys {
+                self.complaints.remove(key);
+            }
+        }
+        if !self.ordered_only_keys.is_empty() {
+            for key in &committed_keys {
+                self.ordered_only_keys.remove(key);
+            }
+        }
+        if !self.pending_proposals.is_empty() {
+            let committed: prestige_types::KeySet<_> = committed_keys.iter().copied().collect();
+            self.pending_proposals
+                .retain(|p| !committed.contains(&p.tx.key()));
+        }
+        // A committed block from a higher view is proof this server missed a
+        // view change (it refused an uncoverable vcBlock, or the install
+        // traffic was lost): fetch the missing vcBlocks so it rejoins the
+        // live view instead of replicating by sync forever. Rate-limited
+        // through the usual request path.
+        if view > self.store.current_view() {
+            let peer = self.next_sync_peer();
+            self.request_sync(
+                peer,
+                SyncKind::ViewChange,
+                self.store.current_view().0 + 1,
+                view.0,
+                ctx,
+            );
+        }
+        self.ordered_digests.remove(&n.0);
+        self.ordered_batches.remove(&n.0);
+        self.ord_qcs.remove(&n.0);
+        self.signed_commit_info.remove(&n.0);
+        // A leader may learn of this commit externally (a straggler
+        // `CommitBlock` from the previous view racing a re-proposed
+        // instance, or sync): the in-flight instance is complete either way.
+        // Without this, the slot would leak from the pipeline window and the
+        // dead instance would be retransmitted forever.
+        self.inflight.remove(&n.0);
+
+        // Notify clients: one Notif per client listing its committed keys.
+        let mut by_client: BTreeMap<ClientId, Vec<(ClientId, u64)>> = BTreeMap::new();
+        for key in committed_keys {
+            by_client.entry(key.0).or_default().push(key);
+        }
+        for (client, tx_keys) in by_client {
+            let sig = self.sign(&n.0.to_be_bytes());
+            ctx.send(
+                Actor::Client(client),
+                Message::Notif {
+                    tx_keys,
+                    seq: n,
+                    view,
+                    sig,
+                },
+            );
+        }
+    }
+}

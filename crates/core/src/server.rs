@@ -18,8 +18,8 @@ use prestige_crypto::{
 use prestige_reputation::{RefreshTracker, ReputationEngine};
 use prestige_sim::{Context, Process, SimTime, TimerId};
 use prestige_types::{
-    Actor, ClientId, ClusterConfig, Digest, Message, Proposal, QuorumCertificate, SeqNum, ServerId,
-    TxBlock, VcBlock, View,
+    Actor, ClientId, ClusterConfig, Digest, KeyMap, KeySet, Message, Proposal, QuorumCertificate,
+    SeqNum, ServerId, TxBlock, VcBlock, View,
 };
 use serde::{Deserialize, Serialize};
 use std::any::Any;
@@ -81,6 +81,22 @@ pub struct ServerStats {
     /// (memo cache hit, e.g. an ordering QC seen via `Cmt` and again inside
     /// the `CommitBlock`).
     pub qc_cache_hits: u64,
+    /// Sync requests this server sent through the rate-limited repair path.
+    pub sync_reqs_sent: u64,
+    /// Sync requests this server refused to serve because the requester
+    /// exceeded the per-peer rate limit.
+    pub sync_throttled: u64,
+    /// Campaigns refused because the certified tip claim did not check out
+    /// (missing/short certificate, stale certificate view, forged QC, or an
+    /// uncertified committed-tip claim).
+    pub camp_cert_refusals: u64,
+    /// `Ord` messages refused because the batch re-assigned an
+    /// already-committed transaction (the Byzantine double-assign check).
+    pub double_assign_refused: u64,
+    /// Transactions whose `status` was forced to `false` at apply time
+    /// because they had already committed in an earlier block (the
+    /// execution-layer half of the double-assign defense).
+    pub duplicate_tx_suppressed: u64,
 }
 
 /// A leader's in-flight replication instance (one per sequence number).
@@ -168,8 +184,15 @@ pub(crate) struct CampaignState {
     pub(crate) tx_digest: Digest,
     /// The latest committed sequence number at campaign time.
     pub(crate) tx_seq: SeqNum,
-    /// The contiguous ordered tip at campaign time (criterion C3 claim).
+    /// The *certified* contiguous ordered tip at campaign time (criterion C3
+    /// claim — every instance in `(tx_seq, ord_seq]` is backed by an entry
+    /// of `tip_cert`).
     pub(crate) ord_seq: SeqNum,
+    /// Proof of `tx_seq`: the commit QC of the latest committed block
+    /// (`None` only at genesis).
+    pub(crate) commit_cert: Option<QuorumCertificate>,
+    /// Proof of `ord_seq`: ordering QCs for `(tx_seq, ord_seq]`, ascending.
+    pub(crate) tip_cert: Vec<QuorumCertificate>,
 }
 
 /// A relayed client complaint waiting for the leader to act.
@@ -199,7 +222,9 @@ pub struct PrestigeServer {
     /// Proposals received but not yet ordered (leader side).
     pub(crate) pending_proposals: Vec<Proposal>,
     /// Transaction keys already committed or currently pending, for dedup.
-    pub(crate) seen_tx: HashSet<(ClientId, u64)>,
+    /// Keyed with the fast mixer ([`prestige_types::hashkey`]): these sets
+    /// absorb several operations per transaction on the hot path.
+    pub(crate) seen_tx: KeySet<(ClientId, u64)>,
     /// The next sequence number a leader will assign.
     pub(crate) next_seq: SeqNum,
     /// Leader-side in-flight instances keyed by sequence number.
@@ -216,7 +241,7 @@ pub struct PrestigeServer {
     /// a client `Prop`, never committed). Commits prune it — by key, in any
     /// block — so view-change materialization cannot re-propose a
     /// transaction that already committed under a different sequence number.
-    pub(crate) ordered_only_keys: HashSet<(ClientId, u64)>,
+    pub(crate) ordered_only_keys: KeySet<(ClientId, u64)>,
     /// Committed blocks received out of order, waiting for their predecessors
     /// so the digest chain stays identical on every replica. Shared handles:
     /// buffering never copies a block.
@@ -229,9 +254,41 @@ pub struct PrestigeServer {
     /// elected leader can re-propose every possibly-committed instance at
     /// its original sequence number. Monotonic; never reset.
     pub(crate) signed_commit_tip: u64,
-    /// Last time (ms) a commit-gap `SyncReq` was sent, rate-limiting gap
-    /// repair while out-of-order verify verdicts resolve on their own.
-    pub(crate) last_gap_sync_ms: f64,
+    /// Per-instance record of the commit shares behind `signed_commit_tip`:
+    /// instance → `(view, digest)` of the ordering QC this server
+    /// commit-signed. Criterion C3 checks a candidate's tip certificate
+    /// *per instance* against this map (a certificate must cover every
+    /// commit-signed instance with an ordering QC at least as fresh), which
+    /// is what makes the certified claim sound even when the candidate's
+    /// certificate set would otherwise skip an instance this server signed.
+    /// Pruned as instances commit; bounded by the pipeline window.
+    pub(crate) signed_commit_info: BTreeMap<u64, (View, Digest)>,
+    /// Ordering QCs of uncommitted instances this server can prove — the
+    /// certificate store behind campaign tip claims and `SyncKind::Ordered`
+    /// serving. An instance counts toward the *certified* ordered tip only
+    /// when both this map and `ordered_batches` hold it (the QC alone cannot
+    /// be re-proposed). Entries keep the highest ordering view seen; pruned
+    /// on commit.
+    pub(crate) ord_qcs: BTreeMap<u64, QuorumCertificate>,
+    /// Keys of every transaction committed in some block. Followers refuse
+    /// to acknowledge an `Ord` that re-assigns one of these (unless it is
+    /// the verbatim re-proposal of an instance they already hold), and the
+    /// apply path marks any racing duplicate `status = false` — together the
+    /// two layers close the Byzantine double-assign avenue.
+    pub(crate) committed_tx_keys: KeySet<(ClientId, u64)>,
+    /// Requester-side rate limiting: last time (ms) a repair `SyncReq` of
+    /// each kind (view-change / transaction / ordered) was sent.
+    pub(crate) last_sync_req_ms: [f64; 3],
+    /// Server-side rate limiting: `(peer, sync kind)` → last time (ms) a
+    /// response was served, bounding how often any one peer can make this
+    /// server assemble sync payloads.
+    pub(crate) sync_served_ms: HashMap<(Actor, u8), f64>,
+    /// Rotating cursor over peers for repair-timer sync requests, so a dead
+    /// or partitioned leader does not absorb every repair attempt.
+    pub(crate) sync_peer_cursor: usize,
+    /// Committed tip observed at the last repair-timer tick; repair requests
+    /// fire only when the tip has not moved for a full interval.
+    pub(crate) last_repair_tip: u64,
     /// Whether the leader batch timer is armed.
     pub(crate) batch_timer_armed: bool,
 
@@ -247,12 +304,12 @@ pub struct PrestigeServer {
     /// a retransmitted (or maliciously re-sent) `Ord` collapses onto the
     /// in-flight job instead of parking another copy of the whole batch and
     /// queueing a redundant digest recomputation.
-    pub(crate) pending_ord_verifies: HashSet<(u64, [u8; 32])>,
+    pub(crate) pending_ord_verifies: KeySet<(u64, [u8; 32])>,
     /// Memo cache of already-verified quorum certificates, keyed by
     /// statement/threshold/aggregate, so a certificate seen via `Cmt` and
     /// again via `CommitBlock` — or re-received through sync — is verified
     /// once.
-    pub(crate) verified_qcs: HashSet<[u8; 32]>,
+    pub(crate) verified_qcs: KeySet<[u8; 32]>,
     /// FIFO eviction order bounding the memo cache.
     pub(crate) verified_qcs_order: VecDeque<[u8; 32]>,
 
@@ -260,7 +317,7 @@ pub struct PrestigeServer {
     /// Views this server has voted in (criterion C1).
     pub(crate) voted_views: HashSet<u64>,
     /// Relayed complaints awaiting leader action, keyed by transaction key.
-    pub(crate) complaints: HashMap<(ClientId, u64), ComplaintState>,
+    pub(crate) complaints: KeyMap<(ClientId, u64), ComplaintState>,
     /// Collector of ReVC replies for the ConfVC this server broadcast, by view.
     pub(crate) confvc_builders: HashMap<u64, QcBuilder>,
     /// Active campaign (redeemer or candidate phase).
@@ -348,24 +405,30 @@ impl PrestigeServer {
                 ServerRole::Follower
             },
             pending_proposals: Vec::new(),
-            seen_tx: HashSet::new(),
+            seen_tx: KeySet::default(),
             next_seq: SeqNum(1),
             inflight: BTreeMap::new(),
             ordered_digests: HashMap::new(),
             ordered_batches: BTreeMap::new(),
-            ordered_only_keys: HashSet::new(),
+            ordered_only_keys: KeySet::default(),
             pending_commit_blocks: BTreeMap::new(),
             signed_commit_tip: 0,
-            last_gap_sync_ms: f64::NEG_INFINITY,
+            signed_commit_info: BTreeMap::new(),
+            ord_qcs: BTreeMap::new(),
+            committed_tx_keys: KeySet::default(),
+            last_sync_req_ms: [f64::NEG_INFINITY; 3],
+            sync_served_ms: HashMap::new(),
+            sync_peer_cursor: 0,
+            last_repair_tip: 0,
             batch_timer_armed: false,
             verify_pool: None,
             next_verify_token: 0,
             pending_verify: HashMap::new(),
-            pending_ord_verifies: HashSet::new(),
-            verified_qcs: HashSet::new(),
+            pending_ord_verifies: KeySet::default(),
+            verified_qcs: KeySet::default(),
             verified_qcs_order: VecDeque::new(),
             voted_views: HashSet::new(),
-            complaints: HashMap::new(),
+            complaints: KeyMap::default(),
             confvc_builders: HashMap::new(),
             campaign: None,
             pending_vc_block: None,
@@ -437,7 +500,8 @@ impl PrestigeServer {
     pub fn debug_snapshot(&self) -> String {
         format!(
             "role={:?} view={} leader=s{} tip={} next_seq={} inflight={:?} pending_props={} \
-             ordered={:?} parked_commits={:?} signed_tip={} rotation_pending={} campaign={:?}",
+             ordered={:?} certified={:?} parked_commits={:?} signed_tip={} signed_info={:?} \
+             rotation_pending={} campaign={:?}",
             self.role,
             self.store.current_view().0,
             self.current_leader().0,
@@ -446,8 +510,10 @@ impl PrestigeServer {
             self.inflight.keys().collect::<Vec<_>>(),
             self.pending_proposals.len(),
             self.ordered_batches.keys().collect::<Vec<_>>(),
+            self.ord_qcs.keys().collect::<Vec<_>>(),
             self.pending_commit_blocks.keys().collect::<Vec<_>>(),
             self.signed_commit_tip,
+            self.signed_commit_info.keys().collect::<Vec<_>>(),
             self.rotation_pending,
             self.campaign.as_ref().map(|c| (c.new_view.0, c.rp)),
         )
@@ -606,9 +672,12 @@ impl PrestigeServer {
         // their sequence numbers (shared handles — no copies): they back
         // future C3 freshness claims, and an elected leader re-proposes its
         // contiguous prefix *at the original sequence numbers* below.
-        // Committed entries are pruned.
+        // Committed entries are pruned — as are their certificates and the
+        // per-instance commit-sign records they answer for.
         let latest = self.store.latest_seq().0;
         self.ordered_batches.retain(|n, _| *n > latest);
+        self.ord_qcs.retain(|n, _| *n > latest);
+        self.signed_commit_info.retain(|n, _| *n > latest);
         self.view_installed_at_ms = ctx.now().as_ms();
         self.policy_rotation_started = false;
         self.rotation_pending = false;
@@ -642,8 +711,14 @@ impl PrestigeServer {
                 .split_off(&(tip + 1))
                 .into_values()
                 .collect();
+            // The orphans' certificates go with them: winning the election
+            // proved nothing beyond `tip` possibly committed, and a stale
+            // QC pin left behind would make this server (as a future
+            // follower) refuse another leader's legitimate fresh content at
+            // those sequence numbers.
+            self.ord_qcs.split_off(&(tip + 1));
             if !orphans.is_empty() {
-                let mut pending_keys: HashSet<(ClientId, u64)> =
+                let mut pending_keys: KeySet<(ClientId, u64)> =
                     self.pending_proposals.iter().map(|p| p.tx.key()).collect();
                 for batch in orphans {
                     for proposal in batch.iter() {
@@ -657,6 +732,22 @@ impl PrestigeServer {
                         }
                     }
                 }
+            }
+            // Purge the proposal pool of every transaction already scheduled
+            // inside a preserved instance: as a follower this server pooled
+            // all client proposals, including the ones the old leader had in
+            // flight, and flushing them into a fresh batch while the
+            // re-proposal commits them would assign one transaction to two
+            // sequence numbers. (Before the double-assign cross-check made
+            // followers refuse such batches, this path silently committed
+            // the duplicates.)
+            if !preserved.is_empty() && !self.pending_proposals.is_empty() {
+                let scheduled: KeySet<(ClientId, u64)> = preserved
+                    .iter()
+                    .flat_map(|(_, batch)| batch.iter().map(|p| p.tx.key()))
+                    .collect();
+                self.pending_proposals
+                    .retain(|p| !scheduled.contains(&p.tx.key()));
             }
             self.next_seq = SeqNum(tip).next();
             for (n, batch) in preserved {
@@ -704,6 +795,7 @@ impl Process<Message> for PrestigeServer {
             self.arm_batch_timer(ctx);
         }
         self.arm_policy_timer(ctx);
+        self.arm_sync_repair_timer(ctx);
         if self.behavior.attacks_view_changes() {
             let period =
                 prestige_sim::SimDuration::from_ms(self.pacemaker.timeouts().base_timeout_ms);
@@ -780,21 +872,27 @@ impl Process<Message> for PrestigeServer {
                 hash_result,
                 latest_seq,
                 latest_ord_seq,
+                commit_cert,
+                tip_cert,
                 latest_tx_digest,
                 sig,
             } => self.handle_camp(
                 from,
-                conf_qc,
-                view,
-                new_view,
-                rp,
-                ci,
-                nonce,
-                hash_result,
-                latest_seq,
-                latest_ord_seq,
-                latest_tx_digest,
-                sig,
+                crate::view_change::CampClaims {
+                    conf_qc,
+                    view,
+                    new_view,
+                    rp,
+                    ci,
+                    nonce,
+                    hash_result,
+                    latest_seq,
+                    latest_ord_seq,
+                    commit_cert,
+                    tip_cert,
+                    latest_tx_digest,
+                    sig,
+                },
                 ctx,
             ),
             Message::VoteCP {
@@ -838,7 +936,8 @@ impl Process<Message> for PrestigeServer {
             Message::SyncResp {
                 vc_blocks,
                 tx_blocks,
-            } => self.handle_sync_resp(vc_blocks, tx_blocks, ctx),
+                ordered,
+            } => self.handle_sync_resp(from, vc_blocks, tx_blocks, ordered, ctx),
         }
     }
 
@@ -855,6 +954,7 @@ impl Process<Message> for PrestigeServer {
             timer_tags::POLICY => self.on_policy_timer(ctx),
             timer_tags::POLICY_CAMPAIGN => self.on_policy_campaign_timer(ctx),
             timer_tags::ATTACK => self.on_attack_timer(ctx),
+            timer_tags::SYNC_REPAIR => self.on_sync_repair_timer(ctx),
             _ => {}
         }
     }

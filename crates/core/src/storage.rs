@@ -43,14 +43,20 @@ pub fn tx_block_digest_with_prev(block: &TxBlock, prev: Digest) -> Digest {
     h.finish()
 }
 
-/// Computes the digest identifying a `vcBlock` (over its view, leader, previous
-/// pointer, and reputation fragment). Streaming, like [`tx_block_digest`].
+/// Computes the digest identifying a `vcBlock` (over its view, leader,
+/// previous pointer, state-transfer tips, and reputation fragment).
+/// Streaming, like [`tx_block_digest`]. The certified tips are covered so a
+/// relay cannot rewrite the new leader's state-transfer claim under the
+/// leader's adoption signature; the QC payloads themselves are
+/// self-certifying and stay outside the digest, like `conf_qc`/`vc_qc`.
 pub fn vc_block_digest(block: &VcBlock) -> Digest {
     let mut h = FramedHasher::new();
     h.field(b"vcblock")
         .field(&block.v.0.to_be_bytes())
         .field(&(block.leader_id.0 as u64).to_be_bytes())
-        .field(&block.header.prev_digest.0);
+        .field(&block.header.prev_digest.0)
+        .field(&block.committed_seq.0.to_be_bytes())
+        .field(&block.ord_tip.0.to_be_bytes());
     for (id, rp) in &block.rp {
         h.field(&(id.0 as u64).to_be_bytes())
             .field(&rp.to_be_bytes());

@@ -1,0 +1,56 @@
+//! The recovery plane's sync subsystem — the paper's `SyncUp` function
+//! (§4.2.3) grown into a first-class, rate-limited, backpressured
+//! retransmission layer.
+//!
+//! Because quorum certificates only require `2f + 1` signers, up to `f`
+//! correct servers can lag behind in either log; and because quorum
+//! messages themselves can be lost (backpressure shed, partitions, injected
+//! chaos), a replica can find itself *wedged*: commit-signed instances it
+//! never saw commit, parked out-of-order blocks whose predecessors never
+//! arrive, certified instances whose batches it lacks. Before this
+//! subsystem, the only repair was the client-complaint → view-change path —
+//! every burst of loss bought a full election pause.
+//!
+//! Three sync kinds close every gap:
+//!
+//! * [`prestige_types::SyncKind::ViewChange`] — missing `vcBlock`s (stale
+//!   voters catch up before validating a campaign);
+//! * [`prestige_types::SyncKind::Transaction`] — missing committed
+//!   `txBlock`s (commit-gap repair);
+//! * [`prestige_types::SyncKind::Ordered`] — **uncommitted** ordered batches
+//!   together with their ordering QCs: certified state transfer for
+//!   instances that may have committed elsewhere, closing the "partitioned
+//!   batch-holder" election stall documented by PR 4.
+//!
+//! Structure:
+//!
+//! * [`serve`] — answering `SyncReq` ranges, per-peer rate-limited and
+//!   byte-budgeted so a Byzantine or looping requester cannot turn this
+//!   server into a payload-assembly treadmill;
+//! * [`repair`] — the requester side: validating and installing `SyncResp`
+//!   payloads, the rate-limited request helper, and the periodic repair
+//!   timer that notices a stalled committed tip and asks a *rotating* peer
+//!   (the leader may be the dead node) for exactly the missing ranges.
+//!
+//! Blocks and ordered entries obtained through sync are validated through
+//! their quorum certificates exactly like live traffic; sync never widens
+//! what a peer can make this server believe, only when it learns it.
+
+mod repair;
+mod serve;
+
+/// Upper bound on blocks/entries returned by one sync response, to keep
+/// individual messages bounded (a requester simply asks again for the
+/// remainder).
+pub(crate) const MAX_SYNC_BLOCKS: usize = 256;
+
+/// Byte budget for one sync response (backpressure): payload assembly stops
+/// once the accumulated wire size crosses this bound, whatever the requested
+/// range. At least one item is always served so a huge single block cannot
+/// starve its own repair.
+pub(crate) const MAX_SYNC_RESP_BYTES: usize = 1 << 20;
+
+/// Minimum interval (ms) between two responses served to the same
+/// `(peer, sync kind)` pair. Honest repair is timer-paced far above this;
+/// the limit only bites peers hammering the serve path.
+pub(crate) const SERVE_MIN_INTERVAL_MS: f64 = 10.0;

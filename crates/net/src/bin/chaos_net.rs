@@ -83,6 +83,8 @@ struct Scenario {
     loss: f64,
     partition: Option<PartitionSpec>,
     assert_no_fork: bool,
+    assert_no_faulty_leader: bool,
+    min_cert_refusals: u64,
     min_committed_after: u64,
     recovery_floor_tps: f64,
     recovery_window_s: f64,
@@ -203,6 +205,11 @@ impl Scenario {
             loss: get_f64(&doc, "chaos", "loss", 0.0)?,
             partition,
             assert_no_fork: !matches!(get(&doc, "assert", "no_fork"), Some(TomlValue::Bool(false))),
+            assert_no_faulty_leader: matches!(
+                get(&doc, "assert", "no_faulty_leader"),
+                Some(TomlValue::Bool(true))
+            ),
+            min_cert_refusals: get_u64(&doc, "assert", "min_cert_refusals", 0)?,
             min_committed_after: get_u64(&doc, "assert", "min_committed", 0)?,
             recovery_floor_tps: get_f64(&doc, "assert", "recovery_floor_tps", 0.0)?,
             recovery_window_s: get_f64(&doc, "assert", "recovery_window_s", 1.0)?,
@@ -486,7 +493,10 @@ fn run(scenario: &Scenario, out_path: &str) -> Result<(), Vec<String>> {
                 .push("committed_blocks", stats.committed_blocks)
                 .push("views_installed", stats.views_installed)
                 .push("elections_won", stats.elections_won)
-                .push("campaigns_started", stats.campaigns_started);
+                .push("campaigns_started", stats.campaigns_started)
+                .push("camp_cert_refusals", stats.camp_cert_refusals)
+                .push("sync_reqs_sent", stats.sync_reqs_sent)
+                .push("double_assign_refused", stats.double_assign_refused);
         }
         if let Some((_, rp)) = reputations.iter().find(|(s, _)| *s == id) {
             node.push("reputation_penalty", *rp);
@@ -512,6 +522,60 @@ fn run(scenario: &Scenario, out_path: &str) -> Result<(), Vec<String>> {
                 correct.len()
             ),
             Err(message) => failures.push(format!("safety violated — {message}")),
+        }
+    }
+    if scenario.assert_no_faulty_leader {
+        // "The liar never wins a certified election": no faulty server may
+        // have assembled a vc_QC, and no correct server may currently follow
+        // a faulty leader.
+        for i in 0..n {
+            let id = ServerId(i);
+            if !cluster.behavior_of(id).is_faulty() {
+                continue;
+            }
+            let won = cluster
+                .server_stats(id)
+                .map(|s| s.elections_won)
+                .unwrap_or(0);
+            if won > 0 {
+                failures.push(format!(
+                    "faulty server s{i} won {won} election(s) — the certificate \
+                     check failed to refuse its claim"
+                ));
+            }
+        }
+        for &id in &correct {
+            if let Some((view, leader)) = cluster.view_of(id) {
+                if cluster.behavior_of(leader).is_faulty() {
+                    failures.push(format!(
+                        "correct server s{} follows faulty leader s{} in view {}",
+                        id.0, leader.0, view.0
+                    ));
+                }
+            }
+        }
+        if failures.is_empty() {
+            eprintln!("chaos_net: no faulty server ever held a certified leadership");
+        }
+    }
+    if scenario.min_cert_refusals > 0 {
+        // The refusals must actually have been *certificate* refusals: prove
+        // the check bit, rather than the attack never having been attempted.
+        let refusals: u64 = correct
+            .iter()
+            .filter_map(|&id| cluster.server_stats(id))
+            .map(|s| s.camp_cert_refusals)
+            .sum();
+        if refusals < scenario.min_cert_refusals {
+            failures.push(format!(
+                "only {refusals} certificate refusal(s) across correct servers \
+                 (need {}) — the claimed attack never exercised the check",
+                scenario.min_cert_refusals
+            ));
+        } else {
+            eprintln!(
+                "chaos_net: the certificate check refused {refusals} uncertifiable campaign(s)"
+            );
         }
     }
     if recovery_tps < scenario.recovery_floor_tps {

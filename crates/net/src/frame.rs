@@ -25,7 +25,12 @@ pub const MAGIC: [u8; 4] = *b"PBFT";
 
 /// Version of the body encoding. Bump on any change to the serde stand-in's
 /// format or to message layouts.
-pub const WIRE_VERSION: u16 = 2;
+///
+/// v3: campaigns carry certified tip claims (`Camp.commit_cert` /
+/// `Camp.tip_cert`), `vcBlock` carries the certified state-transfer payload
+/// (`committed_seq` / `ord_tip` / `tip_cert`), and `SyncResp` gained the
+/// `ordered` entry list for certified uncommitted-batch sync.
+pub const WIRE_VERSION: u16 = 3;
 
 /// Default upper bound on a frame body (16 MiB — a full batch of maximum-size
 /// proposals plus QCs fits comfortably).
@@ -448,6 +453,7 @@ mod tests {
         let msg = Message::SyncResp {
             vc_blocks: vec![prestige_types::VcBlock::genesis(4)],
             tx_blocks: vec![],
+            ordered: vec![],
         };
         let mut buf = Vec::new();
         codec

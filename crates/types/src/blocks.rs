@@ -115,6 +115,28 @@ pub struct VcBlock {
     pub conf_qc: Option<QuorumCertificate>,
     /// QC collected for confirming leadership legitimacy (`vc_QC`, 2f+1).
     pub vc_qc: Option<QuorumCertificate>,
+    /// Certified state transfer: the elected leader's committed tip at
+    /// election time. Together with `commit_cert`/`ord_tip`/`tip_cert` this
+    /// is the recovery plane's analogue of PBFT's new-view certificate — the
+    /// auditable record of the log state the new leader was elected on.
+    pub committed_seq: SeqNum,
+    /// Proof of `committed_seq`: the commit QC of the claimed latest
+    /// committed block (`None` only when `committed_seq` is 0). Without it
+    /// an elected Byzantine leader could inflate `committed_seq` (passing
+    /// the tip-certificate span check trivially) and suppress adopters'
+    /// missing-state sync.
+    pub commit_cert: Option<QuorumCertificate>,
+    /// Certified state transfer: the highest instance the elected leader
+    /// holds certified ordered state for, contiguously above
+    /// `committed_seq`. The new leader re-proposes every instance up to this
+    /// point at its original sequence number.
+    pub ord_tip: SeqNum,
+    /// Certified state transfer: one ordering QC per instance in
+    /// `committed_seq + 1 ..= ord_tip`, ascending. Adopters verify these
+    /// before acknowledging the block, and use them to learn which certified
+    /// instances they are missing (and must sync) instead of trusting the
+    /// leader's claim.
+    pub tip_cert: Vec<QuorumCertificate>,
     /// Reputation fragment: reputation penalty per server in this view.
     pub rp: BTreeMap<ServerId, i64>,
     /// Reputation fragment: compensation index per server (the number of
@@ -139,6 +161,10 @@ impl VcBlock {
             leader_id: ServerId(0),
             conf_qc: None,
             vc_qc: None,
+            committed_seq: SeqNum::ZERO,
+            commit_cert: None,
+            ord_tip: SeqNum::ZERO,
+            tip_cert: Vec::new(),
             rp,
             ci,
         }
@@ -180,9 +206,31 @@ impl VcBlock {
             leader_id: leader,
             conf_qc,
             vc_qc,
+            committed_seq: SeqNum::ZERO,
+            commit_cert: None,
+            ord_tip: SeqNum::ZERO,
+            tip_cert: Vec::new(),
             rp,
             ci,
         }
+    }
+
+    /// Attaches the certified state-transfer payload (the elected leader's
+    /// committed tip with the commit QC proving it, its certified ordered
+    /// tip, and the ordering QCs proving every claimed instance) to a
+    /// freshly built successor block.
+    pub fn with_state_transfer(
+        mut self,
+        committed_seq: SeqNum,
+        commit_cert: Option<QuorumCertificate>,
+        ord_tip: SeqNum,
+        tip_cert: Vec<QuorumCertificate>,
+    ) -> VcBlock {
+        self.committed_seq = committed_seq;
+        self.commit_cert = commit_cert;
+        self.ord_tip = ord_tip;
+        self.tip_cert = tip_cert;
+        self
     }
 
     /// Checks that `other` differs from this block only in the allowed ways
@@ -208,8 +256,14 @@ impl VcBlock {
     /// Serialized size in bytes, used by the bandwidth model.
     pub fn wire_size(&self) -> usize {
         let qcs: usize = self.conf_qc.as_ref().map(|q| q.wire_size()).unwrap_or(0)
-            + self.vc_qc.as_ref().map(|q| q.wire_size()).unwrap_or(0);
-        64 + 8 + 4 + qcs + self.rp.len() * 12 + self.ci.len() * 12
+            + self.vc_qc.as_ref().map(|q| q.wire_size()).unwrap_or(0)
+            + self
+                .commit_cert
+                .as_ref()
+                .map(|q| q.wire_size())
+                .unwrap_or(0)
+            + self.tip_cert.iter().map(|q| q.wire_size()).sum::<usize>();
+        64 + 8 + 4 + 16 + qcs + self.rp.len() * 12 + self.ci.len() * 12
     }
 }
 

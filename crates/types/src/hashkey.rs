@@ -1,0 +1,150 @@
+//! A fast, allocation-free hasher for the small fixed-size protocol keys
+//! (transaction keys `(ClientId, u64)`, sequence numbers) that dominate the
+//! replication hot path.
+//!
+//! Every committed transaction passes through several hash-set operations
+//! per replica (proposal dedup, double-assign cross-checks, committed-key
+//! bookkeeping). With the standard library's SipHash those operations cost
+//! more than the consensus arithmetic around them; this FxHash-style
+//! multiply-rotate mix is 4–6× cheaper on 8-byte writes and exists for
+//! exactly these word-sized keys.
+//!
+//! **Trade-off, stated plainly:** the mix is not DoS-resistant — a client
+//! crafting transaction timestamps could manufacture collisions and degrade
+//! a set to linear probing. That is a liveness nuisance bounded by the
+//! per-client proposal rate (and by `batch_size` per scan), not a safety
+//! issue: all *cryptographic* commitments (digests, signatures, QCs) use
+//! SHA-256 throughout. A deployment fronting truly adversarial clients
+//! should fold a boot-time random seed into [`KeyHasher::default`].
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Golden-ratio multiplier (same constant FxHash and many mixers use).
+const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The hasher state: one 64-bit accumulator, mixed word-at-a-time.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct KeyHasher {
+    hash: u64,
+}
+
+impl KeyHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for KeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // One final avalanche so low-entropy keys spread across buckets.
+        let mut h = self.hash;
+        h ^= h >> 32;
+        h = h.wrapping_mul(SEED);
+        h ^ (h >> 29)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback for compound keys: consume 8-byte words, then the
+        // zero-padded tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("sized")));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = [0u8; 8];
+            word[..tail.len()].copy_from_slice(tail);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`KeyHasher`].
+pub type BuildKeyHasher = BuildHasherDefault<KeyHasher>;
+
+/// A `HashSet` keyed by small protocol keys, using the fast mixer.
+pub type KeySet<K> = HashSet<K, BuildKeyHasher>;
+
+/// A `HashMap` keyed by small protocol keys, using the fast mixer.
+pub type KeyMap<K, V> = HashMap<K, V, BuildKeyHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ClientId;
+
+    fn hash_of<K: std::hash::Hash>(key: &K) -> u64 {
+        use std::hash::BuildHasher;
+        BuildKeyHasher::default().hash_one(key)
+    }
+
+    #[test]
+    fn deterministic_and_key_sensitive() {
+        let a = (ClientId(1), 42u64);
+        let b = (ClientId(1), 43u64);
+        let c = (ClientId(2), 42u64);
+        assert_eq!(hash_of(&a), hash_of(&a));
+        assert_ne!(hash_of(&a), hash_of(&b));
+        assert_ne!(hash_of(&a), hash_of(&c));
+    }
+
+    #[test]
+    fn sequential_keys_spread() {
+        // Transaction timestamps are sequential per client; the avalanche
+        // must spread them across the full bucket range, or every set
+        // degenerates into a handful of chains.
+        let mut low_bits = KeySet::<u64>::default();
+        for ts in 0..1024u64 {
+            low_bits.insert(hash_of(&(ClientId(7), ts)) & 0x3FF);
+        }
+        assert!(
+            low_bits.len() > 600,
+            "only {} distinct low-10-bit values over 1024 sequential keys",
+            low_bits.len()
+        );
+    }
+
+    #[test]
+    fn generic_write_matches_wordwise_padding() {
+        let mut a = KeyHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = KeyHasher::default();
+        b.write_u64(u64::from_le_bytes([1, 2, 3, 4, 5, 6, 7, 8]));
+        b.write_u64(9);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn set_and_map_aliases_work() {
+        let mut set: KeySet<(ClientId, u64)> = KeySet::default();
+        assert!(set.insert((ClientId(1), 1)));
+        assert!(!set.insert((ClientId(1), 1)));
+        let mut map: KeyMap<u64, u32> = KeyMap::default();
+        map.insert(9, 3);
+        assert_eq!(map.get(&9), Some(&3));
+    }
+}

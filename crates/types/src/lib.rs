@@ -20,6 +20,7 @@
 pub mod blocks;
 pub mod config;
 pub mod error;
+pub mod hashkey;
 pub mod ids;
 pub mod message;
 pub mod qc;
@@ -30,7 +31,8 @@ pub use config::{
     ClusterConfig, PowConfig, PowMode, ReputationConfig, TimeoutConfig, ViewChangePolicy,
 };
 pub use error::{ProtocolError, Result};
+pub use hashkey::{BuildKeyHasher, KeyHasher, KeyMap, KeySet};
 pub use ids::{ClientId, ReplicaSet, SeqNum, ServerId, View};
-pub use message::{Actor, Message, MessageKind, NetMessage, SyncKind, Wire};
+pub use message::{Actor, Message, MessageKind, NetMessage, OrderedEntry, SyncKind, Wire};
 pub use qc::{PartialSig, QcKind, QuorumCertificate};
 pub use transaction::{Digest, Proposal, Transaction};

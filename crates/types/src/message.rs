@@ -57,6 +57,40 @@ pub enum SyncKind {
     ViewChange,
     /// Sync missing transaction blocks.
     Transaction,
+    /// Sync *uncommitted* ordered batches together with their ordering QCs
+    /// (the recovery plane's certified state transfer): a peer that
+    /// commit-signed an instance it never received the batch for — or an
+    /// elected leader re-building its re-proposal set — acquires the
+    /// certified `(batch, ordering_QC)` pairs instead of waiting for the
+    /// partitioned batch-holder to return.
+    Ordered,
+}
+
+/// One certified uncommitted ordered instance, as shipped by [`SyncKind::Ordered`]
+/// responses: the batch plus the ordering QC that certifies it. The entry is
+/// self-validating — `qc.seq` names the instance, `qc.view` the ordering
+/// view, and `qc.digest` must equal the batch digest recomputed over
+/// `(qc.view, qc.seq, batch)` — so receivers accept entries from any peer.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct OrderedEntry {
+    /// The ordered batch of proposals (shared, like [`Message::Ord`]'s batch).
+    pub batch: Arc<Vec<Proposal>>,
+    /// The ordering QC certifying `(view, seq, digest)` of the batch.
+    pub qc: QuorumCertificate,
+}
+
+impl OrderedEntry {
+    /// The instance (sequence number) this entry certifies.
+    pub fn seq(&self) -> SeqNum {
+        self.qc.seq
+    }
+
+    /// Serialized size in bytes, for the bandwidth model and the sync
+    /// server's response budget.
+    pub fn wire_size(&self) -> usize {
+        self.batch.iter().map(|p| p.wire_size()).sum::<usize>() + self.qc.wire_size()
+    }
 }
 
 /// Coarse message category used by metrics to attribute bandwidth and counts.
@@ -223,12 +257,26 @@ pub enum Message {
         /// Sequence number of the candidate's latest committed txBlock
         /// (criterion C3 input).
         latest_seq: SeqNum,
-        /// Highest sequence number the candidate holds *ordered batches* for,
-        /// contiguously above `latest_seq` (criterion C3 input: a voter that
-        /// has commit-signed an instance beyond this refuses the vote, so an
-        /// elected leader can always re-propose every possibly-committed
-        /// instance at its original sequence number).
+        /// Highest sequence number the candidate holds *certified ordered
+        /// state* for, contiguously above `latest_seq` (criterion C3 input: a
+        /// voter that has commit-signed an instance beyond this refuses the
+        /// vote, so an elected leader can always re-propose every
+        /// possibly-committed instance at its original sequence number).
+        /// Since wire v3 the claim is proven, not trusted: `tip_cert` must
+        /// carry the ordering QC of every claimed instance.
         latest_ord_seq: SeqNum,
+        /// Proof of `latest_seq`: the commit QC of the candidate's latest
+        /// committed txBlock (`None` only when `latest_seq` is 0 — the
+        /// genesis block has no certificate). Voters verify it instead of
+        /// trusting the committed-tip claim.
+        commit_cert: Option<QuorumCertificate>,
+        /// Proof of `latest_ord_seq`: one ordering QC per claimed instance,
+        /// covering `latest_seq + 1 ..= latest_ord_seq` contiguously in
+        /// ascending sequence order (empty when the claims are equal). This
+        /// is the PBFT-new-view-style certified view-change state transfer:
+        /// voters verify each certificate, so a Byzantine candidate can no
+        /// longer overstate its ordered tip.
+        tip_cert: Vec<QuorumCertificate>,
         /// Digest of that txBlock (puzzle input and sync anchor).
         latest_tx_digest: Digest,
         /// The candidate's signature.
@@ -354,10 +402,13 @@ pub enum Message {
     },
     /// Response carrying the requested blocks.
     SyncResp {
-        /// View-change blocks (empty for transaction syncs).
+        /// View-change blocks (empty for other sync kinds).
         vc_blocks: Vec<VcBlock>,
-        /// Transaction blocks (empty for view-change syncs).
+        /// Transaction blocks (empty for other sync kinds).
         tx_blocks: Vec<TxBlock>,
+        /// Certified uncommitted ordered instances (empty for other sync
+        /// kinds): `(batch, ordering_QC)` pairs in ascending sequence order.
+        ordered: Vec<OrderedEntry>,
     },
 }
 
@@ -412,8 +463,16 @@ impl Wire for Message {
             Message::CommitBlock { block, .. } => BASE + block.wire_size(),
             Message::ConfVC { .. } => BASE + 24,
             Message::ReVC { .. } => BASE + 24 + 36,
-            Message::Camp { conf_qc, .. } => {
-                BASE + 104 + conf_qc.as_ref().map(|q| q.wire_size()).unwrap_or(0)
+            Message::Camp {
+                conf_qc,
+                commit_cert,
+                tip_cert,
+                ..
+            } => {
+                BASE + 104
+                    + conf_qc.as_ref().map(|q| q.wire_size()).unwrap_or(0)
+                    + commit_cert.as_ref().map(|q| q.wire_size()).unwrap_or(0)
+                    + tip_cert.iter().map(|q| q.wire_size()).sum::<usize>()
             }
             Message::VoteCP { .. } => BASE + 12 + 36,
             Message::NewVcBlock { block, .. } => BASE + block.wire_size(),
@@ -424,9 +483,11 @@ impl Wire for Message {
             Message::SyncResp {
                 vc_blocks,
                 tx_blocks,
+                ordered,
             } => {
                 BASE + vc_blocks.iter().map(|b| b.wire_size()).sum::<usize>()
                     + tx_blocks.iter().map(|b| b.wire_size()).sum::<usize>()
+                    + ordered.iter().map(|e| e.wire_size()).sum::<usize>()
             }
         }
     }

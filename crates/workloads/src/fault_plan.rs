@@ -41,6 +41,14 @@ pub enum FaultPlan {
         /// Attack timing strategy (S1 / S2).
         strategy: AttackStrategy,
     },
+    /// F5: `count` servers campaign like F4 but overstate their certified
+    /// ordered-tip claim (the attack the certified recovery plane refuses).
+    TipLiar {
+        /// Number of faulty servers.
+        count: u32,
+        /// Attack timing strategy (S1 / S2).
+        strategy: AttackStrategy,
+    },
 }
 
 impl FaultPlan {
@@ -52,7 +60,8 @@ impl FaultPlan {
             | FaultPlan::Quiet { count }
             | FaultPlan::Equivocate { count }
             | FaultPlan::RepeatedVcQuiet { count, .. }
-            | FaultPlan::RepeatedVcEquivocate { count, .. } => *count,
+            | FaultPlan::RepeatedVcEquivocate { count, .. }
+            | FaultPlan::TipLiar { count, .. } => *count,
         }
     }
 
@@ -69,6 +78,7 @@ impl FaultPlan {
             FaultPlan::RepeatedVcEquivocate { strategy, .. } => {
                 ByzantineBehavior::RepeatedVcEquivocate(*strategy)
             }
+            FaultPlan::TipLiar { strategy, .. } => ByzantineBehavior::OverclaimTip(*strategy),
         }
     }
 
@@ -103,6 +113,7 @@ impl FaultPlan {
             "equiv" => FaultPlan::Equivocate { count },
             "vc_quiet" => FaultPlan::RepeatedVcQuiet { count, strategy },
             "vc_equiv" => FaultPlan::RepeatedVcEquivocate { count, strategy },
+            "tip_liar" => FaultPlan::TipLiar { count, strategy },
             _ => return None,
         })
     }
@@ -126,6 +137,7 @@ impl FaultPlan {
             FaultPlan::Equivocate { .. } => "equiv",
             FaultPlan::RepeatedVcQuiet { .. } => "vc_quiet",
             FaultPlan::RepeatedVcEquivocate { .. } => "vc_equiv",
+            FaultPlan::TipLiar { .. } => "tip_liar",
         }
     }
 }
@@ -173,6 +185,10 @@ mod tests {
                 strategy: AttackStrategy::Always,
             },
             FaultPlan::RepeatedVcEquivocate {
+                count: 2,
+                strategy: AttackStrategy::Always,
+            },
+            FaultPlan::TipLiar {
                 count: 2,
                 strategy: AttackStrategy::Always,
             },

@@ -428,21 +428,28 @@ proptest! {
         prop_assert_eq!(back, msg);
     }
 
-    /// Wire round trip for view-change traffic: campaigns with and without a
-    /// confirmation QC.
+    /// Wire (v3) round trip for view-change traffic: campaigns with and
+    /// without a confirmation QC, and with certified tip claims of any span
+    /// (the `commit_cert` / `tip_cert` fields added by the certified
+    /// recovery plane).
     #[test]
     fn message_camp_wire_round_trip(view in 1u64..10_000, jump in 1u64..50,
                                     rp in 1i64..100, ci in 1u64..10_000,
                                     nonce in any::<u64>(), hash in any::<[u8; 32]>(),
-                                    with_qc in any::<bool>()) {
-        let conf_qc = with_qc.then(|| QuorumCertificate {
-            kind: QcKind::Confirm,
+                                    with_qc in any::<bool>(),
+                                    latest in 0u64..50, span in 0u64..8) {
+        let qc = |kind: QcKind, seq: u64| QuorumCertificate {
+            kind,
             view: View(view),
-            seq: SeqNum(0),
+            seq: SeqNum(seq),
             digest: Digest(hash),
             signers: vec![ServerId(0), ServerId(2)],
             aggregate: [3u8; 32],
-        });
+        };
+        let conf_qc = with_qc.then(|| qc(QcKind::Confirm, 0));
+        let commit_cert = (latest > 0).then(|| qc(QcKind::Commit, latest));
+        let tip_cert: Vec<QuorumCertificate> =
+            (latest + 1..=latest + span).map(|n| qc(QcKind::Ordering, n)).collect();
         let msg = Message::Camp {
             conf_qc,
             view: View(view),
@@ -451,14 +458,88 @@ proptest! {
             ci,
             nonce,
             hash_result: Digest(hash),
-            latest_seq: SeqNum(9),
-            latest_ord_seq: SeqNum(11),
+            latest_seq: SeqNum(latest),
+            latest_ord_seq: SeqNum(latest + span),
+            commit_cert,
+            tip_cert,
             latest_tx_digest: Digest(hash),
             sig: [1u8; 32],
         };
         let bytes = bincode::serialize(&msg).unwrap();
         let back: Message = bincode::deserialize(&bytes).unwrap();
         prop_assert_eq!(back, msg);
+    }
+
+    /// Wire (v3) round trip for the recovery plane's certified sync
+    /// payloads: `SyncResp.ordered` entries and state-transfer-carrying
+    /// vcBlocks survive serialization bit-exactly.
+    #[test]
+    fn sync_resp_ordered_wire_round_trip(n_entries in 0usize..5, seq0 in 1u64..1000,
+                                         batch in proptest::collection::vec(any::<u64>(), 0..20),
+                                         hash in any::<[u8; 32]>(), view in 1u64..100) {
+        let entries: Vec<prestigebft::types::OrderedEntry> = (0..n_entries)
+            .map(|i| prestigebft::types::OrderedEntry {
+                batch: std::sync::Arc::new(
+                    batch
+                        .iter()
+                        .map(|&ts| {
+                            let tx = prestigebft::types::Transaction::with_size(ClientId(ts % 5), ts, 16);
+                            prestigebft::types::Proposal::new(tx, Digest(hash))
+                        })
+                        .collect(),
+                ),
+                qc: QuorumCertificate {
+                    kind: QcKind::Ordering,
+                    view: View(view),
+                    seq: SeqNum(seq0 + i as u64),
+                    digest: Digest(hash),
+                    signers: vec![ServerId(0), ServerId(1), ServerId(2)],
+                    aggregate: [7u8; 32],
+                },
+            })
+            .collect();
+        let mut vc = prestigebft::types::VcBlock::genesis(4);
+        vc.committed_seq = SeqNum(seq0);
+        vc.commit_cert = Some(QuorumCertificate {
+            kind: QcKind::Commit,
+            view: View(view),
+            seq: SeqNum(seq0),
+            digest: Digest(hash),
+            signers: vec![ServerId(0), ServerId(1), ServerId(2)],
+            aggregate: [9u8; 32],
+        });
+        vc.ord_tip = SeqNum(seq0 + n_entries as u64);
+        vc.tip_cert = entries.iter().map(|e| e.qc.clone()).collect();
+        let msg = Message::SyncResp {
+            vc_blocks: vec![vc],
+            tx_blocks: Vec::new(),
+            ordered: entries,
+        };
+        let bytes = bincode::serialize(&msg).unwrap();
+        let back: Message = bincode::deserialize(&bytes).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    /// v2 → v3 compatibility: a frame encoded under the previous wire
+    /// version is rejected *cleanly* by version negotiation (never decoded
+    /// into a v3 message with garbage certificate fields, never a panic).
+    #[test]
+    fn v2_frames_are_rejected_by_version_negotiation(body in proptest::collection::vec(any::<u8>(), 0..128)) {
+        use prestigebft::net::frame::{FrameCodec, FrameError, MAGIC, WIRE_VERSION};
+        prop_assert_eq!(WIRE_VERSION, 3, "this test pins the v2→v3 bump");
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&MAGIC);
+        frame.extend_from_slice(&2u16.to_le_bytes()); // the old version
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&body);
+        let codec = FrameCodec::new();
+        match codec.decode::<Message>(&frame) {
+            Err(FrameError::VersionMismatch { got, want }) => {
+                prop_assert_eq!(got, 2);
+                prop_assert_eq!(want, 3);
+            }
+            other => prop_assert!(false, "v2 frame must fail version negotiation, got {:?}", other.is_ok()),
+        }
     }
 
     /// Corrupt wire input never panics or allocates absurdly: decoding random
