@@ -910,6 +910,7 @@ impl PassiveBftServer {
                 vc_blocks: Vec::new(),
                 tx_blocks: blocks,
                 ordered: Vec::new(),
+                ckpt: None,
             },
         );
     }

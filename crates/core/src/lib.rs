@@ -24,7 +24,11 @@
 //!   view-change state transfer (campaign tip claims proven by ordering
 //!   QCs — see `view_change::certify`) and a first-class rate-limited
 //!   sync/retransmission subsystem (`sync`) that repairs stalled quorum
-//!   rounds without a view change.
+//!   rounds without a view change;
+//! * the **durable storage plane** ([`durability`]): write-ahead logging of
+//!   commits through the `prestige-storage` seam, quorum-certified
+//!   checkpoints that anchor log GC and snapshot sync, and crash-restart
+//!   replay that rebuilds a replica's committed state from disk.
 //!
 //! The crate has no I/O: all communication goes through the simulator's
 //! context, so every experiment is reproducible from a seed.
@@ -32,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod durability;
 pub mod faults;
 pub mod pacemaker;
 pub mod server;

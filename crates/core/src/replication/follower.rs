@@ -202,7 +202,7 @@ impl PrestigeServer {
         // it can earn a phase-1 share.
         if batch
             .iter()
-            .any(|p| self.committed_tx_keys.contains(&p.tx.key()))
+            .any(|p| self.committed_tx_keys.contains_key(&p.tx.key()))
         {
             let verbatim_repropose = self
                 .ordered_batches
@@ -352,7 +352,11 @@ impl PrestigeServer {
         // again (leader crash or partition right after assembly); C3 uses the
         // recorded tip — and the per-instance record below — to refuse
         // electing any candidate that could not re-propose the instance
-        // (committed-instance preservation, now certificate-checked).
+        // (committed-instance preservation, now certificate-checked). The
+        // record must also survive *this server* crashing: log the ordering
+        // QC before the share leaves, so a restarted replica keeps refusing
+        // candidates that cannot cover the instance.
+        self.wal_append(prestige_storage::WalRecordRef::OrdQc(&ordering_qc));
         self.signed_commit_tip = self.signed_commit_tip.max(n.0);
         self.signed_commit_info.insert(n.0, (view, digest));
         ctx.send(

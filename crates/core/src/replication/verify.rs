@@ -90,13 +90,12 @@ impl PrestigeServer {
             // verify pool, out-of-order verdicts park blocks briefly all the
             // time and usually resolve by themselves. The sync repair timer
             // re-asks a *rotating* peer if the leader itself is unreachable.
-            self.request_sync(
-                Actor::Server(self.current_leader()),
-                SyncKind::Transaction,
-                self.store.latest_seq().0 + 1,
-                block.n.0 - 1,
-                ctx,
-            );
+            // A hole wider than one serve budget (a restarted or long-cut
+            // replica) escalates to snapshot sync, same as the repair timer.
+            let lo = self.store.latest_seq().0 + 1;
+            let hi = block.n.0 - 1;
+            let kind = Self::catchup_kind(lo, hi);
+            self.request_sync(Actor::Server(self.current_leader()), kind, lo, hi, ctx);
             return block;
         }
         let n = block.n;
@@ -135,7 +134,7 @@ impl PrestigeServer {
         for (i, tx) in block.tx.iter().enumerate() {
             let key = tx.key();
             committed_keys.push(key);
-            if !self.committed_tx_keys.insert(key) {
+            if self.committed_tx_keys.insert(key, n.0).is_some() {
                 duplicates.push(i);
             }
         }
@@ -148,6 +147,10 @@ impl PrestigeServer {
                 }
             }
         }
+        // Log the commit before acting on it: a replica that crashes between
+        // here and the insert replays an idempotent record; one that crashed
+        // *after* acting without the record would un-commit on restart.
+        self.wal_append(prestige_storage::WalRecordRef::Block(block.as_ref()));
         if !self.store.insert_tx_block(block) {
             // Conflicting block at `n` (never on honest paths): the keys
             // recorded above make `committed_tx_keys` a harmless superset.
@@ -223,5 +226,8 @@ impl PrestigeServer {
                 },
             );
         }
+
+        // Checkpoint interval reached? Sign and exchange state digests.
+        self.maybe_emit_checkpoint(n, ctx);
     }
 }

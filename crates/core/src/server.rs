@@ -97,6 +97,18 @@ pub struct ServerStats {
     /// because they had already committed in an earlier block (the
     /// execution-layer half of the double-assign defense).
     pub duplicate_tx_suppressed: u64,
+    /// Stable checkpoints this server installed (own quorum or adopted cert).
+    pub checkpoints_formed: u64,
+    /// Committed-transaction dedup keys garbage-collected below stable
+    /// checkpoints.
+    pub gc_pruned_keys: u64,
+    /// Election messages (`Camp` / `NewVcBlock`) re-broadcast by the repair
+    /// timer because the view change stalled without visible progress.
+    pub election_retransmits: u64,
+    /// Catch-up requests escalated to `SyncKind::Snapshot` because the
+    /// missing range exceeded one serve budget (fresh restart from an old
+    /// checkpoint, long partition).
+    pub snapshot_syncs: u64,
 }
 
 /// A leader's in-flight replication instance (one per sequence number).
@@ -270,15 +282,20 @@ pub struct PrestigeServer {
     /// be re-proposed). Entries keep the highest ordering view seen; pruned
     /// on commit.
     pub(crate) ord_qcs: BTreeMap<u64, QuorumCertificate>,
-    /// Keys of every transaction committed in some block. Followers refuse
-    /// to acknowledge an `Ord` that re-assigns one of these (unless it is
-    /// the verbatim re-proposal of an instance they already hold), and the
-    /// apply path marks any racing duplicate `status = false` — together the
-    /// two layers close the Byzantine double-assign avenue.
-    pub(crate) committed_tx_keys: KeySet<(ClientId, u64)>,
+    /// Keys of every transaction committed in some block, mapped to the
+    /// sequence number that committed them. Followers refuse to acknowledge
+    /// an `Ord` that re-assigns one of these (unless it is the verbatim
+    /// re-proposal of an instance they already hold), and the apply path
+    /// marks any racing duplicate `status = false` — together the two layers
+    /// close the Byzantine double-assign avenue. The sequence number makes
+    /// the map prunable: entries at or below the stable checkpoint are
+    /// garbage-collected (the bounded-memory trade-off documented in
+    /// ATTACKS.md).
+    pub(crate) committed_tx_keys: KeyMap<(ClientId, u64), u64>,
     /// Requester-side rate limiting: last time (ms) a repair `SyncReq` of
-    /// each kind (view-change / transaction / ordered) was sent.
-    pub(crate) last_sync_req_ms: [f64; 3],
+    /// each kind (view-change / transaction / ordered / snapshot) was sent,
+    /// indexed by the sync-kind wire tag.
+    pub(crate) last_sync_req_ms: [f64; 5],
     /// Server-side rate limiting: `(peer, sync kind)` → last time (ms) a
     /// response was served, bounding how often any one peer can make this
     /// server assemble sync payloads.
@@ -341,6 +358,23 @@ pub struct PrestigeServer {
     /// quiesced (no new batches, no ordering/commit replies) so candidates
     /// campaign against a stable log (§4.2.2 "stop replication in V").
     pub(crate) rotation_pending: bool,
+
+    // --- durability & checkpoint state ---
+    /// The write-ahead log this server records durable events through;
+    /// `None` runs fully in-memory (the deterministic simulator default).
+    pub(crate) storage: Option<Box<dyn prestige_storage::Storage>>,
+    /// Checkpoint-share collectors keyed by checkpoint sequence number.
+    pub(crate) ckpt_builders: BTreeMap<u64, QcBuilder>,
+    /// The highest stable (quorum-certified) checkpoint sequence number.
+    pub(crate) stable_checkpoint: u64,
+    /// The certificate behind `stable_checkpoint`, served to snapshot-syncing
+    /// peers.
+    pub(crate) stable_ckpt_cert: Option<QuorumCertificate>,
+    /// The vote this server cast per campaigned view (criterion C1 record):
+    /// view → (candidate, share). Lets the election-retransmission path
+    /// re-send the *same* vote idempotently when a candidate re-broadcasts a
+    /// `Camp` whose original `VoteCP` was lost, without ever double-voting.
+    pub(crate) cast_votes: HashMap<u64, (ServerId, prestige_types::PartialSig)>,
 
     // --- refresh state ---
     pub(crate) refresh_tracker: RefreshTracker,
@@ -415,8 +449,8 @@ impl PrestigeServer {
             signed_commit_tip: 0,
             signed_commit_info: BTreeMap::new(),
             ord_qcs: BTreeMap::new(),
-            committed_tx_keys: KeySet::default(),
-            last_sync_req_ms: [f64::NEG_INFINITY; 3],
+            committed_tx_keys: KeyMap::default(),
+            last_sync_req_ms: [f64::NEG_INFINITY; 5],
             sync_served_ms: HashMap::new(),
             sync_peer_cursor: 0,
             last_repair_tip: 0,
@@ -439,6 +473,11 @@ impl PrestigeServer {
             view_installed_at_ms: 0.0,
             policy_rotation_started: false,
             rotation_pending: false,
+            storage: None,
+            ckpt_builders: BTreeMap::new(),
+            stable_checkpoint: 0,
+            stable_ckpt_cert: None,
+            cast_votes: HashMap::new(),
             refresh_tracker,
             refresh_builder: None,
             stats: ServerStats::default(),
@@ -761,6 +800,7 @@ impl PrestigeServer {
         // Prune vote bookkeeping for long-dead views to bound memory.
         let current = self.store.current_view().0;
         self.voted_views.retain(|v| *v + 64 >= current);
+        self.cast_votes.retain(|v, _| *v + 64 >= current);
     }
 
     /// Arms the leader's batch flush timer if not already armed.
@@ -929,6 +969,15 @@ impl Process<Message> for PrestigeServer {
                 sig,
             } => self.handle_rdone(view, server, rs_qc, rp, ci, sig, ctx),
 
+            // Checkpoints.
+            Message::CkptShare {
+                n,
+                view: _,
+                digest,
+                share,
+            } => self.handle_ckpt_share(n, digest, share, ctx),
+            Message::CkptCert { cert } => self.handle_ckpt_cert(cert, ctx),
+
             // Sync.
             Message::SyncReq { kind, from: lo, to } => {
                 self.handle_sync_req(from, kind, lo, to, ctx)
@@ -937,7 +986,8 @@ impl Process<Message> for PrestigeServer {
                 vc_blocks,
                 tx_blocks,
                 ordered,
-            } => self.handle_sync_resp(from, vc_blocks, tx_blocks, ordered, ctx),
+                ckpt,
+            } => self.handle_sync_resp(from, vc_blocks, tx_blocks, ordered, ckpt, ctx),
         }
     }
 

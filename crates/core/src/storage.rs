@@ -167,6 +167,23 @@ impl BlockStore {
         self.tx_blocks.get(&n.0).map(|b| b.as_ref())
     }
 
+    /// Re-roots the chain at a checkpoint: installs a synthetic, empty
+    /// txBlock at `n` whose digest is forced to the recorded chain digest, so
+    /// a replica replaying a WAL whose prefix was garbage-collected below a
+    /// stable checkpoint chains block `n + 1` onto the correct fingerprint
+    /// instead of a zero pointer. The synthetic block carries no transactions
+    /// and no QCs, so peers that receive it via sync reject it structurally;
+    /// it exists only to seed `prev_digest` locally.
+    pub fn install_anchor(&mut self, n: SeqNum, digest: Digest) {
+        if self.tx_blocks.contains_key(&n.0) {
+            return;
+        }
+        let mut anchor = TxBlock::new(View(0), n, Vec::new());
+        anchor.header.prev_digest = Digest::ZERO;
+        anchor.header.digest = digest;
+        self.tx_blocks.insert(n.0, Arc::new(anchor));
+    }
+
     /// Returns the committed txBlocks in the inclusive range `[from, to]`
     /// (cloned: callers ship them over the wire in `SyncResp`).
     pub fn tx_blocks_in(&self, from: u64, to: u64) -> Vec<TxBlock> {

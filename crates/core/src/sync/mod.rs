@@ -11,7 +11,7 @@
 //! subsystem, the only repair was the client-complaint → view-change path —
 //! every burst of loss bought a full election pause.
 //!
-//! Three sync kinds close every gap:
+//! Four sync kinds close every gap:
 //!
 //! * [`prestige_types::SyncKind::ViewChange`] — missing `vcBlock`s (stale
 //!   voters catch up before validating a campaign);
@@ -20,7 +20,17 @@
 //! * [`prestige_types::SyncKind::Ordered`] — **uncommitted** ordered batches
 //!   together with their ordering QCs: certified state transfer for
 //!   instances that may have committed elsewhere, closing the "partitioned
-//!   batch-holder" election stall documented by PR 4.
+//!   batch-holder" election stall documented by PR 4;
+//! * [`prestige_types::SyncKind::Snapshot`] — bulk catch-up for a replica
+//!   that is further behind than one serve budget (fresh restart from an
+//!   old checkpoint, long partition): committed blocks *plus* the view
+//!   history *plus* the server's stable checkpoint certificate, so the
+//!   rejoiner can re-establish a GC horizon while it pages the rest.
+//!
+//! The repair timer also carries **election retransmission** (`Camp` /
+//! `NewVcBlock` re-broadcast, idempotent `VoteCP` re-send): view-change
+//! messages lost to chaos previously stalled elections until the next
+//! timeout escalation.
 //!
 //! Structure:
 //!

@@ -4,9 +4,11 @@
 
 use super::serve::sync_kind_tag;
 use crate::pacemaker::timer_tags;
-use crate::server::PrestigeServer;
+use crate::server::{PrestigeServer, ServerRole};
 use prestige_sim::Context;
-use prestige_types::{Actor, Message, OrderedEntry, QcKind, SyncKind, TxBlock, VcBlock};
+use prestige_types::{
+    Actor, Message, OrderedEntry, QcKind, QuorumCertificate, SyncKind, TxBlock, VcBlock,
+};
 use std::sync::Arc;
 
 impl PrestigeServer {
@@ -36,6 +38,9 @@ impl PrestigeServer {
         }
         self.last_sync_req_ms[slot] = now;
         self.stats.sync_reqs_sent += 1;
+        if kind == SyncKind::Snapshot {
+            self.stats.snapshot_syncs += 1;
+        }
         ctx.send(
             to,
             Message::SyncReq {
@@ -90,6 +95,9 @@ impl PrestigeServer {
     /// view-change path.
     pub(crate) fn on_sync_repair_timer(&mut self, ctx: &mut Context<Message>) {
         self.arm_sync_repair_timer(ctx);
+        // Election retransmission rides the same tick: elections and commits
+        // stall independently, so it runs before the tip-progress gate.
+        self.retransmit_election(ctx);
         let tip = self.store.latest_seq().0;
         let progressed = tip != self.last_repair_tip;
         self.last_repair_tip = tip;
@@ -100,26 +108,55 @@ impl PrestigeServer {
         if let Some((&first_parked, _)) = self.pending_commit_blocks.iter().next() {
             if first_parked > tip + 1 {
                 let peer = self.next_sync_peer();
-                self.request_sync(peer, SyncKind::Transaction, tip + 1, first_parked - 1, ctx);
+                let kind = Self::catchup_kind(tip + 1, first_parked - 1);
+                self.request_sync(peer, kind, tip + 1, first_parked - 1, ctx);
             }
         } else if self.signed_commit_tip > tip {
             // (b) Commit-signed instances whose `CommitBlock` never arrived:
             // the commit QC may have assembled at a leader we can no longer
             // reach — any replica that applied it can serve the blocks.
             let peer = self.next_sync_peer();
-            self.request_sync(
-                peer,
-                SyncKind::Transaction,
-                tip + 1,
-                self.signed_commit_tip,
-                ctx,
-            );
+            let kind = Self::catchup_kind(tip + 1, self.signed_commit_tip);
+            self.request_sync(peer, kind, tip + 1, self.signed_commit_tip, ctx);
         }
         // (c) Certified-state holes below the signed tip: we are on the hook
         // for instances we cannot prove; fetch their batches and QCs.
         let cert_tip = self.certified_ord_tip().0;
         if self.signed_commit_tip > cert_tip {
             self.request_certified_state(cert_tip + 1, self.signed_commit_tip, ctx);
+        }
+    }
+
+    /// Catch-up request kind for a missing block range: a hole wider than
+    /// one serve budget means this replica is *far* behind (fresh restart
+    /// from an old checkpoint, long partition) — ask for a snapshot, which
+    /// also carries the view history and the stable checkpoint certificate,
+    /// instead of paging block-by-block with no checkpoint to GC against.
+    pub(crate) fn catchup_kind(lo: u64, hi: u64) -> SyncKind {
+        if hi.saturating_sub(lo) + 1 > super::MAX_SYNC_BLOCKS as u64 {
+            SyncKind::Snapshot
+        } else {
+            SyncKind::Transaction
+        }
+    }
+
+    /// Election-message retransmission, folded into the repair tick: a
+    /// candidate whose `Camp` — or a leader-elect whose `NewVcBlock` — was
+    /// lost would otherwise stall the election until its timeout forces a
+    /// fresh (and more expensive) campaign round. Voters re-send their
+    /// recorded vote idempotently (criterion C1 still holds), adopters
+    /// re-acknowledge the identical vcBlock.
+    fn retransmit_election(&mut self, ctx: &mut Context<Message>) {
+        if self.role == ServerRole::Candidate {
+            if let Some(message) = self.campaign_message() {
+                self.stats.election_retransmits += 1;
+                ctx.broadcast(self.other_servers(), message);
+            }
+        } else if let Some((block, _)) = &self.pending_vc_block {
+            let block = block.clone();
+            let sig = self.sign(crate::storage::vc_block_digest(&block).as_ref());
+            self.stats.election_retransmits += 1;
+            ctx.broadcast(self.other_servers(), Message::NewVcBlock { block, sig });
         }
     }
 
@@ -139,6 +176,7 @@ impl PrestigeServer {
         vc_blocks: Vec<VcBlock>,
         tx_blocks: Vec<TxBlock>,
         ordered: Vec<OrderedEntry>,
+        ckpt: Option<QuorumCertificate>,
         ctx: &mut Context<Message>,
     ) {
         let verifier_quorum = self.config.quorum();
@@ -238,12 +276,24 @@ impl PrestigeServer {
                 }
                 None => false,
             };
-            if ok && self.store.insert_vc_block(block.clone()) {
+            if !ok {
+                continue;
+            }
+            self.wal_append(prestige_storage::WalRecordRef::ViewInstall(&block));
+            if self.store.insert_vc_block(block.clone()) {
                 highest_installed = Some(block.leader_id);
             }
         }
         if let Some(leader) = highest_installed {
             self.note_view_installed(ctx, leader);
+        }
+
+        // A snapshot response carries the server's stable checkpoint
+        // certificate: adopt it now that the blocks above are applied (if
+        // the chain has not yet reached the certified height, the next
+        // snapshot round — after more blocks land — will).
+        if let Some(cert) = ckpt {
+            self.handle_ckpt_cert(cert, ctx);
         }
     }
 }
@@ -338,6 +388,7 @@ mod tests {
                 Vec::new(),
                 Vec::new(),
                 entries,
+                None,
                 ctx,
             );
         });
@@ -363,6 +414,7 @@ mod tests {
                 Vec::new(),
                 Vec::new(),
                 vec![mismatched, forged],
+                None,
                 ctx,
             );
         });
@@ -455,5 +507,34 @@ mod tests {
             .count();
         assert_eq!(sent, 2);
         assert_eq!(server.stats().sync_reqs_sent, 2);
+    }
+
+    #[test]
+    fn catchup_kind_escalates_wide_gaps_to_snapshot() {
+        let budget = crate::sync::MAX_SYNC_BLOCKS as u64;
+        // Exactly one serve budget still pages block-by-block…
+        assert_eq!(
+            PrestigeServer::catchup_kind(1, budget),
+            SyncKind::Transaction
+        );
+        // …one block past it escalates to a snapshot round.
+        assert_eq!(
+            PrestigeServer::catchup_kind(1, budget + 1),
+            SyncKind::Snapshot
+        );
+        assert_eq!(PrestigeServer::catchup_kind(7, 7), SyncKind::Transaction);
+    }
+
+    #[test]
+    fn snapshot_requests_are_counted() {
+        let registry = KeyRegistry::new(5, 4, 2);
+        let mut server =
+            PrestigeServer::new(ServerId(1), ClusterConfig::new(4), registry.clone(), 0);
+        let peer = Actor::Server(ServerId(0));
+        with_ctx_at(&mut server, 100.0, |s, ctx| {
+            s.request_sync(peer, SyncKind::Snapshot, 1, 1000, ctx);
+        });
+        assert_eq!(server.stats().snapshot_syncs, 1);
+        assert_eq!(server.stats().sync_reqs_sent, 1);
     }
 }

@@ -7,12 +7,14 @@ use prestige_sim::Context;
 use prestige_types::{Actor, Message, OrderedEntry, SyncKind};
 use std::sync::Arc;
 
-/// Stable per-kind tag used as part of rate-limiter keys.
+/// Stable per-kind tag used as part of rate-limiter keys. (Tag 3 is the
+/// receive-side `ORDERED_RECV_TAG`; `Snapshot` therefore takes 4.)
 pub(crate) fn sync_kind_tag(kind: SyncKind) -> u8 {
     match kind {
         SyncKind::ViewChange => 0,
         SyncKind::Transaction => 1,
         SyncKind::Ordered => 2,
+        SyncKind::Snapshot => 4,
     }
 }
 
@@ -115,6 +117,7 @@ impl PrestigeServer {
                     vc_blocks: blocks,
                     tx_blocks: Vec::new(),
                     ordered: Vec::new(),
+                    ckpt: None,
                 }
             }
             SyncKind::Transaction => {
@@ -129,13 +132,42 @@ impl PrestigeServer {
                     vc_blocks: Vec::new(),
                     tx_blocks: blocks,
                     ordered: Vec::new(),
+                    ckpt: None,
                 }
             }
             SyncKind::Ordered => Message::SyncResp {
                 vc_blocks: Vec::new(),
                 tx_blocks: Vec::new(),
                 ordered: self.collect_certified_entries(lo, hi),
+                ckpt: None,
             },
+            // A far-behind (or freshly restarted) peer catching up in bulk:
+            // the budgeted head of the missing block range, the full view
+            // history it may lack, and the stable checkpoint certificate so
+            // it can install the checkpoint as soon as its chain reaches the
+            // certified height.
+            SyncKind::Snapshot => {
+                let mut tx_blocks = Vec::new();
+                for block in self.store.tx_blocks_in(lo, hi) {
+                    if !budget.take(block.wire_size(), tx_blocks.len()) {
+                        break;
+                    }
+                    tx_blocks.push(block);
+                }
+                let mut vc_blocks = Vec::new();
+                for block in self.store.vc_blocks_in(1, self.store.current_view().0) {
+                    if !budget.take(block.wire_size(), vc_blocks.len()) {
+                        break;
+                    }
+                    vc_blocks.push(block);
+                }
+                Message::SyncResp {
+                    vc_blocks,
+                    tx_blocks,
+                    ordered: Vec::new(),
+                    ckpt: self.stable_ckpt_cert.clone(),
+                }
+            }
         };
         ctx.send(from, response);
     }
@@ -170,6 +202,7 @@ impl PrestigeServer {
                 vc_blocks: Vec::new(),
                 tx_blocks: Vec::new(),
                 ordered: entries,
+                ckpt: None,
             },
         );
     }

@@ -367,7 +367,36 @@ impl PrestigeServer {
         campaign.vote_builder = Some(vote_builder);
         self.voted_views.insert(campaign.new_view.0);
 
-        let message = Message::Camp {
+        if let Some(message) = self.campaign_message() {
+            ctx.broadcast(self.other_servers(), message);
+        }
+        let timeout = self.pacemaker.election_timeout(ctx.rng());
+        self.election_timer = Some(ctx.set_timer(timeout, timer_tags::ELECTION));
+    }
+
+    /// The `Camp` message of the active campaign, rebuilt from the stored
+    /// solution and claims. Used for the initial candidate broadcast and by
+    /// the repair-timer election retransmission (a lost `Camp` otherwise
+    /// wedges the election until the candidate times out and re-solves).
+    pub(crate) fn campaign_message(&self) -> Option<Message> {
+        let campaign = self.campaign.as_ref()?;
+        let solution = campaign.solution?;
+        let claimed_ord_seq = if self.behavior.overclaims_tip() {
+            SeqNum(campaign.ord_seq.0 + 8)
+        } else {
+            campaign.ord_seq
+        };
+        let digest = Self::campaign_digest(
+            self.id,
+            campaign.new_view,
+            campaign.rp,
+            solution.nonce,
+            &solution.hash_result,
+            campaign.tx_seq,
+            claimed_ord_seq,
+            &campaign.tx_digest,
+        );
+        Some(Message::Camp {
             conf_qc: campaign.conf_qc.clone(),
             view: campaign.old_view,
             new_view: campaign.new_view,
@@ -381,10 +410,7 @@ impl PrestigeServer {
             tip_cert: campaign.tip_cert.clone(),
             latest_tx_digest: campaign.tx_digest,
             sig: self.sign(digest.as_ref()),
-        };
-        ctx.broadcast(self.other_servers(), message);
-        let timeout = self.pacemaker.election_timeout(ctx.rng());
-        self.election_timer = Some(ctx.set_timer(timeout, timer_tags::ELECTION));
+        })
     }
 
     // ------------------------------------------------------------------

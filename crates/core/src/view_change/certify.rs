@@ -220,8 +220,23 @@ impl PrestigeServer {
         if claims.new_view <= self.store.current_view() {
             return;
         }
-        // C1: vote at most once per view.
+        // C1: vote at most once per view. A retransmitted `Camp` from the
+        // *same* candidate (its original `VoteCP` was lost) gets the recorded
+        // vote re-sent verbatim — idempotent, so the criterion holds — while
+        // any other candidate for the view is still refused.
         if self.voted_views.contains(&claims.new_view.0) {
+            if let Some((voted_for, share)) = self.cast_votes.get(&claims.new_view.0) {
+                if *voted_for == candidate {
+                    ctx.send(
+                        from,
+                        Message::VoteCP {
+                            new_view: claims.new_view,
+                            candidate,
+                            share: share.clone(),
+                        },
+                    );
+                }
+            }
             return;
         }
         self.charge_verify_cost(ctx);
@@ -376,6 +391,8 @@ impl PrestigeServer {
             SeqNum(0),
             &campaign_digest,
         ) {
+            self.cast_votes
+                .insert(claims.new_view.0, (candidate, share.clone()));
             ctx.send(
                 from,
                 Message::VoteCP {

@@ -153,9 +153,11 @@ impl PrestigeServer {
                 _ => None,
             }
         };
-        // Adopt.
+        // Adopt. Logged first: view history and the reputation state must
+        // survive a crash (replay rebuilds both from the WAL).
         let leader = block.leader_id;
         let view = block.v;
+        self.wal_append(prestige_storage::WalRecordRef::ViewInstall(&block));
         if !self.store.insert_vc_block(block) {
             return;
         }
@@ -202,6 +204,7 @@ impl PrestigeServer {
         }
         // Consensus for the new view is reached: install and lead.
         self.pending_vc_block = None;
+        self.wal_append(prestige_storage::WalRecordRef::ViewInstall(&block));
         if !self.store.insert_vc_block(block) {
             return;
         }

@@ -43,6 +43,7 @@ pub fn qc_statement(
         QcKind::Commit => 3,
         QcKind::Refresh => 4,
         QcKind::PreCommit => 5,
+        QcKind::Checkpoint => 6,
     };
     let mut out = [0u8; QC_STATEMENT_LEN];
     out[0] = kind_tag;

@@ -5,7 +5,9 @@
 //! The scenario is declarative: a mini-TOML file (same dialect as
 //! `prestige-node`'s cluster config) names the cluster shape, the fault plan
 //! (reusing `prestige_workloads::FaultPlan`), the link chaos, an optional
-//! timed partition with scheduled heal, and the assertions. The runner
+//! timed partition with scheduled heal, an optional crash-restart (`[restart]`
+//! — kill a server, optionally tear its WAL tail, restart it from disk; needs
+//! the `[storage]` durable plane), and the assertions. The runner
 //! launches the cluster on real node runtimes, drives the timeline, samples
 //! per-node progress, and writes a JSON report:
 //!
@@ -27,7 +29,7 @@
 //! paper's experiments.
 
 use prestige_metrics::Json;
-use prestige_net::cluster::LocalCluster;
+use prestige_net::cluster::{LocalCluster, StoragePlan};
 use prestige_net::config::{parse_toml, TomlDoc, TomlValue};
 use prestige_net::NetChaos;
 use prestige_types::{Actor, ClientId, ClusterConfig, ServerId, TimeoutConfig, ViewChangePolicy};
@@ -62,6 +64,26 @@ struct PartitionSpec {
     mode: PartitionMode,
 }
 
+/// A crash-restart injection: kill a server abruptly at `at_s`, optionally
+/// chop bytes off its WAL tail (the torn-tail crash signature), and restart
+/// it from disk after `down_ms`. Requires the `[storage]` section.
+#[derive(Debug, Clone)]
+struct RestartSpec {
+    at_s: f64,
+    down_ms: f64,
+    target: PartitionTarget,
+    truncate_tail_bytes: u64,
+}
+
+/// Durable-storage knobs for the scenario cluster (`[storage]` section).
+#[derive(Debug, Clone)]
+struct StorageSpec {
+    dir: Option<String>,
+    checkpoint_interval: u64,
+    segment_bytes: u64,
+    sync_every_n: u64,
+}
+
 #[derive(Debug, Clone)]
 struct Scenario {
     name: String,
@@ -82,10 +104,13 @@ struct Scenario {
     jitter_ms: f64,
     loss: f64,
     partition: Option<PartitionSpec>,
+    restart: Option<RestartSpec>,
+    storage: Option<StorageSpec>,
     assert_no_fork: bool,
     assert_no_faulty_leader: bool,
     min_cert_refusals: u64,
     min_committed_after: u64,
+    min_stable_checkpoint: u64,
     recovery_floor_tps: f64,
     recovery_window_s: f64,
 }
@@ -149,9 +174,9 @@ impl Scenario {
         };
 
         let servers = get_u64(&doc, "scenario", "servers", 4)? as u32;
-        let partition = if doc.contains_key("partition") {
-            let target = match get_str(&doc, "partition", "target").unwrap_or("leader") {
-                "leader" => PartitionTarget::Leader,
+        let parse_target = |section: &str| -> Result<PartitionTarget, String> {
+            match get_str(&doc, section, "target").unwrap_or("leader") {
+                "leader" => Ok(PartitionTarget::Leader),
                 name => {
                     let id = name
                         .strip_prefix('s')
@@ -159,13 +184,16 @@ impl Scenario {
                         .filter(|id| *id < servers)
                         .ok_or_else(|| {
                             format!(
-                                "partition.target `{name}` (leader, or s0..s{})",
+                                "{section}.target `{name}` (leader, or s0..s{})",
                                 servers.saturating_sub(1)
                             )
                         })?;
-                    PartitionTarget::Server(id)
+                    Ok(PartitionTarget::Server(id))
                 }
-            };
+            }
+        };
+        let partition = if doc.contains_key("partition") {
+            let target = parse_target("partition")?;
             let mode = match get_str(&doc, "partition", "mode").unwrap_or("sym") {
                 "sym" => PartitionMode::Symmetric,
                 "inbound" => PartitionMode::Inbound,
@@ -177,6 +205,32 @@ impl Scenario {
                 duration_ms: get_f64(&doc, "partition", "duration_ms", 500.0)?,
                 target,
                 mode,
+            })
+        } else {
+            None
+        };
+
+        let storage = if doc.contains_key("storage") {
+            Some(StorageSpec {
+                dir: get_str(&doc, "storage", "dir").map(str::to_string),
+                checkpoint_interval: get_u64(&doc, "storage", "checkpoint_interval", 64)?,
+                segment_bytes: get_u64(&doc, "storage", "segment_bytes", 4 << 20)?,
+                sync_every_n: get_u64(&doc, "storage", "sync_every_n", 64)?,
+            })
+        } else {
+            None
+        };
+        let restart = if doc.contains_key("restart") {
+            if storage.is_none() {
+                return Err(
+                    "[restart] requires a [storage] section (restart replays the WAL)".to_string(),
+                );
+            }
+            Some(RestartSpec {
+                at_s: get_f64(&doc, "restart", "at_s", 1.0)?,
+                down_ms: get_f64(&doc, "restart", "down_ms", 500.0)?,
+                target: parse_target("restart")?,
+                truncate_tail_bytes: get_u64(&doc, "restart", "truncate_tail_bytes", 0)?,
             })
         } else {
             None
@@ -204,6 +258,8 @@ impl Scenario {
             jitter_ms: get_f64(&doc, "chaos", "jitter_ms", 0.0)?,
             loss: get_f64(&doc, "chaos", "loss", 0.0)?,
             partition,
+            restart,
+            storage,
             assert_no_fork: !matches!(get(&doc, "assert", "no_fork"), Some(TomlValue::Bool(false))),
             assert_no_faulty_leader: matches!(
                 get(&doc, "assert", "no_faulty_leader"),
@@ -211,6 +267,7 @@ impl Scenario {
             ),
             min_cert_refusals: get_u64(&doc, "assert", "min_cert_refusals", 0)?,
             min_committed_after: get_u64(&doc, "assert", "min_committed", 0)?,
+            min_stable_checkpoint: get_u64(&doc, "assert", "min_stable_checkpoint", 0)?,
             recovery_floor_tps: get_f64(&doc, "assert", "recovery_floor_tps", 0.0)?,
             recovery_window_s: get_f64(&doc, "assert", "recovery_window_s", 1.0)?,
         })
@@ -226,7 +283,30 @@ impl Scenario {
         if let Some(interval_ms) = self.rotation_ms {
             config.policy = ViewChangePolicy::Timing { interval_ms };
         }
+        if let Some(storage) = &self.storage {
+            config = config.with_checkpoint_interval(storage.checkpoint_interval);
+        }
         config
+    }
+
+    /// Builds the cluster's storage plan when the scenario is durable.
+    /// Without an explicit `storage.dir`, a per-run temp directory is used
+    /// (and wiped first, so a rerun never replays a stale log).
+    fn storage_plan(&self) -> Option<StoragePlan> {
+        let spec = self.storage.as_ref()?;
+        let root = match &spec.dir {
+            Some(dir) => std::path::PathBuf::from(dir),
+            None => std::env::temp_dir().join(format!(
+                "prestige-chaos-{}-{}",
+                self.name.replace(['/', ' '], "_"),
+                std::process::id()
+            )),
+        };
+        let _ = std::fs::remove_dir_all(&root);
+        let mut plan = StoragePlan::new(root);
+        plan.options.segment_bytes = spec.segment_bytes;
+        plan.options.sync_every_n = spec.sync_every_n;
+        Some(plan)
     }
 }
 
@@ -359,21 +439,29 @@ fn run(scenario: &Scenario, out_path: &str) -> Result<(), Vec<String>> {
         scenario.loss * 100.0,
         scenario.partition,
     );
-    let cluster = LocalCluster::launch_adversarial(
+    let storage_plan = scenario.storage_plan();
+    let mut cluster = LocalCluster::launch_full(
         scenario.cluster_config(),
         scenario.seed,
         scenario.clients,
         scenario.concurrency,
         &behaviors,
         Some(chaos.clone()),
+        storage_plan,
     );
 
-    // --- timeline: sample progress, fire the partition, schedule its heal ---
+    // --- timeline: sample progress, fire the partition / crash-restart ---
     let started = Instant::now();
     let mut series: Vec<Sample> = Vec::new();
     let mut partition_fired = false;
     let mut partition_window: Option<(f64, f64)> = None; // (start_s, heal_s)
     let mut partitioned_server: Option<ServerId> = None;
+    let mut restart_due: Option<(ServerId, f64)> = None; // (target, restart_at_s)
+    let mut restart_fired = false;
+    let mut restart_killed_s: Option<f64> = None;
+    let mut restart_window: Option<(f64, f64)> = None; // (killed_s, restarted_s)
+    let mut restarted_server: Option<ServerId> = None;
+    let mut truncated_bytes: u64 = 0;
     let tick = Duration::from_millis(100);
     loop {
         let t_s = started.elapsed().as_secs_f64();
@@ -409,6 +497,43 @@ fn run(scenario: &Scenario, out_path: &str) -> Result<(), Vec<String>> {
                      (heal scheduled)",
                     spec.mode, spec.duration_ms
                 );
+            }
+        }
+
+        if let Some(spec) = &scenario.restart {
+            if !restart_fired && t_s >= spec.at_s {
+                restart_fired = true;
+                let target = match spec.target {
+                    PartitionTarget::Server(id) => ServerId(id),
+                    PartitionTarget::Leader => cluster
+                        .correct_servers()
+                        .first()
+                        .and_then(|&observer| cluster.view_of(observer))
+                        .map(|(_, leader)| leader)
+                        .unwrap_or(ServerId(0)),
+                };
+                cluster.crash_server(target);
+                if spec.truncate_tail_bytes > 0 {
+                    match cluster.truncate_wal_tail(target, spec.truncate_tail_bytes) {
+                        Ok(cut) => truncated_bytes = cut,
+                        Err(e) => eprintln!("chaos_net: WAL tail truncation failed: {e}"),
+                    }
+                }
+                restart_killed_s = Some(t_s);
+                restart_due = Some((target, t_s + spec.down_ms / 1000.0));
+                eprintln!(
+                    "chaos_net: t={t_s:.2}s killed {target:?} (down {} ms, torn tail {} bytes)",
+                    spec.down_ms, truncated_bytes
+                );
+            }
+        }
+        if let Some((target, due_s)) = restart_due {
+            if t_s >= due_s {
+                restart_due = None;
+                cluster.restart_server(target);
+                restart_window = Some((restart_killed_s.unwrap_or(due_s), t_s));
+                restarted_server = Some(target);
+                eprintln!("chaos_net: t={t_s:.2}s restarted {target:?} from its WAL");
             }
         }
         std::thread::sleep(tick);
@@ -496,7 +621,29 @@ fn run(scenario: &Scenario, out_path: &str) -> Result<(), Vec<String>> {
                 .push("campaigns_started", stats.campaigns_started)
                 .push("camp_cert_refusals", stats.camp_cert_refusals)
                 .push("sync_reqs_sent", stats.sync_reqs_sent)
+                .push("election_retransmits", stats.election_retransmits)
                 .push("double_assign_refused", stats.double_assign_refused);
+        }
+        if scenario.storage.is_some() {
+            if let Some(stats) = &stats {
+                node.push("checkpoint_count", stats.checkpoints_formed)
+                    .push("gc_pruned_keys", stats.gc_pruned_keys);
+            }
+            node.push(
+                "stable_checkpoint",
+                cluster
+                    .stable_checkpoint_of(id)
+                    .map(Json::UInt)
+                    .unwrap_or(Json::Null),
+            );
+            if let Some(storage) = cluster.storage_stats(id) {
+                node.push("wal_bytes", storage.wal_bytes)
+                    .push("wal_records", storage.records)
+                    .push("fsyncs", storage.fsyncs)
+                    .push("wal_segments", storage.segments)
+                    .push("wal_pruned_segments", storage.pruned_segments)
+                    .push("wal_pruned_bytes", storage.pruned_bytes);
+            }
         }
         if let Some((_, rp)) = reputations.iter().find(|(s, _)| *s == id) {
             node.push("reputation_penalty", *rp);
@@ -578,6 +725,42 @@ fn run(scenario: &Scenario, out_path: &str) -> Result<(), Vec<String>> {
             );
         }
     }
+    if scenario.restart.is_some() {
+        match restarted_server {
+            None => failures.push(format!(
+                "the configured crash-restart did not complete within the {final_t:.1}s run \
+                 (killed: {restart_fired}) — extend duration_s or move restart.at_s earlier"
+            )),
+            Some(id) => {
+                // The restarted replica must actually be back: answering
+                // inspections and holding a committed chain consistent with
+                // the survivors (covered by verify_no_fork above when it is
+                // correct — assert it answers at all here).
+                if cluster.committed_chain(id).is_none() {
+                    failures.push(format!(
+                        "restarted server s{} does not answer after rejoin",
+                        id.0
+                    ));
+                }
+            }
+        }
+    }
+    if scenario.min_stable_checkpoint > 0 {
+        let best = correct
+            .iter()
+            .filter_map(|&id| cluster.stable_checkpoint_of(id))
+            .max()
+            .unwrap_or(0);
+        if best < scenario.min_stable_checkpoint {
+            failures.push(format!(
+                "highest stable checkpoint {best} across correct servers is below the \
+                 required {} — checkpoints never formed (or GC never ran)",
+                scenario.min_stable_checkpoint
+            ));
+        } else {
+            eprintln!("chaos_net: stable checkpoint reached sequence {best}");
+        }
+    }
     if recovery_tps < scenario.recovery_floor_tps {
         failures.push(format!(
             "recovery throughput {recovery_tps:.0} tx/s over the trailing {window:.1}s is \
@@ -616,6 +799,23 @@ fn run(scenario: &Scenario, out_path: &str) -> Result<(), Vec<String>> {
         }
         _ => Json::Null,
     };
+    let restart_obj = match (&scenario.restart, restart_window) {
+        (Some(spec), Some((killed, back))) => {
+            let mut r = Json::obj();
+            r.push(
+                "server",
+                restarted_server
+                    .map(|s| format!("s{}", s.0))
+                    .unwrap_or_default(),
+            )
+            .push("killed_s", killed)
+            .push("restarted_s", back)
+            .push("down_ms", spec.down_ms)
+            .push("truncated_tail_bytes", truncated_bytes);
+            r
+        }
+        _ => Json::Null,
+    };
 
     let mut liveness = Vec::new();
     for s in &series {
@@ -648,6 +848,8 @@ fn run(scenario: &Scenario, out_path: &str) -> Result<(), Vec<String>> {
         .push("strategy", scenario.strategy_label.as_str())
         .push("chaos", chaos_obj)
         .push("partition", partition_obj)
+        .push("restart", restart_obj)
+        .push("durable", scenario.storage.is_some())
         .push("measured_seconds", final_t)
         .push("committed_tx", total_committed)
         .push("tx_per_sec", overall_tps)

@@ -15,8 +15,8 @@
 //! the client-observed end-to-end commit latency (mean / p50 / p99, ms).
 
 use prestige_core::ClientStats;
-use prestige_net::cluster::LocalCluster;
-use prestige_types::{ClientId, ClusterConfig};
+use prestige_net::cluster::{LocalCluster, StoragePlan};
+use prestige_types::{ClientId, ClusterConfig, ServerId};
 use std::time::{Duration, Instant};
 
 struct Options {
@@ -29,6 +29,8 @@ struct Options {
     verify_workers: usize,
     warmup_s: f64,
     duration_s: f64,
+    durable: bool,
+    checkpoint_interval: u64,
     out: String,
 }
 
@@ -48,6 +50,8 @@ impl Default for Options {
             verify_workers: 0,
             warmup_s: 2.0,
             duration_s: 10.0,
+            durable: false,
+            checkpoint_interval: 64,
             out: "BENCH_peak.json".to_string(),
         }
     }
@@ -80,6 +84,15 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--duration" => {
                 opts.duration_s = need("--duration")?.parse().map_err(|e| format!("{e}"))?
             }
+            "--durable" => {
+                opts.durable = true;
+                i -= 1; // flag takes no value
+            }
+            "--checkpoint-interval" => {
+                opts.checkpoint_interval = need("--checkpoint-interval")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
             "--out" => opts.out = need("--out")?.clone(),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -109,30 +122,51 @@ fn main() {
             eprintln!(
                 "usage: peak_net [--servers N] [--clients N] [--concurrency N] [--batch N] \
                  [--payload BYTES] [--pipeline N] [--verify-workers N] [--warmup SECS] \
-                 [--duration SECS] [--out PATH]"
+                 [--duration SECS] [--durable] [--checkpoint-interval N] [--out PATH]"
             );
             std::process::exit(1);
         }
     };
 
     let baseline = baseline_tps(&opts.out);
-    let config = ClusterConfig::new(opts.servers)
+    let mut config = ClusterConfig::new(opts.servers)
         .with_batch_size(opts.batch_size)
         .with_payload_size(opts.payload)
         .with_pipeline_depth(opts.pipeline)
         .with_verify_workers(opts.verify_workers);
+    if opts.durable {
+        config = config.with_checkpoint_interval(opts.checkpoint_interval);
+    }
     eprintln!(
         "peak_net: launching {} servers, {} clients (concurrency {}), batch {}, payload {}B, \
-         pipeline {}, verify workers {}",
+         pipeline {}, verify workers {}, durable {}",
         opts.servers,
         opts.clients,
         opts.concurrency,
         opts.batch_size,
         opts.payload,
         config.pipeline_depth,
-        config.verify_workers
+        config.verify_workers,
+        opts.durable
     );
-    let cluster = LocalCluster::launch(config.clone(), 7, opts.clients, opts.concurrency);
+    // Durable mode: every server appends its commits to a real on-disk WAL
+    // (fsync batched) and forms certified checkpoints — the measured delta
+    // against the default in-memory run is the price of crash durability.
+    let wal_root = opts.durable.then(|| {
+        let root = std::env::temp_dir().join(format!("prestige-peak-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        root
+    });
+    let cluster = match &wal_root {
+        Some(root) => LocalCluster::launch_durable(
+            config.clone(),
+            7,
+            opts.clients,
+            opts.concurrency,
+            StoragePlan::new(root.clone()),
+        ),
+        None => LocalCluster::launch(config.clone(), 7, opts.clients, opts.concurrency),
+    };
 
     let snapshot = |c: &LocalCluster| -> Vec<ClientStats> {
         (0..opts.clients)
@@ -155,9 +189,35 @@ fn main() {
     let committed = total_committed(&after).saturating_sub(total_committed(&before));
     let tps = committed as f64 / elapsed;
 
+    // Storage-plane totals across servers (durable runs only), gathered
+    // while the nodes are still alive.
+    let storage_summary = opts.durable.then(|| {
+        let mut wal_bytes = 0u64;
+        let mut fsyncs = 0u64;
+        let mut checkpoints = 0u64;
+        let mut gc_pruned = 0u64;
+        let mut stable = 0u64;
+        for i in 0..opts.servers {
+            let id = ServerId(i);
+            if let Some(s) = cluster.storage_stats(id) {
+                wal_bytes += s.wal_bytes;
+                fsyncs += s.fsyncs;
+            }
+            if let Some((c, g)) = cluster.checkpoint_counters(id) {
+                checkpoints += c;
+                gc_pruned += g;
+            }
+            stable = stable.max(cluster.stable_checkpoint_of(id).unwrap_or(0));
+        }
+        (wal_bytes, fsyncs, checkpoints, gc_pruned, stable)
+    });
+
     // Latency over the measurement window (accounting was reset at the
     // warmup boundary; samples are bounded per client).
     let final_stats = cluster.shutdown();
+    if let Some(root) = &wal_root {
+        let _ = std::fs::remove_dir_all(root);
+    }
     let mut merged = ClientStats::default();
     for stats in final_stats.values() {
         merged.latency_sum_ms += stats.latency_sum_ms;
@@ -167,12 +227,22 @@ fn main() {
     let cpu_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let storage_json = match &storage_summary {
+        Some((wal_bytes, fsyncs, checkpoints, gc_pruned, stable)) => format!(
+            "  \"durable\": true,\n  \"checkpoint_interval\": {},\n  \
+             \"wal_bytes\": {wal_bytes},\n  \"fsyncs\": {fsyncs},\n  \
+             \"checkpoint_count\": {checkpoints},\n  \"gc_pruned_keys\": {gc_pruned},\n  \
+             \"stable_checkpoint\": {stable},\n",
+            opts.checkpoint_interval
+        ),
+        None => "  \"durable\": false,\n".to_string(),
+    };
     let report = format!(
         "{{\n  \"bench\": \"peak_net\",\n  \"transport\": \"loopback\",\n  \
          \"servers\": {},\n  \"clients\": {},\n  \"concurrency\": {},\n  \
          \"batch_size\": {},\n  \"payload_bytes\": {},\n  \
          \"pipeline_depth\": {},\n  \"verify_workers\": {},\n  \
-         \"cpu_cores\": {},\n  \
+         \"cpu_cores\": {},\n{}  \
          \"measured_seconds\": {:.3},\n  \"committed_tx\": {},\n  \
          \"tx_per_sec\": {:.1},\n  \"latency_mean_ms\": {:.3},\n  \
          \"latency_p50_ms\": {:.3},\n  \"latency_p99_ms\": {:.3}\n}}\n",
@@ -184,6 +254,7 @@ fn main() {
         config.pipeline_depth,
         config.verify_workers,
         cpu_cores,
+        storage_json,
         elapsed,
         committed,
         tps,

@@ -87,6 +87,12 @@ fn run(args: &[String]) -> Result<(), String> {
                      (from the [faults] section)"
                 );
             }
+            if let Some(plan) = &config.storage {
+                println!(
+                    "prestige-node: durable WAL at {}",
+                    plan.server_dir(id).display()
+                );
+            }
             let handle = launch_tcp_server(
                 id,
                 config.cluster.clone(),
@@ -95,6 +101,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 config.listen,
                 config.peers.clone(),
                 behavior,
+                config.storage.clone(),
             )
             .map_err(|e| format!("binding {}: {e}", config.listen))?;
 

@@ -23,10 +23,38 @@ use prestige_core::{
     ByzantineBehavior, ClientConfig, ClientStats, PrestigeClient, PrestigeServer, ServerStats,
 };
 use prestige_crypto::KeyRegistry;
+use prestige_storage::{StorageStats, Wal, WalOptions};
 use prestige_types::{Actor, ClientId, ClusterConfig, Digest, Message, ServerId, View};
 use std::collections::HashMap;
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+/// Where and how a cluster persists per-server write-ahead logs. Server `i`
+/// keeps its segments under `<root>/server-<i>/`; restarting a server reopens
+/// that directory and replays it before rejoining.
+#[derive(Debug, Clone)]
+pub struct StoragePlan {
+    /// Root directory for the whole cluster's logs.
+    pub root: PathBuf,
+    /// WAL tuning (segment size, fsync batching) shared by every server.
+    pub options: WalOptions,
+}
+
+impl StoragePlan {
+    /// A plan with default WAL tuning rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        StoragePlan {
+            root: root.into(),
+            options: WalOptions::default(),
+        }
+    }
+
+    /// The WAL directory of server `id`.
+    pub fn server_dir(&self, id: ServerId) -> PathBuf {
+        self.root.join(format!("server-{}", id.0))
+    }
+}
 
 /// Wraps a transport endpoint in the chaos filter when a controller is
 /// attached. `salt` differentiates the per-endpoint loss/jitter RNG streams.
@@ -49,11 +77,48 @@ fn maybe_chaotic(
 /// A PrestigeBFT cluster running on real node runtimes in this process.
 pub struct LocalCluster {
     config: ClusterConfig,
+    registry: KeyRegistry,
+    seed: u64,
     net: LoopbackNet<Message>,
     chaos: Option<NetChaos>,
     behaviors: HashMap<ServerId, ByzantineBehavior>,
+    storage: Option<StoragePlan>,
     servers: HashMap<ServerId, NodeHandle<Message>>,
     clients: HashMap<ClientId, NodeHandle<Message>>,
+}
+
+/// Builds one server node — fresh or restarted — optionally replaying and
+/// attaching its WAL, and spawns it on the loopback fabric.
+#[allow(clippy::too_many_arguments)]
+fn spawn_server(
+    id: ServerId,
+    config: &ClusterConfig,
+    registry: &KeyRegistry,
+    seed: u64,
+    behavior: ByzantineBehavior,
+    net: &LoopbackNet<Message>,
+    chaos: &Option<NetChaos>,
+    storage: &Option<StoragePlan>,
+) -> NodeHandle<Message> {
+    let mut server =
+        PrestigeServer::with_behavior(id, config.clone(), registry.clone(), seed, behavior);
+    if let Some(plan) = storage {
+        let dir = plan.server_dir(id);
+        std::fs::create_dir_all(&dir).expect("create WAL directory");
+        // Replay-then-attach: the records rebuild committed state with
+        // storage still detached (no re-appends), then the open WAL becomes
+        // the server's durability sink.
+        let (wal, records) = Wal::open(&dir, plan.options.clone()).expect("open WAL");
+        server.replay_wal(records);
+        server.attach_storage(Box::new(wal));
+    }
+    // `verify_workers > 0` moves signature/QC checks off the protocol
+    // loop; the runtime polls the pool and feeds verdicts back as
+    // events.
+    let pool = (config.verify_workers > 0).then(|| server.spawn_verify_pool(config.verify_workers));
+    let endpoint = net.endpoint(Actor::Server(id));
+    let transport = maybe_chaotic(endpoint, chaos, seed, id.0 as u64);
+    NodeHandle::spawn_with_pool(Box::new(server), transport, seed, pool)
 }
 
 impl LocalCluster {
@@ -62,6 +127,19 @@ impl LocalCluster {
     /// All servers are correct and all links are healthy.
     pub fn launch(config: ClusterConfig, seed: u64, clients: u64, concurrency: usize) -> Self {
         Self::launch_adversarial(config, seed, clients, concurrency, &[], None)
+    }
+
+    /// [`Self::launch`] with a durable storage plan: every server writes its
+    /// WAL under the plan's root and can be killed and restarted
+    /// ([`Self::restart_server`]) from disk.
+    pub fn launch_durable(
+        config: ClusterConfig,
+        seed: u64,
+        clients: u64,
+        concurrency: usize,
+        storage: StoragePlan,
+    ) -> Self {
+        Self::launch_full(config, seed, clients, concurrency, &[], None, Some(storage))
     }
 
     /// [`Self::launch`] under adversarial conditions: server `i` runs with
@@ -77,6 +155,20 @@ impl LocalCluster {
         behaviors: &[ByzantineBehavior],
         chaos: Option<NetChaos>,
     ) -> Self {
+        Self::launch_full(config, seed, clients, concurrency, behaviors, chaos, None)
+    }
+
+    /// The full launcher: Byzantine behaviours, chaos, and durable storage
+    /// in any combination.
+    pub fn launch_full(
+        config: ClusterConfig,
+        seed: u64,
+        clients: u64,
+        concurrency: usize,
+        behaviors: &[ByzantineBehavior],
+        chaos: Option<NetChaos>,
+        storage: Option<StoragePlan>,
+    ) -> Self {
         let registry = KeyRegistry::new(seed, config.n(), clients);
         let net: LoopbackNet<Message> = LoopbackNet::new();
 
@@ -86,18 +178,11 @@ impl LocalCluster {
             let id = ServerId(i);
             let behavior = behaviors.get(i as usize).copied().unwrap_or_default();
             behavior_map.insert(id, behavior);
-            let mut server =
-                PrestigeServer::with_behavior(id, config.clone(), registry.clone(), seed, behavior);
-            // `verify_workers > 0` moves signature/QC checks off the protocol
-            // loop; the runtime polls the pool and feeds verdicts back as
-            // events.
-            let pool = (config.verify_workers > 0)
-                .then(|| server.spawn_verify_pool(config.verify_workers));
-            let endpoint = net.endpoint(Actor::Server(id));
-            let transport = maybe_chaotic(endpoint, &chaos, seed, i as u64);
             servers.insert(
                 id,
-                NodeHandle::spawn_with_pool(Box::new(server), transport, seed, pool),
+                spawn_server(
+                    id, &config, &registry, seed, behavior, &net, &chaos, &storage,
+                ),
             );
         }
 
@@ -118,9 +203,12 @@ impl LocalCluster {
 
         LocalCluster {
             config,
+            registry,
+            seed,
             net,
             chaos,
             behaviors: behavior_map,
+            storage,
             servers,
             clients: client_handles,
         }
@@ -271,6 +359,86 @@ impl LocalCluster {
         }
     }
 
+    /// Restarts a crashed server from its on-disk WAL: a **fresh**
+    /// `PrestigeServer` is built, the log directory is reopened (torn tails
+    /// truncated, chain verified), the surviving records are replayed into
+    /// its block store, and the node rejoins the fabric — from where the
+    /// sync plane pages it forward. Panics if the server is still running;
+    /// launched without a [`StoragePlan`], the server rejoins blank (every
+    /// block must come back over sync).
+    pub fn restart_server(&mut self, id: ServerId) {
+        assert!(
+            !self.servers.contains_key(&id),
+            "restart_server({id:?}): crash it first"
+        );
+        let behavior = self.behavior_of(id);
+        let handle = spawn_server(
+            id,
+            &self.config,
+            &self.registry,
+            self.seed,
+            behavior,
+            &self.net,
+            &self.chaos,
+            &self.storage,
+        );
+        self.servers.insert(id, handle);
+    }
+
+    /// The storage plan the cluster was launched with, if any.
+    pub fn storage_plan(&self) -> Option<&StoragePlan> {
+        self.storage.as_ref()
+    }
+
+    /// Live storage-plane stats of server `id` (`None` when the server is
+    /// down or the cluster is not durable).
+    pub fn storage_stats(&self, id: ServerId) -> Option<StorageStats> {
+        self.servers
+            .get(&id)?
+            .inspect_as::<PrestigeServer, _, _>(|s| s.storage_stats())
+            .flatten()
+    }
+
+    /// Server `id`'s stable checkpoint height (0 = none yet).
+    pub fn stable_checkpoint_of(&self, id: ServerId) -> Option<u64> {
+        self.servers
+            .get(&id)?
+            .inspect_as::<PrestigeServer, _, _>(|s| s.stable_checkpoint())
+    }
+
+    /// Server `id`'s checkpoint-GC counters `(checkpoints_formed,
+    /// gc_pruned_keys)`.
+    pub fn checkpoint_counters(&self, id: ServerId) -> Option<(u64, u64)> {
+        self.server_stats(id)
+            .map(|s| (s.checkpoints_formed, s.gc_pruned_keys))
+    }
+
+    /// Chops up to `bytes` off the end of server `id`'s newest WAL segment —
+    /// the torn-tail crash signature (a power cut mid-append). The server
+    /// must be down. Returns how many bytes were actually removed.
+    pub fn truncate_wal_tail(&self, id: ServerId, bytes: u64) -> std::io::Result<u64> {
+        assert!(
+            !self.servers.contains_key(&id),
+            "truncate_wal_tail({id:?}): crash it first"
+        );
+        let plan = self.storage.as_ref().expect("durable cluster required");
+        let dir = plan.server_dir(id);
+        let mut segments: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "seg"))
+            .collect();
+        segments.sort();
+        let Some(last) = segments.last() else {
+            return Ok(0);
+        };
+        let len = std::fs::metadata(last)?.len();
+        let cut = bytes.min(len);
+        let file = std::fs::OpenOptions::new().write(true).open(last)?;
+        file.set_len(len - cut)?;
+        Ok(cut)
+    }
+
     /// Server ids currently alive.
     pub fn live_servers(&self) -> Vec<ServerId> {
         let mut ids: Vec<ServerId> = self.servers.keys().copied().collect();
@@ -326,7 +494,10 @@ impl LocalCluster {
 /// Launches one server node over TCP, as the `prestige-node` binary does.
 /// `behavior` is the server's Byzantine behaviour — [`ByzantineBehavior::Correct`]
 /// for production nodes, an attack variant for adversarial deployments.
+/// With a [`StoragePlan`] the server replays and attaches its WAL (the node's
+/// directory under the plan root), so a killed process restarts from disk.
 /// Returns the runtime handle; the process typically parks afterwards.
+#[allow(clippy::too_many_arguments)]
 pub fn launch_tcp_server(
     id: ServerId,
     config: ClusterConfig,
@@ -335,11 +506,20 @@ pub fn launch_tcp_server(
     listen: SocketAddr,
     peers: HashMap<Actor, SocketAddr>,
     behavior: ByzantineBehavior,
+    storage: Option<StoragePlan>,
 ) -> std::io::Result<NodeHandle<Message>> {
     let transport: TcpTransport<Message> =
         TcpTransport::bind(Actor::Server(id), TcpConfig::new(listen, peers))?;
     let verify_workers = config.verify_workers;
     let mut server = PrestigeServer::with_behavior(id, config, registry, seed, behavior);
+    if let Some(plan) = &storage {
+        let dir = plan.server_dir(id);
+        std::fs::create_dir_all(&dir)?;
+        let (wal, records) =
+            Wal::open(&dir, plan.options.clone()).map_err(std::io::Error::other)?;
+        server.replay_wal(records);
+        server.attach_storage(Box::new(wal));
+    }
     let pool = (verify_workers > 0).then(|| server.spawn_verify_pool(verify_workers));
     Ok(NodeHandle::spawn_with_pool(
         Box::new(server),

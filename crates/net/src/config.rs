@@ -17,6 +17,7 @@
 //! # pipeline_depth = 4     # leader replication window
 //! # verify_workers = 0     # off-loop crypto worker threads
 //! # rotation_ms = 10000.0  # timing view-change policy (r10); omit = on-failure-only
+//! # checkpoint_interval = 64  # certified checkpoint + WAL GC cadence (0 = off)
 //!
 //! [node]
 //! role = "server"     # or "client"
@@ -35,6 +36,13 @@
 //! count = 1
 //! strategy = "s1"     # s1 = attack always, s2 = only when compensable
 //!
+//! # Optional durable storage plane: hash-chained WAL + restart-from-disk.
+//! [storage]
+//! dir = "/var/lib/prestige"   # server i logs under <dir>/server-<i>/
+//! # segment_bytes = 4194304
+//! # sync_every_n = 64
+//! # sync_interval_ms = 5.0
+//!
 //! [peers]
 //! s0 = "127.0.0.1:7000"
 //! s1 = "127.0.0.1:7001"
@@ -43,6 +51,7 @@
 //! c0 = "127.0.0.1:7100"
 //! ```
 
+use crate::cluster::StoragePlan;
 use prestige_core::{AttackStrategy, ByzantineBehavior};
 use prestige_types::{Actor, ClientId, ClusterConfig, ServerId, ViewChangePolicy};
 use prestige_workloads::FaultPlan;
@@ -218,6 +227,9 @@ pub struct NodeConfig {
     pub listen: SocketAddr,
     /// Peer addresses (including this node's own entry).
     pub peers: HashMap<Actor, SocketAddr>,
+    /// Durable storage plan (`[storage]` section); `None` = in-memory only.
+    /// Server `i` logs under `<storage.dir>/server-<i>/`.
+    pub storage: Option<StoragePlan>,
 }
 
 impl NodeConfig {
@@ -273,6 +285,9 @@ impl NodeConfig {
             if ms > 0.0 {
                 cluster.policy = ViewChangePolicy::Timing { interval_ms: ms };
             }
+        }
+        if let Some(iv) = get("cluster", "checkpoint_interval").and_then(TomlValue::as_int) {
+            cluster.checkpoint_interval = positive("cluster.checkpoint_interval", iv)?;
         }
         if let Some(ms) = get("timeouts", "base_timeout_ms").and_then(TomlValue::as_float) {
             cluster.timeouts.base_timeout_ms = ms;
@@ -356,6 +371,24 @@ impl NodeConfig {
         )?;
         let duration_s = get("workload", "duration_s").and_then(TomlValue::as_float);
 
+        // Optional `[storage]` section: durable WAL + restart-from-disk.
+        let storage = match get("storage", "dir").and_then(TomlValue::as_str) {
+            None => None,
+            Some(dir) => {
+                let mut plan = StoragePlan::new(dir);
+                if let Some(bytes) = get("storage", "segment_bytes").and_then(TomlValue::as_int) {
+                    plan.options.segment_bytes = positive("storage.segment_bytes", bytes)?;
+                }
+                if let Some(n) = get("storage", "sync_every_n").and_then(TomlValue::as_int) {
+                    plan.options.sync_every_n = positive("storage.sync_every_n", n)?;
+                }
+                if let Some(ms) = get("storage", "sync_interval_ms").and_then(TomlValue::as_float) {
+                    plan.options.sync_interval_ms = ms;
+                }
+                Some(plan)
+            }
+        };
+
         Ok(NodeConfig {
             role,
             cluster,
@@ -366,6 +399,7 @@ impl NodeConfig {
             fault_plan,
             listen,
             peers,
+            storage,
         })
     }
 
@@ -504,6 +538,34 @@ c1 = "127.0.0.1:7101"
             NodeConfig::from_toml(&bad_strategy, None),
             Err(ConfigError::Invalid(_))
         ));
+    }
+
+    #[test]
+    fn storage_section_parses_and_defaults_to_none() {
+        let cfg = NodeConfig::from_toml(SAMPLE, None).unwrap();
+        assert!(cfg.storage.is_none(), "no [storage] section = in-memory");
+
+        let text = format!(
+            "{SAMPLE}\n[storage]\ndir = \"/tmp/prestige-wal\"\nsegment_bytes = 1048576\n\
+             sync_every_n = 8\nsync_interval_ms = 2.5\n"
+        );
+        let cfg = NodeConfig::from_toml(&text, None).unwrap();
+        let plan = cfg.storage.expect("storage plan parsed");
+        assert_eq!(plan.root, std::path::PathBuf::from("/tmp/prestige-wal"));
+        assert_eq!(
+            plan.server_dir(ServerId(2)),
+            std::path::PathBuf::from("/tmp/prestige-wal/server-2")
+        );
+        assert_eq!(plan.options.segment_bytes, 1 << 20);
+        assert_eq!(plan.options.sync_every_n, 8);
+        assert_eq!(plan.options.sync_interval_ms, 2.5);
+    }
+
+    #[test]
+    fn checkpoint_interval_parses() {
+        let text = SAMPLE.replace("n = 4", "n = 4\ncheckpoint_interval = 128");
+        let cfg = NodeConfig::from_toml(&text, None).unwrap();
+        assert_eq!(cfg.cluster.checkpoint_interval, 128);
     }
 
     #[test]

@@ -30,7 +30,12 @@ pub const MAGIC: [u8; 4] = *b"PBFT";
 /// `Camp.tip_cert`), `vcBlock` carries the certified state-transfer payload
 /// (`committed_seq` / `ord_tip` / `tip_cert`), and `SyncResp` gained the
 /// `ordered` entry list for certified uncommitted-batch sync.
-pub const WIRE_VERSION: u16 = 3;
+///
+/// v4: the durable storage plane — new checkpoint messages (`CkptShare` /
+/// `CkptCert`), the `Snapshot` sync kind, and `SyncResp` gained the `ckpt`
+/// stable-checkpoint certificate field. v3 peers are rejected at the frame
+/// header.
+pub const WIRE_VERSION: u16 = 4;
 
 /// Default upper bound on a frame body (16 MiB — a full batch of maximum-size
 /// proposals plus QCs fits comfortably).
@@ -454,6 +459,7 @@ mod tests {
             vc_blocks: vec![prestige_types::VcBlock::genesis(4)],
             tx_blocks: vec![],
             ordered: vec![],
+            ckpt: None,
         };
         let mut buf = Vec::new();
         codec

@@ -65,7 +65,7 @@ pub mod tcp;
 pub mod transport;
 
 pub use chaos::{ChaosTransport, NetChaos};
-pub use cluster::{launch_tcp_client, launch_tcp_server, LocalCluster};
+pub use cluster::{launch_tcp_client, launch_tcp_server, LocalCluster, StoragePlan};
 pub use config::{NodeConfig, NodeRole};
 pub use frame::{BufferPool, FrameCodec, FrameError, DEFAULT_MAX_FRAME, MAGIC, WIRE_VERSION};
 pub use runtime::NodeHandle;

@@ -1,0 +1,565 @@
+//! The segment-file write-ahead log.
+//!
+//! ## On-disk format
+//!
+//! A log directory holds segment files named `wal-<index>.seg`, written and
+//! read strictly in index order. Each segment is a run of framed records:
+//!
+//! ```text
+//! ┌──────────────┬──────────────────┬──────────────────────────┐
+//! │ len: u32 LE  │ digest: [u8; 32] │ payload: [u8; len - 32]  │
+//! └──────────────┴──────────────────┴──────────────────────────┘
+//!       len = 32 + payload.len()
+//!       digest = SHA-256(prev_record_digest ‖ payload)     (hash chain)
+//!       payload = [record tag: u8] ++ bincode(record body)
+//! ```
+//!
+//! The digest chains every record to its predecessor across segment
+//! boundaries. On open the chain is re-verified record by record:
+//!
+//! * an incomplete or digest-mismatching record *at the very end of the last
+//!   segment* is a **torn tail** — the crash signature — and is truncated;
+//! * any earlier violation is a **broken chain** — corruption or tampering —
+//!   and is a hard error: replaying past it could fork this replica.
+//!
+//! The first record of the oldest surviving segment anchors the chain: its
+//! digest is adopted unverified, because checkpoint GC deletes the history
+//! it hashes (the quorum-signed checkpoint certificate is the semantic trust
+//! anchor for everything below it).
+
+use crate::{Storage, StorageStats, WalRecord, WalRecordRef};
+use prestige_crypto::hash_many;
+use prestige_types::Digest;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Knobs of the [`Wal`].
+#[derive(Debug, Clone)]
+pub struct WalOptions {
+    /// Rotate to a new segment file once the active one reaches this size.
+    pub segment_bytes: u64,
+    /// fsync after at most this many unsynced appends.
+    pub sync_every_n: u64,
+    /// fsync after at most this many milliseconds with unsynced appends.
+    pub sync_interval_ms: f64,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            segment_bytes: 4 << 20,
+            sync_every_n: 64,
+            sync_interval_ms: 5.0,
+        }
+    }
+}
+
+/// Why a WAL could not be opened.
+#[derive(Debug)]
+pub enum WalError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A record before the tail failed its chain check: corruption the log
+    /// must not be replayed past.
+    BrokenChain {
+        /// Segment index of the offending record.
+        segment: u64,
+        /// Byte offset of the record inside the segment.
+        offset: u64,
+    },
+    /// A chain-valid record whose payload does not decode to a known record
+    /// type — same severity as a broken chain.
+    Decode {
+        /// Segment index of the offending record.
+        segment: u64,
+        /// Byte offset of the record inside the segment.
+        offset: u64,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io error: {e}"),
+            WalError::BrokenChain { segment, offset } => {
+                write!(
+                    f,
+                    "wal hash chain broken in segment {segment} at offset {offset}"
+                )
+            }
+            WalError::Decode { segment, offset } => {
+                write!(
+                    f,
+                    "undecodable wal record in segment {segment} at offset {offset}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// Per-segment bookkeeping for GC eligibility.
+#[derive(Debug, Clone, Copy, Default)]
+struct SegmentMeta {
+    bytes: u64,
+    /// Highest sequence number pinned by any record in the segment.
+    max_seq: u64,
+    /// Segments holding view installs are never pruned: replay rebuilds the
+    /// view/reputation history from them.
+    keep: bool,
+}
+
+/// The real, segment-file write-ahead log. See the module docs for the
+/// format and recovery rules.
+pub struct Wal {
+    dir: PathBuf,
+    opts: WalOptions,
+    file: File,
+    active_index: u64,
+    /// Digest of the most recent record (the chain head).
+    chain: Digest,
+    segments: BTreeMap<u64, SegmentMeta>,
+    unsynced: u64,
+    last_sync: Instant,
+    stats: StorageStats,
+}
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("wal-{index:010}.seg"))
+}
+
+fn record_digest(prev: &Digest, payload: &[u8]) -> Digest {
+    hash_many([prev.as_ref(), payload])
+}
+
+impl Wal {
+    /// Opens (or creates) the log in `dir`, verifying the hash chain and
+    /// truncating a torn tail. Returns the log handle plus every surviving
+    /// record in append order, ready to be replayed into server state.
+    pub fn open(dir: &Path, opts: WalOptions) -> Result<(Wal, Vec<WalRecord>), WalError> {
+        std::fs::create_dir_all(dir)?;
+        let mut indices: Vec<u64> = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(rest) = name
+                .strip_prefix("wal-")
+                .and_then(|r| r.strip_suffix(".seg"))
+            {
+                if let Ok(ix) = rest.parse::<u64>() {
+                    indices.push(ix);
+                }
+            }
+        }
+        indices.sort_unstable();
+
+        let mut records = Vec::new();
+        let mut segments: BTreeMap<u64, SegmentMeta> = BTreeMap::new();
+        let mut chain = Digest::ZERO;
+        // Only a log whose oldest segments were GC'd lacks a verifiable
+        // start: its first surviving record is adopted as the chain anchor.
+        // An intact log (segment 0 present) verifies from the zero digest.
+        let mut anchored = indices.first().is_some_and(|ix| *ix > 0);
+        let mut wal_bytes = 0u64;
+        let last_index = indices.last().copied();
+
+        for &index in &indices {
+            let path = segment_path(dir, index);
+            let mut bytes = Vec::new();
+            File::open(&path)?.read_to_end(&mut bytes)?;
+            let is_last = Some(index) == last_index;
+            let mut meta = SegmentMeta::default();
+            let mut offset = 0usize;
+            loop {
+                let rest = &bytes[offset..];
+                if rest.is_empty() {
+                    break;
+                }
+                // A record failing any check here is either the torn tail
+                // (only allowed at the end of the last segment) or a hard
+                // error.
+                let tear = |off: u64| -> Result<(), WalError> {
+                    if is_last {
+                        Ok(())
+                    } else {
+                        Err(WalError::BrokenChain {
+                            segment: index,
+                            offset: off,
+                        })
+                    }
+                };
+                if rest.len() < 4 {
+                    tear(offset as u64)?;
+                    break;
+                }
+                let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+                if len < 33 || rest.len() < 4 + len {
+                    tear(offset as u64)?;
+                    break;
+                }
+                let digest = Digest(rest[4..36].try_into().unwrap());
+                let payload = &rest[36..4 + len];
+                if anchored {
+                    // The oldest surviving record anchors the chain (its
+                    // predecessors were GC'd); everything after is verified.
+                    anchored = false;
+                } else if record_digest(&chain, payload) != digest {
+                    // A mismatching *final* record of the last segment is a
+                    // torn/corrupted tail; anywhere else the chain is broken.
+                    let is_final_record = is_last && bytes.len() == offset + 4 + len;
+                    if is_final_record {
+                        break;
+                    }
+                    return Err(WalError::BrokenChain {
+                        segment: index,
+                        offset: offset as u64,
+                    });
+                }
+                let Some(record) = WalRecord::decode(payload) else {
+                    let is_final_record = is_last && bytes.len() == offset + 4 + len;
+                    if is_final_record {
+                        break;
+                    }
+                    return Err(WalError::Decode {
+                        segment: index,
+                        offset: offset as u64,
+                    });
+                };
+                chain = digest;
+                let r = record.as_ref();
+                if let Some(seq) = r.gc_seq() {
+                    meta.max_seq = meta.max_seq.max(seq);
+                }
+                if matches!(record, WalRecord::ViewInstall(_)) {
+                    meta.keep = true;
+                }
+                records.push(record);
+                offset += 4 + len;
+            }
+            if offset < bytes.len() {
+                // Torn tail: cut the file back to the last good record so
+                // future appends continue the chain cleanly.
+                let f = OpenOptions::new().write(true).open(&path)?;
+                f.set_len(offset as u64)?;
+                f.sync_all()?;
+            }
+            meta.bytes = offset as u64;
+            wal_bytes += meta.bytes;
+            segments.insert(index, meta);
+        }
+
+        let active_index = last_index.unwrap_or(0);
+        segments.entry(active_index).or_default();
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(segment_path(dir, active_index))?;
+        let stats = StorageStats {
+            wal_bytes,
+            records: records.len() as u64,
+            segments: segments.len() as u64,
+            ..StorageStats::default()
+        };
+        Ok((
+            Wal {
+                dir: dir.to_path_buf(),
+                opts,
+                file,
+                active_index,
+                chain,
+                segments,
+                unsynced: 0,
+                last_sync: Instant::now(),
+                stats,
+            },
+            records,
+        ))
+    }
+
+    /// The digest of the most recent record (the chain head).
+    pub fn chain_head(&self) -> Digest {
+        self.chain
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn rotate(&mut self) -> std::io::Result<()> {
+        self.file.sync_all()?;
+        self.stats.fsyncs += 1;
+        self.unsynced = 0;
+        self.active_index += 1;
+        self.file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(segment_path(&self.dir, self.active_index))?;
+        self.segments
+            .insert(self.active_index, SegmentMeta::default());
+        self.stats.segments = self.segments.len() as u64;
+        Ok(())
+    }
+
+    fn maybe_sync(&mut self) -> std::io::Result<()> {
+        if self.unsynced == 0 {
+            return Ok(());
+        }
+        if self.unsynced >= self.opts.sync_every_n
+            || self.last_sync.elapsed().as_secs_f64() * 1e3 >= self.opts.sync_interval_ms
+        {
+            self.sync()?;
+        }
+        Ok(())
+    }
+}
+
+impl Storage for Wal {
+    fn append(&mut self, record: WalRecordRef<'_>) -> std::io::Result<()> {
+        let payload = record.encode();
+        let digest = record_digest(&self.chain, &payload);
+        let len = (32 + payload.len()) as u32;
+        let mut frame = Vec::with_capacity(4 + 32 + payload.len());
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(digest.as_ref());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.chain = digest;
+        self.unsynced += 1;
+        self.stats.records += 1;
+        self.stats.wal_bytes += frame.len() as u64;
+        let meta = self
+            .segments
+            .get_mut(&self.active_index)
+            .expect("active segment is tracked");
+        meta.bytes += frame.len() as u64;
+        if let Some(seq) = record.gc_seq() {
+            meta.max_seq = meta.max_seq.max(seq);
+        }
+        if matches!(record, WalRecordRef::ViewInstall(_)) {
+            meta.keep = true;
+        }
+        if meta.bytes >= self.opts.segment_bytes {
+            self.rotate()?;
+        }
+        self.maybe_sync()?;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()?;
+        self.stats.fsyncs += 1;
+        self.unsynced = 0;
+        self.last_sync = Instant::now();
+        Ok(())
+    }
+
+    fn prune_below(&mut self, stable_seq: u64) -> std::io::Result<u64> {
+        let prunable: Vec<u64> = self
+            .segments
+            .iter()
+            .filter(|(ix, meta)| {
+                **ix != self.active_index && !meta.keep && meta.max_seq <= stable_seq
+            })
+            .map(|(ix, _)| *ix)
+            .collect();
+        let mut reclaimed = 0u64;
+        for ix in prunable {
+            let meta = self.segments.remove(&ix).expect("listed");
+            std::fs::remove_file(segment_path(&self.dir, ix))?;
+            reclaimed += meta.bytes;
+            self.stats.pruned_segments += 1;
+        }
+        self.stats.pruned_bytes += reclaimed;
+        self.stats.wal_bytes = self.stats.wal_bytes.saturating_sub(reclaimed);
+        self.stats.segments = self.segments.len() as u64;
+        Ok(reclaimed)
+    }
+
+    fn stats(&self) -> StorageStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WalRecord;
+    use prestige_types::{ClientId, SeqNum, Transaction, TxBlock, View};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let n = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("prestige-wal-{}-{}-{}", std::process::id(), tag, n));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn block(n: u64) -> TxBlock {
+        TxBlock::new(
+            View(1),
+            SeqNum(n),
+            vec![Transaction::with_size(ClientId(1), n, 24)],
+        )
+    }
+
+    fn tiny_opts() -> WalOptions {
+        WalOptions {
+            segment_bytes: 256,
+            sync_every_n: 4,
+            sync_interval_ms: 1000.0,
+        }
+    }
+
+    #[test]
+    fn append_reopen_replays_identically() {
+        let dir = temp_dir("replay");
+        let mut written = Vec::new();
+        {
+            let (mut wal, existing) = Wal::open(&dir, tiny_opts()).unwrap();
+            assert!(existing.is_empty());
+            for n in 1..=20u64 {
+                let b = block(n);
+                wal.append(WalRecordRef::Block(&b)).unwrap();
+                written.push(WalRecord::Block(b));
+            }
+            wal.sync().unwrap();
+            assert!(wal.stats().segments > 1, "tiny segments must rotate");
+        }
+        let (wal, replayed) = Wal::open(&dir, tiny_opts()).unwrap();
+        assert_eq!(replayed, written);
+        assert_eq!(wal.stats().records, 20);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appendable() {
+        let dir = temp_dir("torn");
+        {
+            let (mut wal, _) = Wal::open(&dir, tiny_opts()).unwrap();
+            for n in 1..=3u64 {
+                wal.append(WalRecordRef::Block(&block(n))).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        // Simulate a crash mid-append: chop bytes off the last segment.
+        let last = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .max()
+            .unwrap();
+        let len = std::fs::metadata(&last).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&last).unwrap();
+        f.set_len(len - 7).unwrap();
+        drop(f);
+
+        let (mut wal, replayed) = Wal::open(&dir, tiny_opts()).unwrap();
+        let seqs: Vec<u64> = replayed
+            .iter()
+            .map(|r| match r {
+                WalRecord::Block(b) => b.n.0,
+                _ => panic!("only blocks were written"),
+            })
+            .collect();
+        assert!(
+            seqs.len() < 3 && seqs.iter().zip(1u64..).all(|(a, b)| *a == b),
+            "the torn record is dropped, the good prefix survives: {seqs:?}"
+        );
+        // The log stays appendable and chains correctly across the repair.
+        let next = seqs.len() as u64 + 1;
+        wal.append(WalRecordRef::Block(&block(next))).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (_, replayed2) = Wal::open(&dir, tiny_opts()).unwrap();
+        assert_eq!(replayed2.len(), seqs.len() + 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_log_corruption_is_a_hard_error() {
+        let dir = temp_dir("corrupt");
+        {
+            let (mut wal, _) = Wal::open(&dir, tiny_opts()).unwrap();
+            for n in 1..=12u64 {
+                wal.append(WalRecordRef::Block(&block(n))).unwrap();
+            }
+            wal.sync().unwrap();
+            assert!(wal.stats().segments > 1);
+        }
+        // Flip a payload byte in the FIRST segment (not the tail).
+        let first = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .min()
+            .unwrap();
+        let mut bytes = std::fs::read(&first).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&first, bytes).unwrap();
+
+        match Wal::open(&dir, tiny_opts()) {
+            Err(WalError::BrokenChain { .. }) | Err(WalError::Decode { .. }) => {}
+            Err(e) => panic!("corruption must be a chain error, got {e}"),
+            Ok(_) => panic!("corruption must be a hard error, but the log opened"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_below_drops_old_segments_but_keeps_view_installs() {
+        let dir = temp_dir("prune");
+        let (mut wal, _) = Wal::open(&dir, tiny_opts()).unwrap();
+        for n in 1..=30u64 {
+            wal.append(WalRecordRef::Block(&block(n))).unwrap();
+        }
+        wal.sync().unwrap();
+        let before = wal.stats();
+        assert!(before.segments > 2);
+        let reclaimed = wal.prune_below(25).unwrap();
+        assert!(reclaimed > 0);
+        let after = wal.stats();
+        assert!(after.segments < before.segments);
+        assert_eq!(after.wal_bytes, before.wal_bytes - reclaimed);
+        // Reopen: the surviving suffix replays (anchored at the oldest
+        // surviving record).
+        drop(wal);
+        let (_, replayed) = Wal::open(&dir, tiny_opts()).unwrap();
+        assert!(!replayed.is_empty());
+        if let WalRecord::Block(b) = &replayed[0] {
+            assert!(b.n.0 > 1, "the oldest history was pruned");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsyncs_are_batched() {
+        let dir = temp_dir("fsync");
+        let (mut wal, _) = Wal::open(
+            &dir,
+            WalOptions {
+                segment_bytes: 1 << 20,
+                sync_every_n: 8,
+                sync_interval_ms: 10_000.0,
+            },
+        )
+        .unwrap();
+        for n in 1..=16u64 {
+            wal.append(WalRecordRef::Block(&block(n))).unwrap();
+        }
+        assert_eq!(wal.stats().fsyncs, 2, "16 appends at sync_every_n=8");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

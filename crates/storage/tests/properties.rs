@@ -1,0 +1,154 @@
+//! WAL property tests: crash/replay equivalence at random kill points,
+//! torn-tail truncation, and corrupted-chain detection at random offsets.
+
+use prestige_storage::{Storage, Wal, WalError, WalOptions, WalRecord, WalRecordRef};
+use proptest::prelude::*;
+use std::fs::OpenOptions;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let n = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "prestige-walprop-{}-{}-{}",
+        std::process::id(),
+        tag,
+        n
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn block(n: u64, size: usize) -> prestige_types::TxBlock {
+    prestige_types::TxBlock::new(
+        prestige_types::View(1),
+        prestige_types::SeqNum(n),
+        vec![prestige_types::Transaction::with_size(
+            prestige_types::ClientId(1),
+            n,
+            size,
+        )],
+    )
+}
+
+fn opts() -> WalOptions {
+    WalOptions {
+        segment_bytes: 512,
+        sync_every_n: 8,
+        sync_interval_ms: 10_000.0,
+    }
+}
+
+/// Writes `count` block records and returns the directory plus the records,
+/// fsynced to disk.
+fn written_log(tag: &str, count: u64, tx_size: usize) -> (PathBuf, Vec<WalRecord>) {
+    let dir = temp_dir(tag);
+    let (mut wal, existing) = Wal::open(&dir, opts()).unwrap();
+    assert!(existing.is_empty());
+    let mut written = Vec::new();
+    for n in 1..=count {
+        let b = block(n, tx_size);
+        wal.append(WalRecordRef::Block(&b)).unwrap();
+        written.push(WalRecord::Block(b));
+    }
+    wal.sync().unwrap();
+    (dir, written)
+}
+
+/// Sorted segment paths of a log directory.
+fn segments(dir: &PathBuf) -> Vec<PathBuf> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    paths.sort();
+    paths
+}
+
+proptest! {
+    /// Killing the process at ANY byte point of the final segment (the only
+    /// file a single in-flight append can leave half-written) and reopening
+    /// yields exactly a prefix of the written records — never garbage, never
+    /// a reordering.
+    #[test]
+    fn kill_point_replay_is_a_prefix(count in 2u64..12, tx_size in 8usize..64, cut in 0u64..4096) {
+        let (dir, written) = written_log("kill", count, tx_size);
+        let last = segments(&dir).pop().unwrap();
+        let len = std::fs::metadata(&last).unwrap().len();
+        let cut = cut % (len + 1);
+        let f = OpenOptions::new().write(true).open(&last).unwrap();
+        f.set_len(cut).unwrap();
+        drop(f);
+
+        let (_, replayed) = Wal::open(&dir, opts()).unwrap();
+        prop_assert!(replayed.len() <= written.len());
+        prop_assert_eq!(&replayed[..], &written[..replayed.len()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Replay after a clean shutdown equals the in-memory write sequence
+    /// bit for bit, for any record count and payload size.
+    #[test]
+    fn clean_replay_equals_written(count in 1u64..24, tx_size in 8usize..128) {
+        let (dir, written) = written_log("clean", count, tx_size);
+        let (_, replayed) = Wal::open(&dir, opts()).unwrap();
+        prop_assert_eq!(replayed, written);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Flipping any byte of any non-final record breaks the hash chain and
+    /// must be reported as a hard error (never silently replayed past).
+    #[test]
+    fn corruption_before_the_tail_is_detected(count in 4u64..12, offset_pick in any::<u64>()) {
+        let (dir, _) = written_log("flip", count, 32);
+        let paths = segments(&dir);
+        // Corrupt a byte in the first segment, but outside the final record
+        // region of the whole log (the tail is allowed to be dropped). The
+        // first segment is never the last record's home here: with 512-byte
+        // segments and 4+ records, at least two segments exist.
+        prop_assert!(paths.len() >= 2, "need a non-final segment to corrupt");
+        let victim = &paths[0];
+        let mut bytes = std::fs::read(victim).unwrap();
+        let ix = (offset_pick % bytes.len() as u64) as usize;
+        bytes[ix] ^= 0x40;
+        std::fs::write(victim, bytes).unwrap();
+
+        match Wal::open(&dir, opts()) {
+            Err(WalError::BrokenChain { .. }) | Err(WalError::Decode { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error kind: {}", e),
+            Ok((_, replayed)) => {
+                // A flip in a length header can masquerade as a torn tail
+                // ONLY if it truncates parsing at that exact point — in that
+                // case the replayed log must still be a strict prefix that
+                // ends before the corrupted segment's remaining records.
+                prop_assert!(
+                    replayed.len() < count as usize,
+                    "corruption silently ignored: {} records replayed",
+                    replayed.len()
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// Not a proptest (it drives the full Storage trait surface once): GC prunes
+/// history below the stable sequence number and the survivor still replays.
+#[test]
+fn gc_then_replay_survives() {
+    let (dir, written) = written_log("gc", 40, 48);
+    let (mut wal, replayed) = Wal::open(&dir, opts()).unwrap();
+    assert_eq!(replayed.len(), written.len());
+    let reclaimed = wal.prune_below(30).unwrap();
+    assert!(reclaimed > 0);
+    assert!(wal.stats().pruned_segments > 0);
+    drop(wal);
+    let (_, survivors) = Wal::open(&dir, opts()).unwrap();
+    assert!(!survivors.is_empty() && survivors.len() < written.len());
+    // Survivors are a contiguous suffix.
+    let tail = &written[written.len() - survivors.len()..];
+    assert_eq!(&survivors[..], tail);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -219,6 +219,12 @@ pub struct ClusterConfig {
     /// deterministic simulator uses, regardless of this setting; real
     /// runtimes (`prestige-net`) spawn a `VerifyPool` when it is positive.
     pub verify_workers: usize,
+    /// How many committed instances between certified checkpoints: at every
+    /// multiple of this height a replica broadcasts a signed state-digest
+    /// share, and `2f + 1` matching shares form a checkpoint certificate
+    /// that anchors log garbage collection and snapshot sync. `0` disables
+    /// checkpointing (nothing is ever pruned).
+    pub checkpoint_interval: u64,
 }
 
 impl ClusterConfig {
@@ -236,6 +242,7 @@ impl ClusterConfig {
             per_verify_cpu_ms: 0.01,
             pipeline_depth: 4,
             verify_workers: 0,
+            checkpoint_interval: 64,
         }
     }
 
@@ -293,6 +300,12 @@ impl ClusterConfig {
     /// Builder-style setter for the verification worker count.
     pub fn with_verify_workers(mut self, workers: usize) -> Self {
         self.verify_workers = workers;
+        self
+    }
+
+    /// Builder-style setter for the checkpoint interval (`0` disables).
+    pub fn with_checkpoint_interval(mut self, interval: u64) -> Self {
+        self.checkpoint_interval = interval;
         self
     }
 }
@@ -353,6 +366,14 @@ mod tests {
         let c = c.with_pipeline_depth(0).with_verify_workers(3);
         assert_eq!(c.pipeline_depth, 1, "depth clamps to stop-and-wait");
         assert_eq!(c.verify_workers, 3);
+    }
+
+    #[test]
+    fn checkpoint_interval_defaults_and_composes() {
+        let c = ClusterConfig::new(4);
+        assert_eq!(c.checkpoint_interval, 64);
+        let c = c.with_checkpoint_interval(0);
+        assert_eq!(c.checkpoint_interval, 0, "zero disables checkpointing");
     }
 
     #[test]

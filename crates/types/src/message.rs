@@ -64,6 +64,13 @@ pub enum SyncKind {
     /// certified `(batch, ordering_QC)` pairs instead of waiting for the
     /// partitioned batch-holder to return.
     Ordered,
+    /// Snapshot sync: a far-behind replica (typically one restarting after a
+    /// crash, or one whose gap exceeds the per-response block budget) asks
+    /// for the peer's stable checkpoint certificate together with the chained
+    /// block range from its own tip up to the checkpoint. The certificate
+    /// proves the state digest at the checkpoint, so the receiver can adopt
+    /// it as its GC anchor once its replayed chain reaches that point.
+    Snapshot,
 }
 
 /// One certified uncommitted ordered instance, as shipped by [`SyncKind::Ordered`]
@@ -389,6 +396,30 @@ pub enum Message {
     },
 
     // ------------------------------------------------------------------
+    // Certified checkpoints (durable storage plane)
+    // ------------------------------------------------------------------
+    /// A replica's signed share of the state digest at a checkpoint sequence
+    /// number (broadcast every `checkpoint_interval` committed instances).
+    /// `2f + 1` matching shares assemble into a checkpoint certificate.
+    CkptShare {
+        /// The checkpoint sequence number (a committed block height).
+        n: SeqNum,
+        /// The view the checkpointed block committed in.
+        view: View,
+        /// The state digest at `n`: committed digest chain + reputation state.
+        digest: Digest,
+        /// Threshold share toward the checkpoint QC.
+        share: PartialSig,
+    },
+    /// An assembled checkpoint certificate: `2f + 1` replicas vouch for the
+    /// same state digest at `cert.seq`. Receivers adopt it as their stable
+    /// checkpoint (GC anchor) once their own committed chain reaches it.
+    CkptCert {
+        /// The checkpoint quorum certificate (`kind == QcKind::Checkpoint`).
+        cert: QuorumCertificate,
+    },
+
+    // ------------------------------------------------------------------
     // Log synchronization (the SyncUp function of §4.2.3)
     // ------------------------------------------------------------------
     /// Request blocks `[from, to]` of the given log from a peer.
@@ -409,6 +440,10 @@ pub enum Message {
         /// Certified uncommitted ordered instances (empty for other sync
         /// kinds): `(batch, ordering_QC)` pairs in ascending sequence order.
         ordered: Vec<OrderedEntry>,
+        /// The responder's stable checkpoint certificate (snapshot sync only,
+        /// `None` otherwise): lets a restarting replica adopt a proven GC
+        /// anchor alongside the chained blocks that reach it.
+        ckpt: Option<QuorumCertificate>,
     },
 }
 
@@ -434,7 +469,10 @@ impl Message {
             | Message::NewVcBlock { .. }
             | Message::VcYes { .. } => MessageKind::ViewChange,
             Message::Ref { .. } | Message::Rdone { .. } => MessageKind::Refresh,
-            Message::SyncReq { .. } | Message::SyncResp { .. } => MessageKind::Sync,
+            Message::CkptShare { .. }
+            | Message::CkptCert { .. }
+            | Message::SyncReq { .. }
+            | Message::SyncResp { .. } => MessageKind::Sync,
         }
     }
 }
@@ -479,15 +517,19 @@ impl Wire for Message {
             Message::VcYes { .. } => BASE + 40 + 36,
             Message::Ref { .. } => BASE + 12 + 36,
             Message::Rdone { rs_qc, .. } => BASE + 28 + rs_qc.wire_size(),
+            Message::CkptShare { .. } => BASE + 48 + 36,
+            Message::CkptCert { cert } => BASE + cert.wire_size(),
             Message::SyncReq { .. } => BASE + 17,
             Message::SyncResp {
                 vc_blocks,
                 tx_blocks,
                 ordered,
+                ckpt,
             } => {
                 BASE + vc_blocks.iter().map(|b| b.wire_size()).sum::<usize>()
                     + tx_blocks.iter().map(|b| b.wire_size()).sum::<usize>()
                     + ordered.iter().map(|e| e.wire_size()).sum::<usize>()
+                    + ckpt.as_ref().map(|q| q.wire_size()).unwrap_or(0)
             }
         }
     }
@@ -514,6 +556,8 @@ impl Wire for Message {
             Message::VcYes { .. } => "VcYes",
             Message::Ref { .. } => "Ref",
             Message::Rdone { .. } => "Rdone",
+            Message::CkptShare { .. } => "CkptShare",
+            Message::CkptCert { .. } => "CkptCert",
             Message::SyncReq { .. } => "SyncReq",
             Message::SyncResp { .. } => "SyncResp",
         }

@@ -37,6 +37,10 @@ pub enum QcKind {
     Commit,
     /// Authorizes a reputation-penalty refresh (`2f + 1` Ref messages).
     Refresh,
+    /// Certifies a stable checkpoint: `2f + 1` replicas signed the same
+    /// state digest at a checkpoint sequence number, anchoring log GC and
+    /// snapshot sync.
+    Checkpoint,
 }
 
 impl QcKind {
@@ -131,6 +135,7 @@ mod tests {
         assert_eq!(QcKind::Ordering.threshold(5), 11);
         assert_eq!(QcKind::Commit.threshold(5), 11);
         assert_eq!(QcKind::Refresh.threshold(3), 7);
+        assert_eq!(QcKind::Checkpoint.threshold(2), 5);
     }
 
     #[test]

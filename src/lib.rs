@@ -17,6 +17,9 @@
 //! * [`net`] (`prestige-net`) — the real networking runtime: wire codec,
 //!   loopback + TCP transports, and the node runtime that runs the same
 //!   servers on actual sockets (see `examples/real_cluster.rs`);
+//! * [`storage`] (`prestige-storage`) — the durable storage plane: the
+//!   append-only hash-chained write-ahead log that servers commit through
+//!   and replay on crash-restart;
 //! * [`baselines`] (`prestige-baselines`) — HotStuff-style / SBFT-lite /
 //!   Prosecutor-lite passive-view-change baselines;
 //! * [`types`], [`workloads`], [`metrics`], [`experiments`] — shared types,
@@ -56,6 +59,7 @@ pub use prestige_metrics as metrics;
 pub use prestige_net as net;
 pub use prestige_reputation as reputation;
 pub use prestige_sim as sim;
+pub use prestige_storage as storage;
 pub use prestige_types as types;
 pub use prestige_workloads as workloads;
 

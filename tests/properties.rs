@@ -510,35 +510,83 @@ proptest! {
         });
         vc.ord_tip = SeqNum(seq0 + n_entries as u64);
         vc.tip_cert = entries.iter().map(|e| e.qc.clone()).collect();
+        let ckpt = (seq0 % 2 == 0).then(|| QuorumCertificate {
+            kind: QcKind::Checkpoint,
+            view: View(0),
+            seq: SeqNum(seq0),
+            digest: Digest(hash),
+            signers: vec![ServerId(0), ServerId(1), ServerId(3)],
+            aggregate: [11u8; 32],
+        });
         let msg = Message::SyncResp {
             vc_blocks: vec![vc],
             tx_blocks: Vec::new(),
             ordered: entries,
+            ckpt,
         };
         let bytes = bincode::serialize(&msg).unwrap();
         let back: Message = bincode::deserialize(&bytes).unwrap();
         prop_assert_eq!(back, msg);
     }
 
-    /// v2 → v3 compatibility: a frame encoded under the previous wire
-    /// version is rejected *cleanly* by version negotiation (never decoded
-    /// into a v3 message with garbage certificate fields, never a panic).
+    /// Wire (v4) round trip for the durable storage plane's checkpoint
+    /// messages: signed shares and assembled checkpoint certificates
+    /// survive serialization bit-exactly, as does a `Snapshot` sync request.
     #[test]
-    fn v2_frames_are_rejected_by_version_negotiation(body in proptest::collection::vec(any::<u8>(), 0..128)) {
+    fn checkpoint_messages_wire_round_trip(n in 1u64..10_000, hash in any::<[u8; 32]>(),
+                                           view in 1u64..100, signer in 0u32..4) {
+        let share = Message::CkptShare {
+            n: SeqNum(n),
+            view: View(view),
+            digest: Digest(hash),
+            share: prestigebft::types::PartialSig {
+                signer: ServerId(signer),
+                sig: [5u8; 32],
+            },
+        };
+        let cert = Message::CkptCert {
+            cert: QuorumCertificate {
+                kind: QcKind::Checkpoint,
+                view: View(0),
+                seq: SeqNum(n),
+                digest: Digest(hash),
+                signers: vec![ServerId(0), ServerId(2), ServerId(3)],
+                aggregate: [13u8; 32],
+            },
+        };
+        let snap = Message::SyncReq {
+            kind: prestigebft::types::SyncKind::Snapshot,
+            from: n,
+            to: n + 500,
+        };
+        for msg in [share, cert, snap] {
+            let bytes = bincode::serialize(&msg).unwrap();
+            let back: Message = bincode::deserialize(&bytes).unwrap();
+            prop_assert_eq!(back, msg);
+        }
+    }
+
+    /// v3 → v4 compatibility: a frame encoded under the previous wire
+    /// version (no checkpoint messages, no `SyncResp.ckpt` field) is
+    /// rejected *cleanly* by version negotiation — never decoded into a v4
+    /// message with garbage certificate fields, never a panic.
+    #[test]
+    fn old_frames_are_rejected_by_version_negotiation(body in proptest::collection::vec(any::<u8>(), 0..128),
+                                                      old in 0u16..4) {
         use prestigebft::net::frame::{FrameCodec, FrameError, MAGIC, WIRE_VERSION};
-        prop_assert_eq!(WIRE_VERSION, 3, "this test pins the v2→v3 bump");
+        prop_assert_eq!(WIRE_VERSION, 4, "this test pins the v3→v4 bump");
         let mut frame = Vec::new();
         frame.extend_from_slice(&MAGIC);
-        frame.extend_from_slice(&2u16.to_le_bytes()); // the old version
+        frame.extend_from_slice(&old.to_le_bytes()); // an old version
         frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
         frame.extend_from_slice(&body);
         let codec = FrameCodec::new();
         match codec.decode::<Message>(&frame) {
             Err(FrameError::VersionMismatch { got, want }) => {
-                prop_assert_eq!(got, 2);
-                prop_assert_eq!(want, 3);
+                prop_assert_eq!(got, old);
+                prop_assert_eq!(want, 4);
             }
-            other => prop_assert!(false, "v2 frame must fail version negotiation, got {:?}", other.is_ok()),
+            other => prop_assert!(false, "old frame must fail version negotiation, got {:?}", other.is_ok()),
         }
     }
 
