@@ -166,6 +166,11 @@ impl PrestigeServer {
         // every conflicting ordering quorum would need 2f+1 acks, and it
         // intersects the instance's 2f+1 commit signers in a correct
         // server that refuses here.
+        // Canary mutation (vopr mutation-score gate): cert-pinning is part of
+        // the post-PR 4 fork defense — without it a newly elected leader that
+        // ignores certified-but-uncommitted instances can refill them with
+        // fresh content and still earn an ordering quorum.
+        #[cfg(not(feature = "canary-c3-fork"))]
         if let Some((cert_view, cert_digest)) =
             self.ord_qcs.get(&n.0).map(|qc| (qc.view, qc.digest))
         {
@@ -200,6 +205,10 @@ impl PrestigeServer {
         // the deterministic `status` dedup). Anything else is a Byzantine
         // leader assigning one transaction to two instances: refuse before
         // it can earn a phase-1 share.
+        // Canary mutation (vopr mutation-score gate): this cross-check is one
+        // of the three defenses PR 5 added against the post-election silent
+        // double-commit; `canary-double-commit` removes all three.
+        #[cfg(not(feature = "canary-double-commit"))]
         if batch
             .iter()
             .any(|p| self.committed_tx_keys.contains_key(&p.tx.key()))

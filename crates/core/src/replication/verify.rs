@@ -128,6 +128,7 @@ impl PrestigeServer {
         // pure function of the committed prefix, so every replica derives
         // the same statuses, and the chain digest (which covers transaction
         // identities, not statuses) is unaffected.
+        #[cfg_attr(feature = "canary-double-commit", allow(unused_mut))]
         let mut block = block;
         let mut committed_keys: Vec<(ClientId, u64)> = Vec::with_capacity(block.tx.len());
         let mut duplicates: Vec<usize> = Vec::new();
@@ -138,6 +139,10 @@ impl PrestigeServer {
                 duplicates.push(i);
             }
         }
+        // Canary mutation (vopr mutation-score gate): without the apply-time
+        // dedup a transaction that slips past the pre-ack defenses commits
+        // with `status = true` at two sequence numbers.
+        #[cfg(not(feature = "canary-double-commit"))]
         if !duplicates.is_empty() {
             let inner = Arc::make_mut(&mut block);
             for i in duplicates {
@@ -147,6 +152,8 @@ impl PrestigeServer {
                 }
             }
         }
+        #[cfg(feature = "canary-double-commit")]
+        drop(duplicates);
         // Log the commit before acting on it: a replica that crashes between
         // here and the insert replays an idempotent record; one that crashed
         // *after* acting without the record would un-commit on restart.

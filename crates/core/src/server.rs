@@ -528,6 +528,35 @@ impl PrestigeServer {
         self.store.latest_vc_block().leader_id
     }
 
+    /// The highest instance this server has contributed a commit share to —
+    /// the committed half of its criterion-C3 voting floor. Exposed for the
+    /// falsification harness's monotonicity invariant.
+    pub fn signed_commit_tip(&self) -> u64 {
+        self.signed_commit_tip
+    }
+
+    /// The certified ordered tip: the highest sequence number reachable from
+    /// the committed tip through instances this server holds proof of — both
+    /// an ordering QC and the batch, or a whole commit-certified block parked
+    /// in the reorder buffer awaiting in-order apply (commit-QC assembly
+    /// consumes the ordering entries before predecessors land, so a bare
+    /// `certified_ord_tip` scan transiently dips at that gap). Exposed for
+    /// the falsification harness's monotonicity invariant, which holds
+    /// *within a view*: an election may legally orphan certified instances
+    /// beyond a contiguity gap back to the proposal pool.
+    pub fn certified_tip(&self) -> SeqNum {
+        let mut tip = self.store.latest_seq().0;
+        loop {
+            let n = tip + 1;
+            let certified = self.ord_qcs.contains_key(&n) && self.ordered_batches.contains_key(&n);
+            if certified || self.pending_commit_blocks.contains_key(&n) {
+                tip = n;
+            } else {
+                return SeqNum(tip);
+            }
+        }
+    }
+
     /// Whether this server believes it is the current leader.
     pub fn is_leader(&self) -> bool {
         self.role == ServerRole::Leader
@@ -729,69 +758,19 @@ impl PrestigeServer {
         self.inflight.clear();
         if leader == self.id {
             self.role = ServerRole::Leader;
-            // Committed-instance preservation: re-propose the contiguous
-            // ordered prefix at its original sequence numbers in the new
-            // view. Criterion C3 guarantees this prefix covers every
-            // instance a commit QC may exist for, so no replica that already
-            // committed one of them can ever diverge from the new chain.
-            let tip = self.ordered_contiguous_tip().0;
-            let preserved: Vec<(u64, Arc<Vec<Proposal>>)> = self
-                .ordered_batches
-                .range(..=tip)
-                .map(|(n, batch)| (*n, Arc::clone(batch)))
-                .collect();
-            // Instances beyond a gap cannot be re-proposed in place (their
-            // predecessors are unknown here), and C3 proves no commit QC can
-            // exist for them — their transactions return to the proposal
-            // pool under the usual dedup, to be batched at fresh sequence
-            // numbers.
-            let orphans: Vec<Arc<Vec<Proposal>>> = self
-                .ordered_batches
-                .split_off(&(tip + 1))
-                .into_values()
-                .collect();
-            // The orphans' certificates go with them: winning the election
-            // proved nothing beyond `tip` possibly committed, and a stale
-            // QC pin left behind would make this server (as a future
-            // follower) refuse another leader's legitimate fresh content at
-            // those sequence numbers.
-            self.ord_qcs.split_off(&(tip + 1));
-            if !orphans.is_empty() {
-                let mut pending_keys: KeySet<(ClientId, u64)> =
-                    self.pending_proposals.iter().map(|p| p.tx.key()).collect();
-                for batch in orphans {
-                    for proposal in batch.iter() {
-                        let key = proposal.tx.key();
-                        // `remove`: the transaction is now in the proposal
-                        // pool, no longer known *only* through an ordered
-                        // batch — keeping the set consistent with the batches
-                        // actually retained bounds its growth.
-                        if self.ordered_only_keys.remove(&key) && pending_keys.insert(key) {
-                            self.pending_proposals.push(proposal.clone());
-                        }
-                    }
-                }
+            // Canary mutation (vopr mutation-score gate): pre-PR 4
+            // leadership — ordered-but-uncommitted instances are discarded
+            // and proposing restarts at the committed tip, so an instance
+            // that gathered a commit QC at the unreachable old leader gets
+            // refilled with fresh content at the same sequence number.
+            #[cfg(feature = "canary-c3-fork")]
+            {
+                self.ordered_batches.clear();
+                self.ord_qcs.clear();
+                self.next_seq = self.store.latest_seq().next();
             }
-            // Purge the proposal pool of every transaction already scheduled
-            // inside a preserved instance: as a follower this server pooled
-            // all client proposals, including the ones the old leader had in
-            // flight, and flushing them into a fresh batch while the
-            // re-proposal commits them would assign one transaction to two
-            // sequence numbers. (Before the double-assign cross-check made
-            // followers refuse such batches, this path silently committed
-            // the duplicates.)
-            if !preserved.is_empty() && !self.pending_proposals.is_empty() {
-                let scheduled: KeySet<(ClientId, u64)> = preserved
-                    .iter()
-                    .flat_map(|(_, batch)| batch.iter().map(|p| p.tx.key()))
-                    .collect();
-                self.pending_proposals
-                    .retain(|p| !scheduled.contains(&p.tx.key()));
-            }
-            self.next_seq = SeqNum(tip).next();
-            for (n, batch) in preserved {
-                self.propose_batch_at(SeqNum(n), batch, ctx);
-            }
+            #[cfg(not(feature = "canary-c3-fork"))]
+            self.preserve_ordered_instances(ctx);
             self.arm_batch_timer(ctx);
         } else {
             self.role = ServerRole::Follower;
@@ -801,6 +780,77 @@ impl PrestigeServer {
         let current = self.store.current_view().0;
         self.voted_views.retain(|v| *v + 64 >= current);
         self.cast_votes.retain(|v, _| *v + 64 >= current);
+    }
+
+    /// The elected-leader half of [`Self::note_view_installed`]:
+    /// committed-instance preservation plus proposal-pool hygiene.
+    #[cfg_attr(feature = "canary-c3-fork", allow(dead_code))]
+    fn preserve_ordered_instances(&mut self, ctx: &mut Context<Message>) {
+        // Committed-instance preservation: re-propose the contiguous
+        // ordered prefix at its original sequence numbers in the new
+        // view. Criterion C3 guarantees this prefix covers every
+        // instance a commit QC may exist for, so no replica that already
+        // committed one of them can ever diverge from the new chain.
+        let tip = self.ordered_contiguous_tip().0;
+        let preserved: Vec<(u64, Arc<Vec<Proposal>>)> = self
+            .ordered_batches
+            .range(..=tip)
+            .map(|(n, batch)| (*n, Arc::clone(batch)))
+            .collect();
+        // Instances beyond a gap cannot be re-proposed in place (their
+        // predecessors are unknown here), and C3 proves no commit QC can
+        // exist for them — their transactions return to the proposal
+        // pool under the usual dedup, to be batched at fresh sequence
+        // numbers.
+        let orphans: Vec<Arc<Vec<Proposal>>> = self
+            .ordered_batches
+            .split_off(&(tip + 1))
+            .into_values()
+            .collect();
+        // The orphans' certificates go with them: winning the election
+        // proved nothing beyond `tip` possibly committed, and a stale
+        // QC pin left behind would make this server (as a future
+        // follower) refuse another leader's legitimate fresh content at
+        // those sequence numbers.
+        self.ord_qcs.split_off(&(tip + 1));
+        if !orphans.is_empty() {
+            let mut pending_keys: KeySet<(ClientId, u64)> =
+                self.pending_proposals.iter().map(|p| p.tx.key()).collect();
+            for batch in orphans {
+                for proposal in batch.iter() {
+                    let key = proposal.tx.key();
+                    // `remove`: the transaction is now in the proposal
+                    // pool, no longer known *only* through an ordered
+                    // batch — keeping the set consistent with the batches
+                    // actually retained bounds its growth.
+                    if self.ordered_only_keys.remove(&key) && pending_keys.insert(key) {
+                        self.pending_proposals.push(proposal.clone());
+                    }
+                }
+            }
+        }
+        // Purge the proposal pool of every transaction already scheduled
+        // inside a preserved instance: as a follower this server pooled
+        // all client proposals, including the ones the old leader had in
+        // flight, and flushing them into a fresh batch while the
+        // re-proposal commits them would assign one transaction to two
+        // sequence numbers. (Before the double-assign cross-check made
+        // followers refuse such batches, this path silently committed
+        // the duplicates — the behaviour `canary-double-commit`
+        // re-introduces for the vopr mutation-score gate.)
+        #[cfg(not(feature = "canary-double-commit"))]
+        if !preserved.is_empty() && !self.pending_proposals.is_empty() {
+            let scheduled: KeySet<(ClientId, u64)> = preserved
+                .iter()
+                .flat_map(|(_, batch)| batch.iter().map(|p| p.tx.key()))
+                .collect();
+            self.pending_proposals
+                .retain(|p| !scheduled.contains(&p.tx.key()));
+        }
+        self.next_seq = SeqNum(tip).next();
+        for (n, batch) in preserved {
+            self.propose_batch_at(SeqNum(n), batch, ctx);
+        }
     }
 
     /// Arms the leader's batch flush timer if not already armed.

@@ -176,12 +176,23 @@ impl PrestigeServer {
     /// as fresh** as the one this server signed — a stale certificate means
     /// the candidate's state predates a possibly-committed re-proposal, and
     /// electing it could roll that instance back.
+    #[cfg_attr(feature = "canary-c3-fork", allow(unreachable_code))]
     pub(crate) fn signed_instances_covered(
         &mut self,
         latest_seq: SeqNum,
         latest_ord_seq: SeqNum,
         tip_cert: &[QuorumCertificate],
     ) -> bool {
+        // Canary mutation (vopr mutation-score gate): PR 4's original C3
+        // compared committed tips only — the ordered-coverage check below did
+        // not exist, so a candidate whose certified state predated this
+        // voter's commit signature could win the election and roll the
+        // instance back. The falsification swarm must rediscover that fork.
+        #[cfg(feature = "canary-c3-fork")]
+        {
+            let _ = (latest_seq, latest_ord_seq, tip_cert);
+            return true;
+        }
         if latest_ord_seq.0 < self.signed_commit_tip {
             self.stats.camp_cert_refusals += 1;
             return false;

@@ -237,7 +237,7 @@ impl Scenario {
         };
 
         let rotation = get_f64(&doc, "scenario", "rotation_ms", 0.0)?;
-        Ok(Scenario {
+        let scenario = Scenario {
             name: get_str(&doc, "scenario", "name")
                 .unwrap_or("unnamed")
                 .to_string(),
@@ -270,7 +270,38 @@ impl Scenario {
             min_stable_checkpoint: get_u64(&doc, "assert", "min_stable_checkpoint", 0)?,
             recovery_floor_tps: get_f64(&doc, "assert", "recovery_floor_tps", 0.0)?,
             recovery_window_s: get_f64(&doc, "assert", "recovery_window_s", 1.0)?,
-        })
+        };
+
+        // Scenario lint: restart scenarios have two footguns that produce
+        // flaky-looking CI failures long after the scenario is written, so
+        // they are rejected at parse time with the fix in the message.
+        if scenario.restart.is_some() {
+            // A restarted node replays its WAL, re-elects, and pages itself
+            // forward through the repair plane; on a shared 1-core runner
+            // that routinely takes over a second of wall clock near EOF.
+            // A narrow recovery window turns scheduler starvation into a
+            // "regression".
+            if scenario.recovery_window_s < 2.0 {
+                return Err(format!(
+                    "[restart] scenarios need assert.recovery_window_s >= 2.0 \
+                     (got {}): WAL replay + re-election + repair-plane catch-up \
+                     does not fit a narrower window on 1-core CI runners",
+                    scenario.recovery_window_s
+                ));
+            }
+            // An unthrottled loopback cluster commits faster than a
+            // restarted node can replay, so it chases a receding tip for
+            // the whole run and the recovery assertions measure the
+            // scheduler, not the protocol.
+            if !doc.contains_key("chaos") {
+                return Err("[restart] scenarios need a [chaos] throttle profile (e.g. \
+                     delay_ms = 5.0, jitter_ms = 5.0, loss = 0.005): unthrottled \
+                     loopback outruns WAL replay and the restarted node never \
+                     catches the tip"
+                    .to_string());
+            }
+        }
+        Ok(scenario)
     }
 
     fn cluster_config(&self) -> ClusterConfig {
@@ -898,5 +929,69 @@ fn run(scenario: &Scenario, out_path: &str) -> Result<(), Vec<String>> {
         Ok(())
     } else {
         Err(failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal restart scenario, assembled from parts so each test can
+    /// break exactly one rule.
+    fn restart_scenario(chaos: &str, window: &str) -> String {
+        format!(
+            "[scenario]\nname = \"lint\"\nservers = 4\nduration_s = 6.0\n\
+             {chaos}\n[storage]\ncheckpoint_interval = 16\n\
+             [restart]\nat_s = 1.0\ndown_ms = 800.0\ntarget = \"leader\"\n\
+             [assert]\n{window}\n"
+        )
+    }
+
+    const CHAOS: &str = "[chaos]\ndelay_ms = 5.0\njitter_ms = 5.0\nloss = 0.005";
+
+    #[test]
+    fn restart_scenario_with_throttle_and_wide_window_parses() {
+        let text = restart_scenario(CHAOS, "recovery_window_s = 2.0");
+        let scenario = Scenario::from_toml(&text).expect("valid scenario");
+        assert!(scenario.restart.is_some());
+    }
+
+    #[test]
+    fn restart_scenario_with_narrow_recovery_window_is_rejected() {
+        let text = restart_scenario(CHAOS, "recovery_window_s = 1.5");
+        let err = Scenario::from_toml(&text).expect_err("lint must fire");
+        assert!(
+            err.contains("recovery_window_s >= 2.0"),
+            "unhelpful error: {err}"
+        );
+    }
+
+    #[test]
+    fn restart_scenario_without_chaos_profile_is_rejected() {
+        let text = restart_scenario("", "recovery_window_s = 2.0");
+        let err = Scenario::from_toml(&text).expect_err("lint must fire");
+        assert!(
+            err.contains("[chaos] throttle profile"),
+            "unhelpful error: {err}"
+        );
+    }
+
+    #[test]
+    fn non_restart_scenario_is_not_linted() {
+        let text = "[scenario]\nname = \"plain\"\nservers = 4\n\
+                    [assert]\nrecovery_window_s = 1.0\n";
+        assert!(Scenario::from_toml(text).is_ok());
+    }
+
+    #[test]
+    fn committed_restart_scenarios_pass_the_lint() {
+        for path in [
+            "../../scenarios/restart_leader.toml",
+            "../../scenarios/restart_minority_chaos.toml",
+            "../../scenarios/restart_torn_tail.toml",
+        ] {
+            let text = std::fs::read_to_string(path).expect(path);
+            Scenario::from_toml(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
+        }
     }
 }

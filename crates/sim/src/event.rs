@@ -124,6 +124,20 @@ impl<M> EventQueue<M> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Drops every pending event that fails the predicate, keeping the
+    /// survivors' original tie-break sequence numbers (so relative ordering —
+    /// and therefore determinism — is unaffected). Used when an actor is
+    /// replaced mid-run: events addressed to the dead incarnation must not
+    /// fire into its successor.
+    pub fn retain<F: FnMut(&Event<M>) -> bool>(&mut self, mut keep: F) {
+        let entries: Vec<HeapEntry<M>> = std::mem::take(&mut self.heap)
+            .into_vec()
+            .into_iter()
+            .filter(|e| keep(&e.0))
+            .collect();
+        self.heap = BinaryHeap::from(entries);
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +198,29 @@ mod tests {
         let targets: Vec<Actor> = std::iter::from_fn(|| q.pop()).map(|e| e.target).collect();
         let expected: Vec<Actor> = (0..10).map(actor).collect();
         assert_eq!(targets, expected);
+    }
+
+    #[test]
+    fn retain_preserves_order_of_survivors() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        for i in 0..6u32 {
+            q.push(
+                SimTime::from_ms(1.0),
+                actor(i % 2),
+                EventPayload::Deliver {
+                    from: actor(99),
+                    message: i,
+                },
+            );
+        }
+        q.retain(|e| e.target != actor(1));
+        let msgs: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.payload {
+                EventPayload::Deliver { message, .. } => message,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(msgs, vec![0, 2, 4]);
     }
 
     #[test]

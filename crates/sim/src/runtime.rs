@@ -116,9 +116,58 @@ impl<M: Wire + 'static> Simulation<M> {
         self.links.unblock_both(a, b);
     }
 
+    /// Blocks traffic in one direction only: messages from `from` to `to`
+    /// are lost while the reverse path keeps working. This is the asymmetric
+    /// partition primitive (e.g. a leader that can hear replies but whose own
+    /// broadcasts never leave the box).
+    pub fn block_oneway(&mut self, from: Actor, to: Actor) {
+        self.links.block(from, to);
+    }
+
+    /// Restores a one-way block set by [`Simulation::block_oneway`].
+    pub fn unblock_oneway(&mut self, from: Actor, to: Actor) {
+        self.links.unblock(from, to);
+    }
+
     /// Removes every partition.
     pub fn heal_all(&mut self) {
         self.links.heal_all();
+    }
+
+    /// Replaces a registered node with a fresh process, modelling a
+    /// crash-restart. Pending events addressed to the dead incarnation are
+    /// purged (in-flight deliveries died with the process; its timers must
+    /// not fire into the successor), link state recovers, and NIC/CPU
+    /// accounting resets. The actor keeps its original RNG stream so a
+    /// restart is as deterministic as everything else. If the simulation has
+    /// started, the new process's `on_start` runs immediately.
+    pub fn replace_node(&mut self, actor: Actor, node: Box<dyn Process<M>>) {
+        assert!(
+            self.nodes.contains_key(&actor),
+            "replace_node: {actor:?} was never registered"
+        );
+        self.queue.retain(|e| e.target != actor);
+        self.links.recover(actor);
+        self.nic_free.remove(&actor);
+        self.cpu_free.remove(&actor);
+        self.nodes.insert(actor, node);
+        if self.started {
+            let mut outputs = Effects::new();
+            {
+                let node = self.nodes.get_mut(&actor).expect("replaced node");
+                let rng = self.node_rngs.get_mut(&actor).expect("node rng");
+                let mut ctx =
+                    Context::new(self.now, actor, rng, &mut self.next_timer_id, &mut outputs);
+                node.on_start(&mut ctx);
+            }
+            self.apply_outputs(actor, outputs);
+        }
+    }
+
+    /// The time of the earliest pending event, if any. Lets an external
+    /// driver interleave scheduled fault injection with [`Simulation::step`].
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
     }
 
     /// Downcasts a node to its concrete type for inspection.
@@ -538,6 +587,75 @@ mod tests {
         // Round trips now cost ~2 s of serialization each; only the first can
         // finish by 2.5 s.
         assert_eq!(sim.node_as::<Pinger>(s(0)).unwrap().completed, 1);
+    }
+
+    #[test]
+    fn one_way_block_is_asymmetric() {
+        let mut sim = build(1, 1000, 0.0);
+        sim.start();
+        // Block only the ponger's replies: pings still arrive, pongs are lost.
+        sim.block_oneway(s(1), s(0));
+        sim.run_until(SimTime::from_ms(50.0));
+        assert_eq!(sim.node_as::<Pinger>(s(0)).unwrap().completed, 0);
+        assert!(sim.stats().delivered("Ping") >= 1);
+        assert!(sim.stats().blocked > 0);
+        sim.unblock_oneway(s(1), s(0));
+    }
+
+    #[test]
+    fn replace_node_restarts_cleanly() {
+        let mut sim = build(1, 1000, 0.0);
+        sim.start();
+        sim.run_until(SimTime::from_ms(10.0));
+        sim.crash(s(0));
+        sim.run_until(SimTime::from_ms(20.0));
+        // A fresh pinger restarts the protocol from round 0 via on_start.
+        sim.replace_node(
+            s(0),
+            Box::new(Pinger {
+                peer: s(1),
+                rounds: 3,
+                completed: 0,
+                tick_count: 0,
+            }),
+        );
+        assert!(!sim.is_down(s(0)));
+        sim.run_until(SimTime::from_ms(100.0));
+        assert_eq!(sim.node_as::<Pinger>(s(0)).unwrap().completed, 3);
+    }
+
+    #[test]
+    fn replace_node_purges_stale_timers() {
+        let mut sim = build(1, 1, 0.0);
+        sim.start();
+        sim.run_until(SimTime::from_ms(10.0));
+        // The original pinger armed a 1 s timer; replacing it must drop that
+        // event so the successor never sees a timer it did not set.
+        sim.replace_node(
+            s(0),
+            Box::new(Pinger {
+                peer: s(1),
+                rounds: 1,
+                completed: 0,
+                tick_count: 0,
+            }),
+        );
+        sim.run_until(SimTime::from_ms(990.0));
+        // Only the replacement's own timer (armed at t=10 ms, due t=1010 ms)
+        // remains; the original (due t=1000 ms) must not fire.
+        let ticks_before = sim.node_as::<Pinger>(s(0)).unwrap().tick_count;
+        assert_eq!(ticks_before, 0);
+        sim.run_until(SimTime::from_ms(1500.0));
+        assert_eq!(sim.node_as::<Pinger>(s(0)).unwrap().tick_count, 1);
+    }
+
+    #[test]
+    fn next_event_time_tracks_queue_head() {
+        let mut sim = build(1, 1, 0.0);
+        assert_eq!(sim.next_event_time(), None);
+        sim.start();
+        let head = sim.next_event_time().expect("events pending after start");
+        assert!(head >= SimTime::ZERO);
     }
 
     #[test]

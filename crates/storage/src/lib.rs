@@ -238,6 +238,76 @@ impl Storage for MemStorage {
     }
 }
 
+/// A clone-able handle to a [`MemStorage`] that outlives the process it is
+/// attached to. The deterministic falsification harness (`prestige-vopr`)
+/// attaches one handle per simulated server; when it crash-restarts a server
+/// it keeps the log, optionally tears records off the tail (modelling the
+/// torn final record a real crash leaves — the on-disk [`Wal`] truncates
+/// those on open, so replay simply never sees them), snapshots the survivors
+/// for `replay_wal`, and re-attaches a clone to the successor.
+///
+/// All methods take the lock for the duration of one call; the simulator is
+/// single-threaded, so the mutex is only there to satisfy `Storage: Send`
+/// soundly.
+#[derive(Debug, Clone, Default)]
+pub struct SharedMemStorage {
+    inner: std::sync::Arc<std::sync::Mutex<MemStorage>>,
+}
+
+impl SharedMemStorage {
+    /// Creates an empty shared in-memory log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of every surviving record, in append order — the input to
+    /// `replay_wal` on restart.
+    pub fn records_snapshot(&self) -> Vec<WalRecord> {
+        self.inner.lock().expect("storage lock").records.clone()
+    }
+
+    /// Number of records currently in the log.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("storage lock").records.len()
+    }
+
+    /// True if nothing has been appended (or everything was torn off).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tears the last `n` records off the log — deterministic torn-tail
+    /// injection. Returns how many records were actually removed.
+    pub fn truncate_tail(&self, n: usize) -> usize {
+        let mut inner = self.inner.lock().expect("storage lock");
+        let keep = inner.records.len().saturating_sub(n);
+        let torn = inner.records.len() - keep;
+        inner.records.truncate(keep);
+        torn
+    }
+}
+
+impl Storage for SharedMemStorage {
+    fn append(&mut self, record: WalRecordRef<'_>) -> std::io::Result<()> {
+        self.inner.lock().expect("storage lock").append(record)
+    }
+
+    fn sync(&mut self) -> std::io::Result<()> {
+        self.inner.lock().expect("storage lock").sync()
+    }
+
+    fn prune_below(&mut self, stable_seq: u64) -> std::io::Result<u64> {
+        self.inner
+            .lock()
+            .expect("storage lock")
+            .prune_below(stable_seq)
+    }
+
+    fn stats(&self) -> StorageStats {
+        self.inner.lock().expect("storage lock").stats()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +329,30 @@ mod tests {
     fn unknown_tags_fail_to_decode() {
         assert_eq!(WalRecord::decode(&[9, 0, 0]), None);
         assert_eq!(WalRecord::decode(&[]), None);
+    }
+
+    #[test]
+    fn shared_mem_storage_survives_its_owner_and_tears_tails() {
+        let handle = SharedMemStorage::new();
+        {
+            let mut attached = handle.clone();
+            for n in 1..=4u64 {
+                let block = TxBlock::new(View(1), SeqNum(n), Vec::new());
+                attached.append(WalRecordRef::Block(&block)).unwrap();
+            }
+            // `attached` drops here — the process crashed.
+        }
+        assert_eq!(handle.len(), 4);
+        assert_eq!(handle.truncate_tail(1), 1);
+        let survivors = handle.records_snapshot();
+        assert_eq!(survivors.len(), 3);
+        assert!(
+            matches!(survivors.last(), Some(WalRecord::Block(b)) if b.n == SeqNum(3)),
+            "tail record should be the block at seq 3 after tearing one off"
+        );
+        // Tearing more than exists is clamped, not a panic.
+        assert_eq!(handle.truncate_tail(10), 3);
+        assert!(handle.is_empty());
     }
 
     #[test]

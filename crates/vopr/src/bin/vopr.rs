@@ -1,0 +1,281 @@
+//! The `vopr` binary: seeded falsification swarms, regression replay, and
+//! standalone shrinking.
+//!
+//! ```text
+//! vopr run --seeds N [--start S] [--out DIR] [--no-shrink] [--expect-violation]
+//! vopr replay <file.ron> [<file.ron> ...]
+//! vopr shrink <file.ron> [--out DIR]
+//! ```
+//!
+//! `run` executes seeds `S..S+N`, shrinking and serializing every failure,
+//! and prints a JSON swarm report; it exits nonzero if any violation was
+//! found. With `--expect-violation` (the mutation-score gate: the binary is
+//! built with a canary feature enabled) the polarity flips — the run stops
+//! at the *first* violation and exits nonzero only if the whole swarm stayed
+//! clean, i.e. the harness failed to catch the re-introduced bug.
+//!
+//! `replay` re-runs committed regression files and exits nonzero unless
+//! every file still reproduces a violation (so a protocol fix that
+//! invalidates a reproducer is surfaced, and a regression that resurfaces
+//! is caught). `shrink` minimizes a failing schedule file in place.
+
+use prestige_vopr::{from_ron, run_schedule, shrink, to_ron, FailureRecord, Schedule, SwarmReport};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  vopr run --seeds N [--start S] [--out DIR] [--no-shrink] [--expect-violation]\n  \
+         vopr replay <file.ron> [...]\n  vopr shrink <file.ron> [--out DIR]"
+    );
+    ExitCode::from(2)
+}
+
+fn canary_label() -> &'static str {
+    #[cfg(feature = "canary-c3-fork")]
+    return "canary-c3-fork";
+    #[cfg(all(feature = "canary-double-commit", not(feature = "canary-c3-fork")))]
+    return "canary-double-commit";
+    #[cfg(not(any(feature = "canary-c3-fork", feature = "canary-double-commit")))]
+    "none"
+}
+
+fn write_regression(
+    dir: &Path,
+    schedule: &Schedule,
+    violation: &prestige_vopr::Violation,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let name = format!("seed-{}-{}.ron", schedule.seed, violation.invariant);
+    let path = dir.join(name);
+    let header = vec![
+        format!(
+            "vopr regression: seed {} falsified `{}` on s{} at {:.1} ms",
+            schedule.seed, violation.invariant, violation.replica, violation.at_ms
+        ),
+        format!("detail: {}", violation.detail),
+        format!("canary: {}", canary_label()),
+        "replay: cargo run --release -p prestige-vopr -- replay <this file>".to_string(),
+    ];
+    std::fs::write(&path, to_ron(schedule, &header))?;
+    Ok(path)
+}
+
+fn load_schedule(path: &str) -> Result<Schedule, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    from_ron(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut seeds: Option<u64> = None;
+    let mut start: u64 = 0;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut do_shrink = true;
+    let mut expect_violation = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seeds" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => seeds = Some(n),
+                None => return usage(),
+            },
+            "--start" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => start = s,
+                None => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(d) => out_dir = Some(PathBuf::from(d)),
+                None => return usage(),
+            },
+            "--no-shrink" => do_shrink = false,
+            "--expect-violation" => expect_violation = true,
+            _ => return usage(),
+        }
+    }
+    let Some(seeds) = seeds else { return usage() };
+
+    let mut report = SwarmReport::default();
+    for seed in start..start + seeds {
+        let schedule = Schedule::generate(seed);
+        let outcome = run_schedule(&schedule);
+        report.absorb_run(&outcome);
+        let Some(violation) = outcome.violation else {
+            continue;
+        };
+        eprintln!(
+            "seed {seed}: FALSIFIED {} on s{} at {:.1} ms — {}",
+            violation.invariant, violation.replica, violation.at_ms, violation.detail
+        );
+        let mut record = FailureRecord {
+            seed,
+            violation,
+            shrunk: None,
+            regression_file: None,
+        };
+        if do_shrink {
+            if let Some(result) = shrink(&schedule) {
+                eprintln!(
+                    "seed {seed}: shrunk to {} action(s) over {} ms in {} candidate runs",
+                    result.schedule.actions.len(),
+                    result.schedule.duration_ms,
+                    result.candidates_run
+                );
+                report.schedules_shrunk += 1;
+                report.shrink_candidates_run += result.candidates_run;
+                if let Some(dir) = &out_dir {
+                    match write_regression(dir, &result.schedule, &result.violation) {
+                        Ok(path) => record.regression_file = Some(path.display().to_string()),
+                        Err(e) => eprintln!("seed {seed}: cannot write regression: {e}"),
+                    }
+                }
+                record.violation = result.violation;
+                record.shrunk = Some(result.schedule);
+            }
+        } else if let Some(dir) = &out_dir {
+            match write_regression(dir, &schedule, &record.violation) {
+                Ok(path) => record.regression_file = Some(path.display().to_string()),
+                Err(e) => eprintln!("seed {seed}: cannot write regression: {e}"),
+            }
+        }
+        report.failures.push(record);
+        if expect_violation {
+            // Mutation gate: one caught bug proves the harness; stop early.
+            break;
+        }
+    }
+
+    print!("{}", report.to_json().render());
+    let violated = !report.failures.is_empty();
+    if expect_violation {
+        if violated {
+            eprintln!(
+                "mutation gate: harness caught the {} canary",
+                canary_label()
+            );
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "mutation gate FAILED: {} seeds found nothing with canary {}",
+                report.seeds_run,
+                canary_label()
+            );
+            ExitCode::FAILURE
+        }
+    } else if violated {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_replay(args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        return usage();
+    }
+    let mut report = SwarmReport::default();
+    let mut all_reproduce = true;
+    for path in args {
+        let schedule = match load_schedule(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let outcome = run_schedule(&schedule);
+        report.absorb_run(&outcome);
+        match outcome.violation {
+            Some(v) => {
+                eprintln!(
+                    "{path}: reproduces {} on s{} at {:.1} ms",
+                    v.invariant, v.replica, v.at_ms
+                );
+                report.failures.push(FailureRecord {
+                    seed: schedule.seed,
+                    violation: v,
+                    shrunk: None,
+                    regression_file: Some(path.clone()),
+                });
+            }
+            None => {
+                eprintln!(
+                    "{path}: NO LONGER REPRODUCES — the protocol changed; delete the file \
+                     or investigate"
+                );
+                all_reproduce = false;
+            }
+        }
+    }
+    print!("{}", report.to_json().render());
+    if all_reproduce {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_shrink(args: &[String]) -> ExitCode {
+    let mut file: Option<&String> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(d) => out_dir = Some(PathBuf::from(d)),
+                None => return usage(),
+            },
+            _ if file.is_none() => file = Some(arg),
+            _ => return usage(),
+        }
+    }
+    let Some(path) = file else { return usage() };
+    let schedule = match load_schedule(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match shrink(&schedule) {
+        Some(result) => {
+            eprintln!(
+                "shrunk to {} action(s) over {} ms in {} candidate runs; violation: {} — {}",
+                result.schedule.actions.len(),
+                result.schedule.duration_ms,
+                result.candidates_run,
+                result.violation.invariant,
+                result.violation.detail
+            );
+            let dir = out_dir.unwrap_or_else(|| {
+                Path::new(path)
+                    .parent()
+                    .map(Path::to_path_buf)
+                    .unwrap_or_else(|| PathBuf::from("."))
+            });
+            match write_regression(&dir, &result.schedule, &result.violation) {
+                Ok(p) => {
+                    eprintln!("wrote {}", p.display());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("cannot write shrunk schedule: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        None => {
+            eprintln!("{path}: schedule does not violate any invariant; nothing to shrink");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("shrink") => cmd_shrink(&args[1..]),
+        _ => usage(),
+    }
+}

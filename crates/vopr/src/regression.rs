@@ -1,0 +1,382 @@
+//! Regression files: schedules serialized to a RON-flavoured text format
+//! under `vopr/regressions/*.ron`, so a found-and-shrunk counterexample
+//! becomes a permanent, replayable test case.
+//!
+//! The build environment is offline (no `ron` crate), so this module carries
+//! a tiny hand-rolled writer and parser for exactly the subset a
+//! [`Schedule`] needs: `(key: value, ...)` records, `[...]` lists,
+//! `ident(...)` tagged records, unsigned integers, strings, and `//`
+//! comments. Round-tripping is exact — every numeric field is an integer by
+//! construction.
+
+use crate::schedule::{ActionKind, Schedule, ScheduledAction};
+use std::fmt::Write as _;
+
+/// Serializes a schedule (with an optional leading `//` comment block
+/// describing its provenance) to regression-file text.
+pub fn to_ron(schedule: &Schedule, header: &[String]) -> String {
+    let mut out = String::new();
+    for line in header {
+        let _ = writeln!(out, "// {line}");
+    }
+    let _ = writeln!(out, "(");
+    let _ = writeln!(out, "    seed: {},", schedule.seed);
+    let _ = writeln!(out, "    servers: {},", schedule.servers);
+    let _ = writeln!(out, "    clients: {},", schedule.clients);
+    let _ = writeln!(out, "    concurrency: {},", schedule.concurrency);
+    let _ = writeln!(out, "    payload_size: {},", schedule.payload_size);
+    let _ = writeln!(out, "    batch_size: {},", schedule.batch_size);
+    let _ = writeln!(
+        out,
+        "    checkpoint_interval: {},",
+        schedule.checkpoint_interval
+    );
+    let _ = writeln!(out, "    duration_ms: {},", schedule.duration_ms);
+    let _ = writeln!(out, "    fault_label: \"{}\",", schedule.fault_label);
+    let _ = writeln!(out, "    fault_count: {},", schedule.fault_count);
+    let _ = writeln!(out, "    fault_strategy: \"{}\",", schedule.fault_strategy);
+    let _ = writeln!(out, "    delay_lo_us: {},", schedule.delay_lo_us);
+    let _ = writeln!(out, "    delay_hi_us: {},", schedule.delay_hi_us);
+    let _ = writeln!(out, "    loss_permille: {},", schedule.loss_permille);
+    if schedule.actions.is_empty() {
+        let _ = writeln!(out, "    actions: [],");
+    } else {
+        let _ = writeln!(out, "    actions: [");
+        for a in &schedule.actions {
+            let kind = match a.kind {
+                ActionKind::PartitionSym {
+                    target,
+                    duration_ms,
+                } => format!("partition_sym(target: {target}, duration_ms: {duration_ms})"),
+                ActionKind::PartitionOut {
+                    target,
+                    duration_ms,
+                } => format!("partition_out(target: {target}, duration_ms: {duration_ms})"),
+                ActionKind::PartitionIn {
+                    target,
+                    duration_ms,
+                } => format!("partition_in(target: {target}, duration_ms: {duration_ms})"),
+                ActionKind::Degrade {
+                    delay_lo_us,
+                    delay_hi_us,
+                    loss_permille,
+                    duration_ms,
+                } => format!(
+                    "degrade(delay_lo_us: {delay_lo_us}, delay_hi_us: {delay_hi_us}, \
+                     loss_permille: {loss_permille}, duration_ms: {duration_ms})"
+                ),
+                ActionKind::CrashRestart {
+                    target,
+                    down_ms,
+                    torn_records,
+                } => format!(
+                    "crash_restart(target: {target}, down_ms: {down_ms}, \
+                     torn_records: {torn_records})"
+                ),
+            };
+            let _ = writeln!(out, "        (at_ms: {}, kind: {kind}),", a.at_ms);
+        }
+        let _ = writeln!(out, "    ],");
+    }
+    let _ = writeln!(out, ")");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Num(u64),
+    Str(String),
+    Punct(char),
+}
+
+fn tokenize(text: &str) -> Result<Vec<Token>, String> {
+    let mut tokens = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.next() != Some('/') {
+                    return Err("stray '/' (only // comments are allowed)".into());
+                }
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            }
+            '(' | ')' | '[' | ']' | ':' | ',' => {
+                tokens.push(Token::Punct(c));
+                chars.next();
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some(c) => s.push(c),
+                        None => return Err("unterminated string".into()),
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            '0'..='9' => {
+                let mut n: u64 = 0;
+                while let Some(&d) = chars.peek() {
+                    if let Some(v) = d.to_digit(10) {
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|n| n.checked_add(v as u64))
+                            .ok_or("integer overflow")?;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Num(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(s));
+            }
+            other => return Err(format!("unexpected character {other:?}")),
+        }
+    }
+    Ok(tokens)
+}
+
+/// A cursor over the token stream with record/field helpers.
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn expect(&mut self, p: char) -> Result<(), String> {
+        match self.tokens.get(self.pos) {
+            Some(Token::Punct(c)) if *c == p => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(format!("expected {p:?}, found {other:?}")),
+        }
+    }
+
+    fn eat(&mut self, p: char) -> bool {
+        if matches!(self.tokens.get(self.pos), Some(Token::Punct(c)) if *c == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, String> {
+        match self.tokens.get(self.pos) {
+            Some(Token::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn num(&mut self) -> Result<u64, String> {
+        match self.tokens.get(self.pos) {
+            Some(Token::Num(n)) => {
+                let n = *n;
+                self.pos += 1;
+                Ok(n)
+            }
+            other => Err(format!("expected number, found {other:?}")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        match self.tokens.get(self.pos) {
+            Some(Token::Str(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            other => Err(format!("expected string, found {other:?}")),
+        }
+    }
+
+    /// Parses `(name: value, ...)` where every value is a number, collecting
+    /// the fields in order.
+    fn num_record(&mut self) -> Result<Vec<(String, u64)>, String> {
+        self.expect('(')?;
+        let mut fields = Vec::new();
+        while !self.eat(')') {
+            let name = self.ident()?;
+            self.expect(':')?;
+            fields.push((name, self.num()?));
+            self.eat(',');
+        }
+        Ok(fields)
+    }
+}
+
+fn field(fields: &[(String, u64)], name: &str) -> Result<u64, String> {
+    fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| *v)
+        .ok_or_else(|| format!("missing field {name}"))
+}
+
+fn parse_action(p: &mut Parser) -> Result<ScheduledAction, String> {
+    p.expect('(')?;
+    let mut at_ms = None;
+    let mut kind = None;
+    while !p.eat(')') {
+        let name = p.ident()?;
+        p.expect(':')?;
+        match name.as_str() {
+            "at_ms" => at_ms = Some(p.num()?),
+            "kind" => {
+                let tag = p.ident()?;
+                let fields = p.num_record()?;
+                kind = Some(match tag.as_str() {
+                    "partition_sym" => ActionKind::PartitionSym {
+                        target: field(&fields, "target")? as u32,
+                        duration_ms: field(&fields, "duration_ms")?,
+                    },
+                    "partition_out" => ActionKind::PartitionOut {
+                        target: field(&fields, "target")? as u32,
+                        duration_ms: field(&fields, "duration_ms")?,
+                    },
+                    "partition_in" => ActionKind::PartitionIn {
+                        target: field(&fields, "target")? as u32,
+                        duration_ms: field(&fields, "duration_ms")?,
+                    },
+                    "degrade" => ActionKind::Degrade {
+                        delay_lo_us: field(&fields, "delay_lo_us")?,
+                        delay_hi_us: field(&fields, "delay_hi_us")?,
+                        loss_permille: field(&fields, "loss_permille")? as u32,
+                        duration_ms: field(&fields, "duration_ms")?,
+                    },
+                    "crash_restart" => ActionKind::CrashRestart {
+                        target: field(&fields, "target")? as u32,
+                        down_ms: field(&fields, "down_ms")?,
+                        torn_records: field(&fields, "torn_records")? as u32,
+                    },
+                    other => return Err(format!("unknown action kind {other}")),
+                });
+            }
+            other => return Err(format!("unknown action field {other}")),
+        }
+        p.eat(',');
+    }
+    Ok(ScheduledAction {
+        at_ms: at_ms.ok_or("action missing at_ms")?,
+        kind: kind.ok_or("action missing kind")?,
+    })
+}
+
+/// Parses regression-file text back into a [`Schedule`].
+pub fn from_ron(text: &str) -> Result<Schedule, String> {
+    let mut p = Parser {
+        tokens: tokenize(text)?,
+        pos: 0,
+    };
+    p.expect('(')?;
+    let mut nums: Vec<(String, u64)> = Vec::new();
+    let mut strs: Vec<(String, String)> = Vec::new();
+    let mut actions: Vec<ScheduledAction> = Vec::new();
+    while !p.eat(')') {
+        let name = p.ident()?;
+        p.expect(':')?;
+        match name.as_str() {
+            "fault_label" | "fault_strategy" => {
+                let v = p.string()?;
+                strs.push((name, v));
+            }
+            "actions" => {
+                p.expect('[')?;
+                while !p.eat(']') {
+                    actions.push(parse_action(&mut p)?);
+                    p.eat(',');
+                }
+            }
+            _ => {
+                let v = p.num()?;
+                nums.push((name, v));
+            }
+        }
+        p.eat(',');
+    }
+    let sfield = |name: &str| -> Result<String, String> {
+        strs.iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.clone())
+            .ok_or_else(|| format!("missing field {name}"))
+    };
+    Ok(Schedule {
+        seed: field(&nums, "seed")?,
+        servers: field(&nums, "servers")? as u32,
+        clients: field(&nums, "clients")?,
+        concurrency: field(&nums, "concurrency")? as usize,
+        payload_size: field(&nums, "payload_size")? as usize,
+        batch_size: field(&nums, "batch_size")? as usize,
+        checkpoint_interval: field(&nums, "checkpoint_interval")?,
+        duration_ms: field(&nums, "duration_ms")?,
+        fault_label: sfield("fault_label")?,
+        fault_count: field(&nums, "fault_count")? as u32,
+        fault_strategy: sfield("fault_strategy")?,
+        delay_lo_us: field(&nums, "delay_lo_us")?,
+        delay_hi_us: field(&nums, "delay_hi_us")?,
+        loss_permille: field(&nums, "loss_permille")? as u32,
+        actions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Schedule;
+
+    #[test]
+    fn schedules_round_trip_exactly() {
+        for seed in [0u64, 3, 17, 99, 123_456] {
+            let s = Schedule::generate(seed);
+            let text = to_ron(&s, &[format!("seed {seed} round-trip test")]);
+            let back = from_ron(&text).expect("parses");
+            assert_eq!(s, back, "round-trip mismatch for seed {seed}\n{text}");
+        }
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(from_ron("not a schedule").is_err());
+        assert!(from_ron("(seed: 1,").is_err());
+        assert!(from_ron("(seed: \"one\")").is_err());
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_ignored() {
+        let s = Schedule::generate(7);
+        let mut text = String::from("// a comment\n// another\n");
+        text.push_str(&to_ron(&s, &[]));
+        assert_eq!(from_ron(&text).unwrap(), s);
+    }
+}
