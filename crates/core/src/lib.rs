@@ -38,6 +38,7 @@
 pub mod client;
 pub mod durability;
 pub mod faults;
+pub mod histogram;
 pub mod pacemaker;
 pub mod server;
 pub mod storage;
@@ -49,6 +50,7 @@ mod view_change;
 
 pub use client::{ClientConfig, ClientStats, PrestigeClient};
 pub use faults::{AttackStrategy, ByzantineBehavior};
+pub use histogram::LatencyHistogram;
 pub use pacemaker::{timer_tags, Pacemaker};
 pub use replication::batch_digest;
 pub use server::{PrestigeServer, ServerRole, ServerStats};

@@ -130,6 +130,7 @@ impl PrestigeServer {
                 ordering_qc: None,
                 commit_builder: None,
                 last_sent_ms: ctx.now().as_ms(),
+                last_progress_ms: ctx.now().as_ms(),
             },
         );
     }
@@ -140,7 +141,11 @@ impl PrestigeServer {
     /// what lets a leader whose broadcasts were lost (backpressure shed, a
     /// partition that healed) make progress again instead of wedging with a
     /// full window; followers handle both messages idempotently and re-send
-    /// their shares.
+    /// their shares. Staleness is measured from the *later* of the last
+    /// broadcast and the last share arrival: an instance whose quorum is
+    /// actively filling is healthy, and re-broadcasting it would flood the
+    /// cluster with duplicate work exactly when it is busiest (the measured
+    /// p99 tail at peak throughput).
     pub(crate) fn retransmit_stalled_instances(&mut self, ctx: &mut Context<Message>) {
         let now = ctx.now().as_ms();
         let interval = self.retransmit_interval_ms();
@@ -153,7 +158,7 @@ impl PrestigeServer {
         );
         let mut stalled: Vec<Stalled> = Vec::new();
         for (n, instance) in self.inflight.iter_mut() {
-            if now - instance.last_sent_ms < interval {
+            if now - instance.last_sent_ms.max(instance.last_progress_ms) < interval {
                 continue;
             }
             instance.last_sent_ms = now;
@@ -166,6 +171,7 @@ impl PrestigeServer {
             ));
         }
         for (n, view, ordering_qc, batch, digest) in stalled {
+            self.stats.instance_retransmits += 1;
             let sig = self.sign(digest.as_ref());
             let message = match ordering_qc {
                 Some(ordering_qc) => Message::Cmt {
@@ -297,7 +303,12 @@ impl PrestigeServer {
                 .add_share(&self.registry, &share)
                 .is_ok()
         };
-        if !added || !instance.ordering_builder.complete() {
+        if !added {
+            return;
+        }
+        // A share landed: the quorum is filling in, hold the retransmitter.
+        instance.last_progress_ms = ctx.now().as_ms();
+        if !instance.ordering_builder.complete() {
             return;
         }
         let ordering_qc = match instance.ordering_builder.assemble() {
@@ -395,17 +406,28 @@ impl PrestigeServer {
             Some(i) if i.view == view && i.digest == digest => i,
             _ => return,
         };
-        let builder = match instance.commit_builder.as_mut() {
-            Some(b) => b,
-            None => return,
+        let added = {
+            let builder = match instance.commit_builder.as_mut() {
+                Some(b) => b,
+                None => return,
+            };
+            if pre_verified {
+                builder.add_verified_share(&share);
+                true
+            } else {
+                builder.add_share(&self.registry, &share).is_ok()
+            }
         };
-        let added = if pre_verified {
-            builder.add_verified_share(&share);
-            true
-        } else {
-            builder.add_share(&self.registry, &share).is_ok()
-        };
-        if !added || !builder.complete() {
+        if !added {
+            return;
+        }
+        // A share landed: the quorum is filling in, hold the retransmitter.
+        instance.last_progress_ms = ctx.now().as_ms();
+        let builder = instance
+            .commit_builder
+            .as_mut()
+            .expect("commit builder present");
+        if !builder.complete() {
             return;
         }
         let commit_qc = match builder.assemble() {

@@ -105,6 +105,10 @@ pub struct ServerStats {
     /// Election messages (`Camp` / `NewVcBlock`) re-broadcast by the repair
     /// timer because the view change stalled without visible progress.
     pub election_retransmits: u64,
+    /// In-flight replication instances re-broadcast (`Ord` or `Cmt`) by the
+    /// batch timer because their quorum stalled past the retransmit interval
+    /// with no share arrivals in the meantime.
+    pub instance_retransmits: u64,
     /// Catch-up requests escalated to `SyncKind::Snapshot` because the
     /// missing range exceeded one serve budget (fresh restart from an old
     /// checkpoint, long partition).
@@ -127,6 +131,13 @@ pub(crate) struct InflightInstance {
     /// protocol messages lost to backpressure or a healed partition, without
     /// which a full pipeline window can wedge a comeback leader forever.
     pub(crate) last_sent_ms: f64,
+    /// When a quorum share for this instance last *arrived* (ms). The
+    /// retransmit gate measures staleness from
+    /// `max(last_sent_ms, last_progress_ms)`: an instance whose quorum is
+    /// still filling in is making progress and must not be re-broadcast —
+    /// healthy-path retransmits double network load exactly when the cluster
+    /// is busiest and were the dominant p99 contributor at peak throughput.
+    pub(crate) last_progress_ms: f64,
 }
 
 /// A message parked while its crypto checks run on the verify pool. Each
@@ -172,6 +183,23 @@ pub(crate) enum PendingVerify {
         block: Arc<TxBlock>,
         memo: Vec<[u8; 32]>,
     },
+}
+
+impl PendingVerify {
+    /// The consensus instance this verification belongs to, used as the
+    /// verify-pool shard key: every variant carries the instance sequence, so
+    /// all checks for one instance (Ord, shares, Cmt, final block) run on one
+    /// worker in submission order while distinct instances verify
+    /// concurrently.
+    pub(crate) fn shard_key(&self) -> u64 {
+        match self {
+            PendingVerify::Ord { n, .. }
+            | PendingVerify::OrdShare { n, .. }
+            | PendingVerify::Cmt { n, .. }
+            | PendingVerify::CmtShare { n, .. } => n.0,
+            PendingVerify::CommitBlock { block, .. } => block.n.0,
+        }
+    }
 }
 
 /// The state a server keeps while campaigning (redeemer / candidate).
@@ -644,14 +672,17 @@ impl PrestigeServer {
 
     /// Offloads `job` to the verify pool, parking `pending` until the verdict
     /// arrives via `on_job_complete`. Callers must have established
-    /// [`Self::has_async_verify`].
+    /// [`Self::has_async_verify`]. Jobs are sharded by instance sequence
+    /// ([`PendingVerify::shard_key`]) so one instance's checks never reorder
+    /// against each other while distinct instances verify in parallel.
     pub(crate) fn offload_verify(&mut self, job: VerifyJob, pending: PendingVerify) {
         let pool = self.verify_pool.as_ref().expect("async pool attached");
         let token = self.next_verify_token;
         self.next_verify_token += 1;
+        let shard = pending.shard_key();
         self.pending_verify.insert(token, pending);
         self.stats.verify_offloaded += 1;
-        pool.submit(token, job);
+        pool.submit_sharded(shard, token, job);
     }
 
     /// Memo key of a quorum certificate: statement + required threshold +

@@ -14,6 +14,12 @@
 //!   synchronously at submit time. The deterministic simulator never attaches
 //!   an asynchronous pool at all, so simulated runs are bit-identical for any
 //!   configured worker count.
+//! * **Sharded queues** — every worker owns its own job queue. Keyed
+//!   submissions ([`VerifyPool::submit_sharded`]) route by `shard % workers`,
+//!   so all jobs belonging to one consensus instance land on one worker and
+//!   complete in submission order, while distinct instances verify truly
+//!   concurrently. Unkeyed submissions round-robin. There is no shared queue
+//!   and therefore no queue lock on the hot path.
 //! * **Batching** — workers drain up to `WORKER_BATCH` (4) queued jobs per
 //!   wakeup, verifying shares and QCs from many messages back-to-back before
 //!   publishing the verdicts, which amortizes channel traffic under load.
@@ -33,10 +39,9 @@ use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-/// How many queued jobs one worker grabs per wakeup. Deliberately small:
-/// the grab happens under the shared queue lock, so a large batch would let
-/// one worker swallow a whole burst while its siblings idle — batching
-/// amortizes channel traffic, parallelism wins beyond a few jobs.
+/// How many queued jobs one worker drains from its own queue per wakeup.
+/// Small enough that a verdict is never stuck behind a long private backlog,
+/// large enough to amortize the channel recv per job under load.
 const WORKER_BATCH: usize = 4;
 
 /// One unit of verification work, self-contained so it can run on any thread.
@@ -159,9 +164,11 @@ pub struct VerifyPool {
 }
 
 struct WorkerSet {
-    job_tx: Sender<(u64, VerifyJob)>,
+    /// One private queue per worker: shard-keyed submissions pick a queue by
+    /// `shard % len`, unkeyed ones round-robin via `next`.
+    job_txs: Vec<Sender<(u64, VerifyJob)>>,
     handles: Vec<JoinHandle<()>>,
-    count: usize,
+    next: AtomicUsize,
 }
 
 impl VerifyPool {
@@ -170,12 +177,12 @@ impl VerifyPool {
     pub fn new(registry: Arc<KeyRegistry>, workers: usize) -> Self {
         let (done_tx, done_rx) = channel();
         let worker_set = (workers > 0).then(|| {
-            let (job_tx, job_rx) = channel::<(u64, VerifyJob)>();
-            let job_rx = Arc::new(Mutex::new(job_rx));
+            let mut job_txs = Vec::with_capacity(workers);
             let handles = (0..workers)
                 .map(|i| {
+                    let (job_tx, job_rx) = channel::<(u64, VerifyJob)>();
+                    job_txs.push(job_tx);
                     let registry = Arc::clone(&registry);
-                    let job_rx = Arc::clone(&job_rx);
                     let done_tx = done_tx.clone();
                     std::thread::Builder::new()
                         .name(format!("prestige-verify-{i}"))
@@ -184,9 +191,9 @@ impl VerifyPool {
                 })
                 .collect();
             WorkerSet {
-                job_tx,
+                job_txs,
                 handles,
-                count: workers,
+                next: AtomicUsize::new(0),
             }
         });
         VerifyPool {
@@ -205,7 +212,7 @@ impl VerifyPool {
 
     /// Number of worker threads (0 = inline).
     pub fn workers(&self) -> usize {
-        self.workers.as_ref().map_or(0, |w| w.count)
+        self.workers.as_ref().map_or(0, |w| w.job_txs.len())
     }
 
     /// Whether jobs run off the submitting thread.
@@ -213,23 +220,49 @@ impl VerifyPool {
         self.workers.is_some()
     }
 
-    /// Submits a job. In inline mode the job executes immediately and its
-    /// verdict is available from [`Self::try_completion`] before `submit`
-    /// returns; with workers the verdict arrives asynchronously.
+    /// Submits a job with no ordering requirement: it may run on any worker
+    /// and its verdict may overtake other unkeyed jobs. In inline mode the
+    /// job executes immediately and its verdict is available from
+    /// [`Self::try_completion`] before `submit` returns; with workers the
+    /// verdict arrives asynchronously.
     pub fn submit(&self, token: u64, job: VerifyJob) {
         self.in_flight.fetch_add(1, Ordering::Relaxed);
         match &self.workers {
             Some(set) => {
-                if set.job_tx.send((token, job)).is_err() {
-                    // Workers are gone (shutdown race): reject rather than
-                    // leaving the submitter waiting forever.
-                    let _ = self.done_tx.send(VerifyVerdict { token, ok: false });
-                }
+                let slot = set.next.fetch_add(1, Ordering::Relaxed) % set.job_txs.len();
+                self.dispatch(set, slot, token, job);
             }
             None => {
                 let ok = run_guarded(&self.registry, &job);
                 let _ = self.done_tx.send(VerifyVerdict { token, ok });
             }
+        }
+    }
+
+    /// Submits a job pinned to the shard `shard % workers`. Jobs sharing a
+    /// shard key execute on one worker in submission order, so per-shard
+    /// verdicts never reorder; distinct shards verify concurrently. Protocol
+    /// code keys by instance sequence number, which partitions the follower's
+    /// verification work per consensus instance.
+    pub fn submit_sharded(&self, shard: u64, token: u64, job: VerifyJob) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        match &self.workers {
+            Some(set) => {
+                let slot = (shard % set.job_txs.len() as u64) as usize;
+                self.dispatch(set, slot, token, job);
+            }
+            None => {
+                let ok = run_guarded(&self.registry, &job);
+                let _ = self.done_tx.send(VerifyVerdict { token, ok });
+            }
+        }
+    }
+
+    fn dispatch(&self, set: &WorkerSet, slot: usize, token: u64, job: VerifyJob) {
+        if set.job_txs[slot].send((token, job)).is_err() {
+            // Workers are gone (shutdown race): reject rather than leaving
+            // the submitter waiting forever.
+            let _ = self.done_tx.send(VerifyVerdict { token, ok: false });
         }
     }
 
@@ -255,7 +288,7 @@ impl VerifyPool {
 impl Drop for VerifyPool {
     fn drop(&mut self) {
         if let Some(set) = self.workers.take() {
-            drop(set.job_tx); // Disconnect: workers drain and exit.
+            drop(set.job_txs); // Disconnect: workers drain and exit.
             for handle in set.handles {
                 let _ = handle.join();
             }
@@ -271,25 +304,22 @@ fn run_guarded(registry: &KeyRegistry, job: &VerifyJob) -> bool {
 
 fn worker_loop(
     registry: &KeyRegistry,
-    job_rx: &Mutex<Receiver<(u64, VerifyJob)>>,
+    job_rx: &Receiver<(u64, VerifyJob)>,
     done_tx: &Sender<VerifyVerdict>,
 ) {
     let mut batch: Vec<(u64, VerifyJob)> = Vec::with_capacity(WORKER_BATCH);
     loop {
-        // Block for one job, then opportunistically drain more so bursts of
-        // shares/QCs from many messages verify back-to-back.
-        {
-            let rx = job_rx.lock().expect("verify job queue lock");
-            match rx.recv() {
+        // Block for one job, then opportunistically drain more from the
+        // private queue so bursts of shares/QCs verify back-to-back.
+        match job_rx.recv() {
+            Ok(job) => batch.push(job),
+            Err(_) => return, // Pool dropped.
+        }
+        while batch.len() < WORKER_BATCH {
+            match job_rx.try_recv() {
                 Ok(job) => batch.push(job),
-                Err(_) => return, // Pool dropped.
-            }
-            while batch.len() < WORKER_BATCH {
-                match rx.try_recv() {
-                    Ok(job) => batch.push(job),
-                    Err(TryRecvError::Empty) => break,
-                    Err(TryRecvError::Disconnected) => break,
-                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => break,
             }
         }
         for (token, job) in batch.drain(..) {
@@ -434,6 +464,47 @@ mod tests {
                 ok: false
             }
         );
+    }
+
+    #[test]
+    fn sharded_submissions_preserve_per_shard_order() {
+        let reg = registry();
+        let pool = VerifyPool::new(Arc::clone(&reg), 4);
+        // 8 shards × 16 jobs each, interleaved across shards at submit time.
+        // More shards than workers, so queues are shared between shards —
+        // per-shard order must hold regardless.
+        let mut expected: Vec<Vec<u64>> = vec![Vec::new(); 8];
+        for round in 0..16u64 {
+            for shard in 0..8u64 {
+                let token = shard * 100 + round;
+                expected[shard as usize].push(token);
+                pool.submit_sharded(
+                    shard,
+                    token,
+                    share_job(&reg, (token % 3) as u32, Digest([round as u8; 32])),
+                );
+            }
+        }
+        let verdicts = wait_verdicts(&pool, 8 * 16);
+        assert_eq!(verdicts.len(), 8 * 16);
+        assert!(verdicts.iter().all(|v| v.ok));
+        let mut seen: Vec<Vec<u64>> = vec![Vec::new(); 8];
+        for v in &verdicts {
+            seen[(v.token / 100) as usize].push(v.token);
+        }
+        assert_eq!(
+            seen, expected,
+            "per-shard verdicts must arrive in submission order"
+        );
+    }
+
+    #[test]
+    fn sharded_submit_is_inline_when_workerless() {
+        let reg = registry();
+        let pool = VerifyPool::inline(Arc::clone(&reg));
+        pool.submit_sharded(42, 7, share_job(&reg, 0, Digest([1u8; 32])));
+        let v = pool.try_completion().expect("inline verdict is immediate");
+        assert_eq!(v, VerifyVerdict { token: 7, ok: true });
     }
 
     #[test]

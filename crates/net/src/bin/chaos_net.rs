@@ -864,11 +864,25 @@ fn run(scenario: &Scenario, out_path: &str) -> Result<(), Vec<String>> {
         liveness.push(entry);
     }
 
+    // Cluster-wide transport counters (loopback: writer counters stay 0, the
+    // delivery counters still expose chaos-induced drops per run).
+    let totals = cluster.transport_totals();
+    let mut transport_obj = Json::obj();
+    transport_obj
+        .push("sent", totals.sent)
+        .push("received", totals.received)
+        .push("dropped", totals.dropped)
+        .push("writev_calls", totals.writev_calls)
+        .push("frames_coalesced", totals.frames_coalesced)
+        .push("flushes_idle", totals.flushes_idle)
+        .push("flushes_full", totals.flushes_full);
+
     let mut report = Json::obj();
     report
         .push("bench", "chaos_net")
         .push("scenario", scenario.name.as_str())
         .push("transport", "loopback+chaos")
+        .push("transport_stats", transport_obj)
         .push("servers", n)
         .push("clients", scenario.clients)
         .push("concurrency", scenario.concurrency)

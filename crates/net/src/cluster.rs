@@ -18,7 +18,7 @@
 use crate::chaos::{ChaosTransport, NetChaos};
 use crate::runtime::NodeHandle;
 use crate::tcp::{TcpConfig, TcpTransport};
-use crate::transport::{LoopbackNet, Transport};
+use crate::transport::{LoopbackNet, Transport, TransportStats, TransportTotals};
 use prestige_core::{
     ByzantineBehavior, ClientConfig, ClientStats, PrestigeClient, PrestigeServer, ServerStats,
 };
@@ -28,6 +28,7 @@ use prestige_types::{Actor, ClientId, ClusterConfig, Digest, Message, ServerId, 
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Where and how a cluster persists per-server write-ahead logs. Server `i`
@@ -56,6 +57,17 @@ impl StoragePlan {
     }
 }
 
+/// Client refill batch used by real-runtime clusters: clients top the window
+/// back up once a quarter of it has drained, instead of waiting for a full
+/// drain. Full-drain refills convoy the whole window behind the leader's
+/// batch timer — a handful of stragglers from the previous window hold every
+/// replacement proposal hostage — which is exactly the p99 tail the
+/// benchmarks kept showing. The simulation keeps the legacy full-drain
+/// default (`refill_batch = 0`) so recorded schedules replay bit-identically.
+fn default_refill_batch(concurrency: usize) -> usize {
+    (concurrency / 4).max(1)
+}
+
 /// Wraps a transport endpoint in the chaos filter when a controller is
 /// attached. `salt` differentiates the per-endpoint loss/jitter RNG streams.
 fn maybe_chaotic(
@@ -74,6 +86,35 @@ fn maybe_chaotic(
     }
 }
 
+/// The fork check shared by every cluster flavour: wherever two replicas
+/// committed a block at the same sequence number, the digests (and, by
+/// chaining, the whole prefix) must be identical. Lagging replicas are fine;
+/// disagreeing ones are not. Returns the highest sequence committed on
+/// *every* chain, or a description of the first divergence.
+pub fn verify_no_fork_chains(chains: &[(ServerId, Vec<(u64, Digest)>)]) -> Result<u64, String> {
+    let mut reference: HashMap<u64, (Digest, ServerId)> = HashMap::new();
+    let mut common_tip: Option<u64> = None;
+    for (id, chain) in chains {
+        let tip = chain.last().map(|(n, _)| *n).unwrap_or(0);
+        common_tip = Some(common_tip.map_or(tip, |t| t.min(tip)));
+        for &(n, digest) in chain {
+            match reference.get(&n) {
+                Some((seen, owner)) if *seen != digest => {
+                    return Err(format!(
+                        "fork at sequence {n}: {id:?} committed {digest:?} but {owner:?} \
+                         committed {seen:?}"
+                    ));
+                }
+                Some(_) => {}
+                None => {
+                    reference.insert(n, (digest, *id));
+                }
+            }
+        }
+    }
+    Ok(common_tip.unwrap_or(0))
+}
+
 /// A PrestigeBFT cluster running on real node runtimes in this process.
 pub struct LocalCluster {
     config: ClusterConfig,
@@ -85,6 +126,10 @@ pub struct LocalCluster {
     storage: Option<StoragePlan>,
     servers: HashMap<ServerId, NodeHandle<Message>>,
     clients: HashMap<ClientId, NodeHandle<Message>>,
+    /// Per-actor transport counters, captured at spawn time (through the
+    /// chaos wrapper, which shares its inner endpoint's stats). Entries
+    /// survive crashes so reports still cover dead nodes' traffic.
+    transport_stats: HashMap<Actor, Arc<TransportStats>>,
 }
 
 /// Builds one server node — fresh or restarted — optionally replaying and
@@ -99,7 +144,7 @@ fn spawn_server(
     net: &LoopbackNet<Message>,
     chaos: &Option<NetChaos>,
     storage: &Option<StoragePlan>,
-) -> NodeHandle<Message> {
+) -> (NodeHandle<Message>, Arc<TransportStats>) {
     let mut server =
         PrestigeServer::with_behavior(id, config.clone(), registry.clone(), seed, behavior);
     if let Some(plan) = storage {
@@ -118,7 +163,9 @@ fn spawn_server(
     let pool = (config.verify_workers > 0).then(|| server.spawn_verify_pool(config.verify_workers));
     let endpoint = net.endpoint(Actor::Server(id));
     let transport = maybe_chaotic(endpoint, chaos, seed, id.0 as u64);
-    NodeHandle::spawn_with_pool(Box::new(server), transport, seed, pool)
+    let stats = transport.stats();
+    let handle = NodeHandle::spawn_with_pool(Box::new(server), transport, seed, pool);
+    (handle, stats)
 }
 
 impl LocalCluster {
@@ -174,16 +221,16 @@ impl LocalCluster {
 
         let mut behavior_map = HashMap::new();
         let mut servers = HashMap::new();
+        let mut transport_stats = HashMap::new();
         for i in 0..config.n() {
             let id = ServerId(i);
             let behavior = behaviors.get(i as usize).copied().unwrap_or_default();
             behavior_map.insert(id, behavior);
-            servers.insert(
-                id,
-                spawn_server(
-                    id, &config, &registry, seed, behavior, &net, &chaos, &storage,
-                ),
+            let (handle, stats) = spawn_server(
+                id, &config, &registry, seed, behavior, &net, &chaos, &storage,
             );
+            transport_stats.insert(Actor::Server(id), stats);
+            servers.insert(id, handle);
         }
 
         let mut client_handles = HashMap::new();
@@ -194,10 +241,12 @@ impl LocalCluster {
                 config.replicas.clone(),
                 config.payload_size,
                 concurrency,
-            );
+            )
+            .with_refill_batch(default_refill_batch(concurrency));
             let client = PrestigeClient::new(cc, &registry);
             let endpoint = net.endpoint(Actor::Client(id));
             let transport = maybe_chaotic(endpoint, &chaos, seed, 0x1_0000_0000u64 + c);
+            transport_stats.insert(Actor::Client(id), transport.stats());
             client_handles.insert(id, NodeHandle::spawn(Box::new(client), transport, seed));
         }
 
@@ -211,6 +260,7 @@ impl LocalCluster {
             storage,
             servers,
             clients: client_handles,
+            transport_stats,
         }
     }
 
@@ -246,6 +296,22 @@ impl LocalCluster {
         self.clients
             .get(&id)?
             .inspect_as::<PrestigeClient, _, _>(|c| c.stats().clone())
+    }
+
+    /// The transport counters of `actor`'s endpoint (entries persist across
+    /// crashes; restarts replace them with the fresh endpoint's counters).
+    pub fn transport_stats_of(&self, actor: Actor) -> Option<Arc<TransportStats>> {
+        self.transport_stats.get(&actor).map(Arc::clone)
+    }
+
+    /// Cluster-wide transport counter sums (servers and clients). On the
+    /// loopback fabric the writer-loop counters are always zero.
+    pub fn transport_totals(&self) -> TransportTotals {
+        let mut totals = TransportTotals::default();
+        for stats in self.transport_stats.values() {
+            stats.accumulate_into(&mut totals);
+        }
+        totals
     }
 
     /// Clears every client's latency accounting (benchmark warmup boundary),
@@ -323,30 +389,14 @@ impl LocalCluster {
     /// server (the guaranteed-identical common prefix), or a description of
     /// the first divergence found.
     pub fn verify_no_fork(&self, servers: &[ServerId]) -> Result<u64, String> {
-        let mut reference: HashMap<u64, (Digest, ServerId)> = HashMap::new();
-        let mut common_tip: Option<u64> = None;
+        let mut chains = Vec::with_capacity(servers.len());
         for &id in servers {
             let chain = self
                 .committed_chain(id)
                 .ok_or_else(|| format!("server {id:?} did not answer the chain snapshot"))?;
-            let tip = chain.last().map(|(n, _)| *n).unwrap_or(0);
-            common_tip = Some(common_tip.map_or(tip, |t| t.min(tip)));
-            for (n, digest) in chain {
-                match reference.get(&n) {
-                    Some((seen, owner)) if *seen != digest => {
-                        return Err(format!(
-                            "fork at sequence {n}: {id:?} committed {digest:?} but {owner:?} \
-                             committed {seen:?}"
-                        ));
-                    }
-                    Some(_) => {}
-                    None => {
-                        reference.insert(n, (digest, id));
-                    }
-                }
-            }
+            chains.push((id, chain));
         }
-        Ok(common_tip.unwrap_or(0))
+        verify_no_fork_chains(&chains)
     }
 
     /// Crashes a server abruptly: its runtime thread stops and its endpoint
@@ -372,7 +422,7 @@ impl LocalCluster {
             "restart_server({id:?}): crash it first"
         );
         let behavior = self.behavior_of(id);
-        let handle = spawn_server(
+        let (handle, stats) = spawn_server(
             id,
             &self.config,
             &self.registry,
@@ -382,6 +432,7 @@ impl LocalCluster {
             &self.chaos,
             &self.storage,
         );
+        self.transport_stats.insert(Actor::Server(id), stats);
         self.servers.insert(id, handle);
     }
 
@@ -546,11 +597,246 @@ pub fn launch_tcp_client(
         config.replicas.clone(),
         config.payload_size,
         concurrency,
-    );
+    )
+    .with_refill_batch(default_refill_batch(concurrency));
     let client = PrestigeClient::new(cc, registry);
     Ok(NodeHandle::spawn(
         Box::new(client),
         Box::new(transport),
         seed,
     ))
+}
+
+/// A full PrestigeBFT cluster running over real TCP sockets **in this
+/// process**: every node binds its own ephemeral loopback port and talks to
+/// the others through [`TcpTransport`] — serialization, the event-driven
+/// writer loop, reconnects, the lot. This is the seam the loopback-vs-TCP
+/// integration tests and `peak_net --tcp` use to exercise the wire path that
+/// `LocalCluster` (by design) skips.
+pub struct TcpCluster {
+    config: ClusterConfig,
+    servers: HashMap<ServerId, NodeHandle<Message>>,
+    clients: HashMap<ClientId, NodeHandle<Message>>,
+    transport_stats: HashMap<Actor, Arc<TransportStats>>,
+}
+
+impl TcpCluster {
+    /// Launches `config.n()` servers and `clients` closed-loop clients over
+    /// TCP on `127.0.0.1`. Ports are reserved by binding (then releasing)
+    /// ephemeral listeners up front, so every node starts with the complete
+    /// peer address map — the writer loops' reconnect machinery absorbs the
+    /// startup window where some peers have not bound yet.
+    pub fn launch(
+        config: ClusterConfig,
+        seed: u64,
+        clients: u64,
+        concurrency: usize,
+    ) -> std::io::Result<Self> {
+        let registry = KeyRegistry::new(seed, config.n(), clients);
+
+        let mut addrs: HashMap<Actor, SocketAddr> = HashMap::new();
+        {
+            let mut reservations = Vec::new();
+            for i in 0..config.n() {
+                let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+                addrs.insert(Actor::Server(ServerId(i)), listener.local_addr()?);
+                reservations.push(listener);
+            }
+            for c in 0..clients {
+                let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+                addrs.insert(Actor::Client(ClientId(c)), listener.local_addr()?);
+                reservations.push(listener);
+            }
+            // Dropping the reservations frees the ports for the real binds
+            // below. The window where another process could steal one is
+            // unavoidable without SO_REUSEPORT tricks and harmless in
+            // practice: bind failure surfaces as an Err, not a hang.
+        }
+        let peers_for = |me: Actor| -> HashMap<Actor, SocketAddr> {
+            addrs
+                .iter()
+                .filter(|(a, _)| **a != me)
+                .map(|(a, sa)| (*a, *sa))
+                .collect()
+        };
+
+        let mut servers = HashMap::new();
+        let mut transport_stats = HashMap::new();
+        for i in 0..config.n() {
+            let id = ServerId(i);
+            let me = Actor::Server(id);
+            let transport: TcpTransport<Message> =
+                TcpTransport::bind(me, TcpConfig::new(addrs[&me], peers_for(me)))?;
+            transport_stats.insert(me, transport.stats());
+            let mut server = PrestigeServer::with_behavior(
+                id,
+                config.clone(),
+                registry.clone(),
+                seed,
+                ByzantineBehavior::Correct,
+            );
+            let pool = (config.verify_workers > 0)
+                .then(|| server.spawn_verify_pool(config.verify_workers));
+            servers.insert(
+                id,
+                NodeHandle::spawn_with_pool(Box::new(server), Box::new(transport), seed, pool),
+            );
+        }
+
+        let mut client_handles = HashMap::new();
+        for c in 0..clients {
+            let id = ClientId(c);
+            let me = Actor::Client(id);
+            let transport: TcpTransport<Message> =
+                TcpTransport::bind(me, TcpConfig::new(addrs[&me], peers_for(me)))?;
+            transport_stats.insert(me, transport.stats());
+            let cc = ClientConfig::new(
+                id,
+                config.replicas.clone(),
+                config.payload_size,
+                concurrency,
+            )
+            .with_refill_batch(default_refill_batch(concurrency));
+            let client = PrestigeClient::new(cc, &registry);
+            client_handles.insert(
+                id,
+                NodeHandle::spawn(Box::new(client), Box::new(transport), seed),
+            );
+        }
+
+        Ok(TcpCluster {
+            config,
+            servers,
+            clients: client_handles,
+            transport_stats,
+        })
+    }
+
+    /// The cluster configuration the nodes were launched with.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Live server stats snapshot.
+    pub fn server_stats(&self, id: ServerId) -> Option<ServerStats> {
+        self.servers
+            .get(&id)?
+            .inspect_as::<PrestigeServer, _, _>(|s| s.stats().clone())
+    }
+
+    /// Live client stats snapshot.
+    pub fn client_stats(&self, id: ClientId) -> Option<ClientStats> {
+        self.clients
+            .get(&id)?
+            .inspect_as::<PrestigeClient, _, _>(|c| c.stats().clone())
+    }
+
+    /// Clears every client's latency accounting (benchmark warmup boundary).
+    pub fn reset_client_latency(&self) {
+        for handle in self.clients.values() {
+            let _ = handle.inspect(|node| {
+                if let Some(client) = node.as_any_mut().downcast_mut::<PrestigeClient>() {
+                    client.reset_latency_stats();
+                }
+            });
+        }
+    }
+
+    /// Total transactions confirmed across all clients.
+    pub fn total_committed(&self) -> u64 {
+        self.clients
+            .keys()
+            .filter_map(|&c| self.client_stats(c))
+            .map(|s| s.committed_tx)
+            .sum()
+    }
+
+    /// The current `(view, leader)` as observed by server `id`.
+    pub fn view_of(&self, id: ServerId) -> Option<(View, ServerId)> {
+        self.servers
+            .get(&id)?
+            .inspect_as::<PrestigeServer, _, _>(|s| (s.current_view(), s.current_leader()))
+    }
+
+    /// Snapshot of server `id`'s committed txBlock chain.
+    pub fn committed_chain(&self, id: ServerId) -> Option<Vec<(u64, Digest)>> {
+        self.servers
+            .get(&id)?
+            .inspect_as::<PrestigeServer, _, _>(|s| s.store().chain_digests())
+    }
+
+    /// Safety check across the given servers' committed logs
+    /// ([`verify_no_fork_chains`]).
+    pub fn verify_no_fork(&self, servers: &[ServerId]) -> Result<u64, String> {
+        let mut chains = Vec::with_capacity(servers.len());
+        for &id in servers {
+            let chain = self
+                .committed_chain(id)
+                .ok_or_else(|| format!("server {id:?} did not answer the chain snapshot"))?;
+            chains.push((id, chain));
+        }
+        verify_no_fork_chains(&chains)
+    }
+
+    /// Kills a server: its runtime stops and its transport shuts down, so
+    /// its listener closes and established streams break — a process kill as
+    /// seen from the rest of the cluster. Peers' writer loops park the dead
+    /// address behind reconnect backoff.
+    pub fn crash_server(&mut self, id: ServerId) {
+        if let Some(handle) = self.servers.remove(&id) {
+            let _ = handle.stop();
+        }
+    }
+
+    /// Server ids currently alive.
+    pub fn live_servers(&self) -> Vec<ServerId> {
+        let mut ids: Vec<ServerId> = self.servers.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// The transport counters of `actor`'s endpoint.
+    pub fn transport_stats_of(&self, actor: Actor) -> Option<Arc<TransportStats>> {
+        self.transport_stats.get(&actor).map(Arc::clone)
+    }
+
+    /// Cluster-wide transport counter sums — over TCP the writer-loop
+    /// counters (`writev_calls`, `frames_coalesced`, …) are live.
+    pub fn transport_totals(&self) -> TransportTotals {
+        let mut totals = TransportTotals::default();
+        for stats in self.transport_stats.values() {
+            stats.accumulate_into(&mut totals);
+        }
+        totals
+    }
+
+    /// Polls `predicate` until it returns true or `timeout` elapses.
+    pub fn wait_until(&self, timeout: Duration, mut predicate: impl FnMut(&Self) -> bool) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if predicate(self) {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Stops every node, returning final client stats keyed by client id.
+    pub fn shutdown(mut self) -> HashMap<ClientId, ClientStats> {
+        let mut stats = HashMap::new();
+        for (id, handle) in self.clients.drain() {
+            if let Some(node) = handle.stop() {
+                if let Some(client) = node.as_any().downcast_ref::<PrestigeClient>() {
+                    stats.insert(id, client.stats().clone());
+                }
+            }
+        }
+        for (_, handle) in self.servers.drain() {
+            let _ = handle.stop();
+        }
+        stats
+    }
 }

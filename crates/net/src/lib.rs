@@ -65,9 +65,12 @@ pub mod tcp;
 pub mod transport;
 
 pub use chaos::{ChaosTransport, NetChaos};
-pub use cluster::{launch_tcp_client, launch_tcp_server, LocalCluster, StoragePlan};
+pub use cluster::{
+    launch_tcp_client, launch_tcp_server, verify_no_fork_chains, LocalCluster, StoragePlan,
+    TcpCluster,
+};
 pub use config::{NodeConfig, NodeRole};
 pub use frame::{BufferPool, FrameCodec, FrameError, DEFAULT_MAX_FRAME, MAGIC, WIRE_VERSION};
 pub use runtime::NodeHandle;
 pub use tcp::{TcpConfig, TcpTransport};
-pub use transport::{LoopbackNet, LoopbackTransport, Transport, TransportStats};
+pub use transport::{LoopbackNet, LoopbackTransport, Transport, TransportStats, TransportTotals};

@@ -20,6 +20,14 @@
 //! drains the pool's completion queue and feeds each verdict back through
 //! `Process::on_job_complete` — verification results are ordinary events,
 //! interleaved with deliveries and timers on the same single protocol thread.
+//! The pool itself is *sharded by consensus instance* (see
+//! `VerifyPool::submit_sharded`): each worker owns a private queue, all
+//! checks for one instance land on one worker in submission order, and
+//! distinct instances verify concurrently — so follower-side verification
+//! scales across cores while this event loop, which only consumes verdicts
+//! and applies state, stays single-threaded and deterministic. This runtime
+//! seam is the *only* place sharding exists; the simulator never attaches an
+//! async pool, so simulated runs are bit-identical for any worker count.
 
 use crate::transport::Transport;
 use prestige_crypto::VerifyPool;
@@ -44,6 +52,13 @@ const VERIFY_POLL_TICK: Duration = Duration::from_micros(200);
 /// flood cannot starve timers; large enough to amortize the per-iteration
 /// bookkeeping under load.
 const MESSAGE_BURST: usize = 64;
+
+/// How many finished verification verdicts one loop iteration consumes
+/// before re-checking timers and control. With several verify shards a
+/// saturated pool can complete jobs faster than the node applies them; an
+/// unbounded drain would starve the batch timer exactly when the pipeline
+/// most needs refilling.
+const VERIFY_BURST: usize = 128;
 
 /// A pending timer in the node's local heap (min-heap by due time, FIFO on
 /// ties via the timer id, mirroring the simulator's tie-break).
@@ -255,9 +270,13 @@ fn run_event_loop<M: Wire + Send + 'static>(
             }
         }
 
-        // Deliver finished verification verdicts as ordinary events.
+        // Deliver finished verification verdicts as ordinary events (bounded
+        // per iteration so a hot pool cannot starve timers).
         if let Some(pool) = &pool {
-            while let Some(verdict) = pool.try_completion() {
+            for _ in 0..VERIFY_BURST {
+                let Some(verdict) = pool.try_completion() else {
+                    break;
+                };
                 let t = now(epoch);
                 let mut effects = Effects::new();
                 let mut ctx = Context::new(t, me, &mut rng, &mut next_timer_id, &mut effects);

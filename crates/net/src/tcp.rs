@@ -1,47 +1,63 @@
-//! TCP transport: real sockets, per-peer reconnecting outbound queues,
-//! bounded backpressure.
+//! TCP transport: real sockets, an event-driven writer loop with vectored
+//! writes, bounded backpressure.
 //!
-//! Topology: every node listens on one address; an outbound worker thread per
-//! peer owns a bounded queue and a connection it re-establishes with capped
-//! exponential backoff whenever it breaks. Inbound connections are accepted
-//! by a listener thread; each accepted connection gets a reader thread that
-//! decodes frames (see [`crate::frame`]) and funnels them into the node's
-//! single inbound queue. The sender identity travels inside each frame, so
-//! connection direction is irrelevant to the protocol and node restarts need
-//! no handshake state.
+//! Topology: every node listens on one address. Inbound connections are
+//! accepted by a listener thread; each accepted connection gets a reader
+//! thread that decodes frames (see [`crate::frame`]) and funnels them into
+//! the node's single inbound queue. The sender identity travels inside each
+//! frame, so connection direction is irrelevant to the protocol and node
+//! restarts need no handshake state.
+//!
+//! Outbound is a **single readiness-driven writer thread** for all peers
+//! (replacing the earlier thread-per-peer fan-out):
+//!
+//! * every peer has a frame deque and a nonblocking socket; the writer
+//!   drains each deque with `write_vectored`, so a backlog of many small
+//!   frames costs one syscall per `MAX_IOV` frames instead of one each;
+//! * flushing is **adaptive by construction**: an idle connection writes
+//!   each frame the moment it is enqueued (protecting p50 latency), while a
+//!   loaded one naturally accumulates a backlog between scheduler slots and
+//!   coalesces it (protecting throughput). Both paths are counted
+//!   (`flushes_idle` / `flushes_full` in [`TransportStats`]);
+//! * when a socket's send buffer fills (`WouldBlock`), the writer parks the
+//!   peer and waits for writability with `poll(2)` (bounded at 1 ms so new
+//!   enqueues are never starved) instead of spinning;
+//! * connects happen on short-lived connector threads so the writer never
+//!   blocks in `connect`; queued frames **survive** an unreachable peer
+//!   (capped-backoff retry) — only per-peer queue overflow sheds, newest
+//!   first, keeping memory bounded and making shed order deterministic.
 //!
 //! The async-runtime note: the container this repository builds in has no
-//! crates.io access, so tokio cannot be used; the runtime is thread-per-peer
-//! over `std::net`, which at PrestigeBFT cluster sizes (4–100 peers) is well
-//! within OS thread budgets. The [`Transport`] trait is the seam where a
-//! tokio implementation would slot in unchanged.
+//! crates.io access, so tokio/mio cannot be used; readiness is a hand-rolled
+//! `poll(2)` call on Linux (a sub-millisecond sleep elsewhere). The
+//! [`Transport`] trait is the seam where a tokio implementation would slot
+//! in unchanged.
 
 use crate::frame::{BufferPool, FrameCodec};
 use crate::transport::{
     warn_drop, warn_inbound_drop, Transport, TransportStats, DEFAULT_QUEUE_CAPACITY,
 };
 use prestige_types::Actor;
-use std::collections::HashMap;
-use std::io::{BufWriter, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::{IoSlice, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A complete, pre-encoded wire frame shared between the encoding thread and
-/// any number of per-peer writers. Produced once per broadcast, no matter how
-/// many peers it fans out to.
+/// the writer loop. Produced once per broadcast, no matter how many peers it
+/// fans out to.
 type SharedFrame = Arc<[u8]>;
 
-/// One item in a per-peer outbound queue.
+/// One outbound item handed to the writer loop.
 ///
-/// Unicast messages travel unencoded and are serialized by the peer's writer
-/// thread into a thread-local scratch buffer — keeping serialization off the
-/// protocol event loop, as in the pre-frame design, with zero copies.
-/// Broadcasts arrive as a pre-encoded [`SharedFrame`]: one serialization on
-/// the caller, a refcount bump per peer.
+/// Unicast messages travel unencoded and are serialized by the writer thread
+/// into a reused scratch buffer — keeping serialization off the protocol
+/// event loop. Broadcasts arrive as a pre-encoded [`SharedFrame`]: one
+/// serialization on the caller, a refcount bump per peer.
 enum Outbound<M> {
     /// A unicast message, encoded by the writer thread.
     Message(M),
@@ -49,10 +65,27 @@ enum Outbound<M> {
     Frame(SharedFrame),
 }
 
+/// Commands flowing into the writer loop.
+enum WriterCmd<M> {
+    /// Enqueue one item for `to`.
+    Send { to: Actor, item: Outbound<M> },
+    /// A connector thread finished successfully.
+    Connected { to: Actor, stream: TcpStream },
+    /// A connector thread failed; back off before retrying.
+    ConnectFailed { to: Actor },
+}
+
 /// Initial reconnect backoff; doubles per failure up to [`MAX_BACKOFF`].
 const INITIAL_BACKOFF: Duration = Duration::from_millis(50);
 /// Reconnect backoff cap.
 const MAX_BACKOFF: Duration = Duration::from_secs(2);
+/// Most frames coalesced into one `write_vectored` call.
+const MAX_IOV: usize = 64;
+/// Upper bound on one `poll(2)` wait for socket writability: short enough
+/// that freshly enqueued frames for *other* peers are picked up promptly.
+const POLL_WAIT: Duration = Duration::from_millis(1);
+/// Writer idle wait when nothing is queued anywhere.
+const IDLE_WAIT: Duration = Duration::from_millis(100);
 
 /// Configuration of a TCP endpoint.
 #[derive(Debug, Clone)]
@@ -61,7 +94,7 @@ pub struct TcpConfig {
     pub listen: SocketAddr,
     /// Addresses of every peer this node may send to.
     pub peers: HashMap<Actor, SocketAddr>,
-    /// Per-peer outbound queue capacity (messages).
+    /// Per-peer outbound queue capacity (frames).
     pub queue_capacity: usize,
     /// Frame codec (wire version and max-frame guard).
     pub codec: FrameCodec,
@@ -79,28 +112,31 @@ impl TcpConfig {
     }
 }
 
-struct PeerWorker<M> {
-    queue: SyncSender<Outbound<M>>,
-    join: Option<JoinHandle<()>>,
-}
-
 /// A TCP endpoint implementing [`Transport`] for any serde-encodable message
 /// type.
 pub struct TcpTransport<M: serde::Serialize + serde::Deserialize + Send + 'static> {
     me: Actor,
     config: TcpConfig,
     inbound_rx: Receiver<(Actor, M)>,
-    workers: HashMap<Actor, PeerWorker<M>>,
+    /// Command channel into the writer loop (`None` once shut down).
+    cmd_tx: Option<Sender<WriterCmd<M>>>,
+    /// Shared per-peer backlog gauges: incremented at enqueue, decremented by
+    /// the writer once a frame is written (or torn on a broken connection).
+    /// The send path sheds *before* enqueueing when a gauge is at capacity,
+    /// so per-peer memory stays bounded without any queue lock.
+    backlog: HashMap<Actor, Arc<AtomicUsize>>,
     stats: Arc<TransportStats>,
     shutdown: Arc<AtomicBool>,
+    writer_join: Option<JoinHandle<()>>,
     listener_join: Option<JoinHandle<()>>,
     /// Scratch buffers reused across frame encodings.
     encode_pool: BufferPool,
 }
 
 impl<M: serde::Serialize + serde::Deserialize + Send + 'static> TcpTransport<M> {
-    /// Binds the listen address and starts the accept loop. Outbound
-    /// connections are established lazily on first send to each peer.
+    /// Binds the listen address and starts the accept loop and the writer
+    /// loop. Outbound connections are established lazily on first send to
+    /// each peer.
     pub fn bind(me: Actor, mut config: TcpConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(config.listen)?;
         // Record the OS-assigned address so port-0 binds are discoverable.
@@ -127,13 +163,40 @@ impl<M: serde::Serialize + serde::Deserialize + Send + 'static> TcpTransport<M> 
             })
             .expect("spawn accept thread");
 
+        let backlog: HashMap<Actor, Arc<AtomicUsize>> = config
+            .peers
+            .keys()
+            .map(|&peer| (peer, Arc::new(AtomicUsize::new(0))))
+            .collect();
+        let (cmd_tx, cmd_rx) = channel();
+        let writer = WriterLoop {
+            me,
+            codec: config.codec,
+            cmd_rx,
+            cmd_tx: cmd_tx.clone(),
+            peers: config
+                .peers
+                .iter()
+                .map(|(&peer, &addr)| (peer, PeerState::new(addr, Arc::clone(&backlog[&peer]))))
+                .collect(),
+            stats: Arc::clone(&stats),
+            shutdown: Arc::clone(&shutdown),
+            scratch: Vec::new(),
+        };
+        let writer_join = std::thread::Builder::new()
+            .name(format!("tcp-writer-{me}"))
+            .spawn(move || writer.run())
+            .expect("spawn writer thread");
+
         Ok(TcpTransport {
             me,
             config,
             inbound_rx,
-            workers: HashMap::new(),
+            cmd_tx: Some(cmd_tx),
+            backlog,
             stats,
             shutdown,
+            writer_join: Some(writer_join),
             listener_join: Some(listener_join),
             encode_pool: BufferPool::new(),
         })
@@ -145,47 +208,31 @@ impl<M: serde::Serialize + serde::Deserialize + Send + 'static> TcpTransport<M> 
         self.config.listen
     }
 
-    fn worker_for(&mut self, to: Actor) -> Option<&PeerWorker<M>> {
-        if !self.workers.contains_key(&to) {
-            let addr = *self.config.peers.get(&to)?;
-            let (queue_tx, queue_rx) = sync_channel(self.config.queue_capacity);
-            let me = self.me;
-            let codec = self.config.codec;
-            let shutdown = Arc::clone(&self.shutdown);
-            let stats = Arc::clone(&self.stats);
-            let join = std::thread::Builder::new()
-                .name(format!("tcp-out-{me}-to-{to}"))
-                .spawn(move || outbound_loop(me, to, addr, queue_rx, codec, shutdown, stats))
-                .expect("spawn outbound thread");
-            self.workers.insert(
-                to,
-                PeerWorker {
-                    queue: queue_tx,
-                    join: Some(join),
-                },
-            );
-        }
-        self.workers.get(&to)
-    }
-
     /// Queues one outbound item towards `to`, counting and warning on drop.
     fn queue_outbound(&mut self, to: Actor, item: Outbound<M>) {
         self.stats.sent.fetch_add(1, Ordering::Relaxed);
-        let me = self.me;
-        let stats = Arc::clone(&self.stats);
-        match self.worker_for(to) {
-            Some(worker) => match worker.queue.try_send(item) {
-                Ok(()) => {}
-                Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
-                    let total = stats.note_drop(to);
-                    warn_drop(&stats, me, to, "outbound queue full", total);
-                }
-            },
-            None => {
-                // Unknown peer: no address configured.
-                let total = stats.note_drop(to);
-                warn_drop(&stats, me, to, "no address configured", total);
-            }
+        let Some(gauge) = self.backlog.get(&to) else {
+            // Unknown peer: no address configured.
+            let total = self.stats.note_drop(to);
+            warn_drop(&self.stats, self.me, to, "no address configured", total);
+            return;
+        };
+        // Bounded backpressure: shed the *newest* frame when the peer's
+        // backlog is at capacity, exactly like the old bounded queue did.
+        if gauge.load(Ordering::Relaxed) >= self.config.queue_capacity {
+            let total = self.stats.note_drop(to);
+            warn_drop(&self.stats, self.me, to, "outbound queue full", total);
+            return;
+        }
+        gauge.fetch_add(1, Ordering::Relaxed);
+        let sent = self
+            .cmd_tx
+            .as_ref()
+            .is_some_and(|tx| tx.send(WriterCmd::Send { to, item }).is_ok());
+        if !sent {
+            gauge.fetch_sub(1, Ordering::Relaxed);
+            let total = self.stats.note_drop(to);
+            warn_drop(&self.stats, self.me, to, "writer gone", total);
         }
     }
 }
@@ -196,7 +243,7 @@ impl<M: serde::Serialize + serde::Deserialize + Send + 'static> Transport<M> for
     }
 
     fn send(&mut self, to: Actor, message: M) {
-        // Unicast: hand the message to the peer's writer thread unencoded, so
+        // Unicast: hand the message to the writer thread unencoded, so
         // serialization stays off the protocol event loop.
         self.queue_outbound(to, Outbound::Message(message));
     }
@@ -205,7 +252,7 @@ impl<M: serde::Serialize + serde::Deserialize + Send + 'static> Transport<M> for
     where
         M: Clone,
     {
-        // Encode exactly once; every per-peer queue receives the same shared
+        // Encode exactly once; every peer deque receives the same shared
         // bytes. This is the leader→replica hot path: fan-out cost is one
         // serialization plus one refcount bump per peer.
         match self
@@ -244,12 +291,10 @@ impl<M: serde::Serialize + serde::Deserialize + Send + 'static> Transport<M> for
 
     fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Dropping the queues disconnects the outbound workers.
-        for (_, mut worker) in self.workers.drain() {
-            drop(worker.queue);
-            if let Some(join) = worker.join.take() {
-                let _ = join.join();
-            }
+        // Disconnecting the command channel wakes the writer immediately.
+        drop(self.cmd_tx.take());
+        if let Some(join) = self.writer_join.take() {
+            let _ = join.join();
         }
         if let Some(join) = self.listener_join.take() {
             let _ = join.join();
@@ -351,82 +396,328 @@ fn read_loop<M: serde::Deserialize + Send + 'static>(
     }
 }
 
-fn outbound_loop<M: serde::Serialize>(
-    me: Actor,
-    peer: Actor,
+// ---------------------------------------------------------------------------
+// Writer loop
+// ---------------------------------------------------------------------------
+
+/// Per-peer outbound state owned by the writer loop.
+struct PeerState {
     addr: SocketAddr,
-    queue: Receiver<Outbound<M>>,
-    codec: FrameCodec,
-    shutdown: Arc<AtomicBool>,
-    stats: Arc<TransportStats>,
-) {
-    let mut backoff = INITIAL_BACKOFF;
-    let mut connection: Option<BufWriter<TcpStream>> = None;
-    // Scratch buffer reused across unicast encodings on this thread.
-    let mut scratch: Vec<u8> = Vec::new();
-    loop {
-        if shutdown.load(Ordering::SeqCst) {
-            return;
+    /// Established nonblocking connection, if any.
+    stream: Option<TcpStream>,
+    /// Frames awaiting write, oldest first.
+    queue: VecDeque<SharedFrame>,
+    /// Bytes of `queue[0]` already written (a partial vectored write).
+    partial: usize,
+    /// Shared with the send path for enqueue-time shedding.
+    gauge: Arc<AtomicUsize>,
+    /// A connector thread is in flight.
+    connecting: bool,
+    /// Current reconnect backoff.
+    backoff: Duration,
+    /// Earliest next connect attempt.
+    retry_at: Instant,
+    /// The socket returned `WouldBlock`; wait for writability before
+    /// retrying.
+    blocked: bool,
+}
+
+impl PeerState {
+    fn new(addr: SocketAddr, gauge: Arc<AtomicUsize>) -> Self {
+        PeerState {
+            addr,
+            stream: None,
+            queue: VecDeque::new(),
+            partial: 0,
+            gauge,
+            connecting: false,
+            backoff: INITIAL_BACKOFF,
+            retry_at: Instant::now(),
+            blocked: false,
         }
-        // Wait for something to send. Broadcast frames arrive pre-encoded
-        // (shared bytes); unicast messages are serialized here, off the
-        // protocol event loop, into the reused scratch buffer.
-        let item = match queue.recv_timeout(Duration::from_millis(100)) {
-            Ok(i) => i,
-            Err(RecvTimeoutError::Timeout) => {
-                // Keep the connection warm / flushed while idle.
-                if let Some(w) = connection.as_mut() {
-                    if w.flush().is_err() {
-                        connection = None;
+    }
+}
+
+struct WriterLoop<M> {
+    me: Actor,
+    codec: FrameCodec,
+    cmd_rx: Receiver<WriterCmd<M>>,
+    /// Handed to connector threads so they can report back.
+    cmd_tx: Sender<WriterCmd<M>>,
+    peers: HashMap<Actor, PeerState>,
+    stats: Arc<TransportStats>,
+    shutdown: Arc<AtomicBool>,
+    /// Scratch buffer reused across unicast encodings.
+    scratch: Vec<u8>,
+}
+
+impl<M: serde::Serialize + Send + 'static> WriterLoop<M> {
+    fn run(mut self) {
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            // 1) Drain every pending command without blocking.
+            let mut disconnected = false;
+            loop {
+                match self.cmd_rx.try_recv() {
+                    Ok(cmd) => self.handle_cmd(cmd),
+                    Err(std::sync::mpsc::TryRecvError::Empty) => break,
+                    Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                        disconnected = true;
+                        break;
                     }
                 }
-                continue;
             }
-            Err(RecvTimeoutError::Disconnected) => return,
-        };
-        let frame: &[u8] = match &item {
-            Outbound::Frame(shared) => shared,
-            Outbound::Message(message) => {
-                if codec.encode_into(me, message, &mut scratch).is_err() {
-                    // Oversize unicast payload: counted, never silent.
-                    let total = stats.note_drop(peer);
-                    warn_drop(&stats, me, peer, "frame encoding failed", total);
-                    continue;
-                }
-                &scratch
+            // 2) Service every peer: connect if needed, flush what we can.
+            let now = Instant::now();
+            let peer_ids: Vec<Actor> = self.peers.keys().copied().collect();
+            for peer in peer_ids {
+                self.service_peer(peer, now);
             }
-        };
+            if disconnected && self.peers.values().all(|p| p.queue.is_empty()) {
+                return; // Transport dropped and everything flushed.
+            }
+            // 3) Wait for the next event: new commands, socket writability,
+            //    or a reconnect timer.
+            self.wait(disconnected);
+        }
+    }
 
-        // (Re)connect if needed, with capped exponential backoff.
-        if connection.is_none() {
-            match TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
-                Ok(stream) => {
+    fn handle_cmd(&mut self, cmd: WriterCmd<M>) {
+        match cmd {
+            WriterCmd::Send { to, item } => {
+                let frame: Option<SharedFrame> = match item {
+                    Outbound::Frame(frame) => Some(frame),
+                    Outbound::Message(message) => {
+                        if self
+                            .codec
+                            .encode_into(self.me, &message, &mut self.scratch)
+                            .is_ok()
+                        {
+                            Some(Arc::from(self.scratch.as_slice()))
+                        } else {
+                            None
+                        }
+                    }
+                };
+                let Some(state) = self.peers.get_mut(&to) else {
+                    return; // Send path never enqueues unknown peers.
+                };
+                match frame {
+                    Some(frame) => state.queue.push_back(frame),
+                    None => {
+                        // Oversize unicast payload: counted, never silent.
+                        state.gauge.fetch_sub(1, Ordering::Relaxed);
+                        let total = self.stats.note_drop(to);
+                        warn_drop(&self.stats, self.me, to, "frame encoding failed", total);
+                    }
+                }
+            }
+            WriterCmd::Connected { to, stream } => {
+                if let Some(state) = self.peers.get_mut(&to) {
                     let _ = stream.set_nodelay(true);
-                    connection = Some(BufWriter::new(stream));
-                    backoff = INITIAL_BACKOFF;
-                }
-                Err(_) => {
-                    // The frame in hand is lost while the peer is
-                    // unreachable; the protocol retries at its own cadence.
-                    let total = stats.note_drop(peer);
-                    warn_drop(&stats, me, peer, "peer unreachable", total);
-                    std::thread::sleep(backoff);
-                    backoff = (backoff * 2).min(MAX_BACKOFF);
-                    continue;
+                    let _ = stream.set_nonblocking(true);
+                    state.stream = Some(stream);
+                    state.connecting = false;
+                    state.backoff = INITIAL_BACKOFF;
+                    state.blocked = false;
                 }
             }
+            WriterCmd::ConnectFailed { to } => {
+                if let Some(state) = self.peers.get_mut(&to) {
+                    state.connecting = false;
+                    state.retry_at = Instant::now() + state.backoff;
+                    state.backoff = (state.backoff * 2).min(MAX_BACKOFF);
+                }
+            }
+        }
+    }
+
+    /// Connects (via a connector thread) and/or flushes one peer.
+    fn service_peer(&mut self, peer: Actor, now: Instant) {
+        let state = self.peers.get_mut(&peer).expect("peer state present");
+        if state.queue.is_empty() {
+            return;
+        }
+        if state.stream.is_none() {
+            // Unlike the old thread-per-peer design, frames queued towards an
+            // unreachable peer are *kept* across failed connect attempts —
+            // only queue overflow sheds. Kick off a connector if none is in
+            // flight and the backoff window has passed.
+            if !state.connecting && now >= state.retry_at {
+                state.connecting = true;
+                let cmd_tx = self.cmd_tx.clone();
+                let addr = state.addr;
+                std::thread::Builder::new()
+                    .name(format!("tcp-connect-{}-to-{peer}", self.me))
+                    .spawn(move || {
+                        let cmd =
+                            match TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
+                                Ok(stream) => WriterCmd::Connected { to: peer, stream },
+                                Err(_) => WriterCmd::ConnectFailed { to: peer },
+                            };
+                        let _ = cmd_tx.send(cmd);
+                    })
+                    .expect("spawn connector thread");
+            }
+            return;
+        }
+        self.flush_peer(peer);
+    }
+
+    /// Writes as much of `peer`'s queue as the socket accepts, coalescing up
+    /// to [`MAX_IOV`] frames per `write_vectored` syscall.
+    fn flush_peer(&mut self, peer: Actor) {
+        let state = self.peers.get_mut(&peer).expect("peer state present");
+        let Some(stream) = state.stream.as_mut() else {
+            return;
+        };
+        if state.queue.len() == 1 {
+            self.stats.flushes_idle.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.flushes_full.fetch_add(1, Ordering::Relaxed);
+        }
+        state.blocked = false;
+        loop {
+            if state.queue.is_empty() {
+                return;
+            }
+            let mut slices: Vec<IoSlice> = Vec::with_capacity(state.queue.len().min(MAX_IOV));
+            slices.push(IoSlice::new(&state.queue[0][state.partial..]));
+            for frame in state.queue.iter().skip(1).take(MAX_IOV - 1) {
+                slices.push(IoSlice::new(frame));
+            }
+            let iov = slices.len();
+            match stream.write_vectored(&slices) {
+                Ok(mut written) => {
+                    self.stats.writev_calls.fetch_add(1, Ordering::Relaxed);
+                    if iov > 1 {
+                        self.stats
+                            .frames_coalesced
+                            .fetch_add(iov as u64, Ordering::Relaxed);
+                    }
+                    // Retire fully written frames; remember the offset into a
+                    // partially written head.
+                    while written > 0 {
+                        let head_left = state.queue[0].len() - state.partial;
+                        if written >= head_left {
+                            written -= head_left;
+                            state.partial = 0;
+                            state.queue.pop_front();
+                            state.gauge.fetch_sub(1, Ordering::Relaxed);
+                        } else {
+                            state.partial += written;
+                            written = 0;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    // Socket buffer full: park until `poll` reports
+                    // writability.
+                    state.blocked = true;
+                    return;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Broken connection. A half-written head frame is torn on
+                    // the wire and must not be resumed on a fresh connection;
+                    // it is the only frame lost — the rest of the queue rides
+                    // the reconnect.
+                    if state.partial > 0 {
+                        state.partial = 0;
+                        state.queue.pop_front();
+                        state.gauge.fetch_sub(1, Ordering::Relaxed);
+                        let total = self.stats.note_drop(peer);
+                        warn_drop(&self.stats, self.me, peer, "connection broken", total);
+                    }
+                    state.stream = None;
+                    state.retry_at = Instant::now();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Blocks until there is plausibly more work: a command arrives, a
+    /// blocked socket may have drained, or a reconnect backoff expires.
+    fn wait(&mut self, cmd_channel_gone: bool) {
+        let now = Instant::now();
+        let blocked: Vec<&TcpStream> = self
+            .peers
+            .values()
+            .filter(|p| p.blocked && !p.queue.is_empty())
+            .filter_map(|p| p.stream.as_ref())
+            .collect();
+        if !blocked.is_empty() {
+            // Readiness wait on the write-blocked sockets, bounded so new
+            // commands are picked up within a millisecond.
+            poll::wait_writable(&blocked, POLL_WAIT);
+            return;
+        }
+        // Nothing write-blocked: sleep on the command channel until the next
+        // reconnect deadline (or idle).
+        let mut wait = IDLE_WAIT;
+        for state in self.peers.values() {
+            if !state.queue.is_empty() && state.stream.is_none() && !state.connecting {
+                let until = state.retry_at.saturating_duration_since(now);
+                wait = wait.min(until.max(Duration::from_millis(1)));
+            }
+        }
+        if cmd_channel_gone {
+            // Channel is disconnected; recv would return immediately forever.
+            std::thread::sleep(wait.min(Duration::from_millis(5)));
+            return;
+        }
+        match self.cmd_rx.recv_timeout(wait) {
+            Ok(cmd) => self.handle_cmd(cmd),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {}
+        }
+    }
+}
+
+/// Minimal readiness support: `poll(2)` on Linux, a bounded sleep elsewhere.
+/// Hand-rolled because the offline build has no `libc`/`mio`; the writer
+/// only ever needs "may I write again?" with a small timeout.
+mod poll {
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    #[cfg(target_os = "linux")]
+    pub fn wait_writable(streams: &[&TcpStream], timeout: Duration) {
+        use std::os::unix::io::AsRawFd;
+
+        #[repr(C)]
+        struct PollFd {
+            fd: i32,
+            events: i16,
+            revents: i16,
+        }
+        const POLLOUT: i16 = 0x004;
+        extern "C" {
+            fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
         }
 
-        if let Some(writer) = connection.as_mut() {
-            let ok = writer.write_all(frame).is_ok() && writer.flush().is_ok();
-            if !ok {
-                // Broken pipe: the frame is lost and the connection is
-                // dropped; the next frame triggers a reconnect.
-                let total = stats.note_drop(peer);
-                warn_drop(&stats, me, peer, "connection broken", total);
-                connection = None;
-            }
+        let mut fds: Vec<PollFd> = streams
+            .iter()
+            .map(|s| PollFd {
+                fd: s.as_raw_fd(),
+                events: POLLOUT,
+                revents: 0,
+            })
+            .collect();
+        let timeout_ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+        // SAFETY: `fds` is a live, correctly sized array of repr(C) pollfd
+        // structs for the duration of the call; `poll` does not retain the
+        // pointer past its return.
+        unsafe {
+            poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms);
         }
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    pub fn wait_writable(_streams: &[&TcpStream], timeout: Duration) {
+        std::thread::sleep(timeout.min(Duration::from_millis(1)));
     }
 }
 
@@ -482,6 +773,9 @@ mod tests {
         assert_eq!(got.len(), 10, "all frames must arrive in order");
         assert_eq!(got[0], msg(0));
         assert_eq!(got[9], msg(9));
+        let (writev, _, idle, full) = a.stats().writer_snapshot();
+        assert!(writev > 0, "writes must go through the vectored path");
+        assert!(idle + full > 0, "every flush is classified idle or full");
     }
 
     #[test]
@@ -491,7 +785,8 @@ mod tests {
         let mut a: TcpTransport<Message> =
             TcpTransport::bind(server(0), TcpConfig::new(addr_a, peers_a)).unwrap();
 
-        // Send before the peer exists: worker retries with backoff.
+        // Send before the peer exists: the writer retries with backoff and
+        // the frames survive the unreachable window (only overflow sheds).
         for i in 0..5 {
             a.send(server(1), msg(i));
         }
@@ -500,19 +795,20 @@ mod tests {
         let mut b: TcpTransport<Message> =
             TcpTransport::bind(server(1), TcpConfig::new(addr_b, peers_b)).unwrap();
 
-        // The queued messages (minus any dropped during unreachability) and a
-        // fresh one must arrive once the peer is up.
         a.send(server(1), msg(99));
-        let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        let mut saw_fresh = false;
-        while !saw_fresh && std::time::Instant::now() < deadline {
+        let mut got = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while got.len() < 6 && std::time::Instant::now() < deadline {
             if let Some((_, m)) = b.recv_timeout(Duration::from_millis(100)) {
-                if m == msg(99) {
-                    saw_fresh = true;
-                }
+                got.push(m);
             }
         }
-        assert!(saw_fresh, "message sent after peer came up must arrive");
+        let expected: Vec<Message> = (0..5).map(msg).chain([msg(99)]).collect();
+        assert_eq!(
+            got, expected,
+            "every queued frame must arrive, in order, once the peer is up"
+        );
+        assert_eq!(a.stats().snapshot().2, 0, "nothing may be shed");
     }
 
     #[test]
@@ -522,5 +818,108 @@ mod tests {
             TcpTransport::bind(server(0), TcpConfig::new(addr_a, HashMap::new())).unwrap();
         a.send(server(9), msg(1));
         assert_eq!(a.stats().snapshot(), (1, 0, 1));
+    }
+
+    #[test]
+    fn overflow_sheds_newest_and_keeps_oldest() {
+        let (addr_a, addr_b) = two_free_ports();
+        let peers_a = HashMap::from([(server(1), addr_b)]);
+        let mut config = TcpConfig::new(addr_a, peers_a);
+        config.queue_capacity = 4;
+        let mut a: TcpTransport<Message> = TcpTransport::bind(server(0), config).unwrap();
+
+        // No listener on addr_b yet: connects fail, frames queue. The first
+        // `capacity` sends are retained, everything after sheds (newest
+        // first) — deterministically, because nothing can drain the queue.
+        for i in 0..10 {
+            a.send(server(1), msg(i));
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while a.stats().snapshot().2 < 6 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(
+            a.stats().snapshot(),
+            (10, 0, 6),
+            "exactly the overflow sheds"
+        );
+
+        // Bring the peer up: exactly the four oldest frames arrive, in order.
+        let peers_b = HashMap::from([(server(0), addr_a)]);
+        let mut b: TcpTransport<Message> =
+            TcpTransport::bind(server(1), TcpConfig::new(addr_b, peers_b)).unwrap();
+        let mut got = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while got.len() < 4 && std::time::Instant::now() < deadline {
+            if let Some((_, m)) = b.recv_timeout(Duration::from_millis(100)) {
+                got.push(m);
+            }
+        }
+        let expected: Vec<Message> = (0..4).map(msg).collect();
+        assert_eq!(got, expected, "the oldest frames survive, in order");
+        assert!(
+            b.recv_timeout(Duration::from_millis(300)).is_none(),
+            "shed frames must not materialize later"
+        );
+    }
+
+    #[test]
+    fn coalesced_wire_bytes_equal_non_coalesced_encoding() {
+        use std::io::Read;
+
+        // A raw listener stands in for the peer so the test can capture the
+        // exact bytes on the wire.
+        let listener = TcpListener::bind(localhost(0)).unwrap();
+        let addr_b = listener.local_addr().unwrap();
+        let (addr_a, _) = two_free_ports();
+        let peers_a = HashMap::from([(server(1), addr_b)]);
+        let mut a: TcpTransport<Message> =
+            TcpTransport::bind(server(0), TcpConfig::new(addr_a, peers_a)).unwrap();
+
+        // Reference encoding: each frame alone, concatenated.
+        let codec = FrameCodec::new();
+        let pool = BufferPool::new();
+        let mut expected: Vec<u8> = Vec::new();
+        let messages: Vec<Message> = (0..200).map(msg).collect();
+        for m in &messages {
+            expected.extend_from_slice(&codec.encode_shared(server(0), m, &pool).unwrap());
+        }
+
+        // Burst-send so the writer has every chance to coalesce (the first
+        // frames queue while the connector is still completing).
+        for m in &messages {
+            a.send(server(1), m.clone());
+        }
+        let (stream, _) = listener.accept().unwrap();
+        let mut stream = stream;
+        stream
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        let mut wire: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 64 * 1024];
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while wire.len() < expected.len() && std::time::Instant::now() < deadline {
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => wire.extend_from_slice(&chunk[..n]),
+                Err(ref e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(_) => break,
+            }
+        }
+        assert_eq!(
+            wire, expected,
+            "coalesced wire bytes must equal the frame-at-a-time encoding"
+        );
+        let (writev, coalesced, _, _) = a.stats().writer_snapshot();
+        assert!(writev > 0);
+        assert!(
+            writev < messages.len() as u64 || coalesced > 0,
+            "200 burst frames over one connection should not take 200+ uncoalesced syscalls"
+        );
     }
 }

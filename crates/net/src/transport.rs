@@ -31,6 +31,19 @@ pub struct TransportStats {
     /// Messages dropped because the destination queue was full
     /// (backpressure) or the destination was unreachable.
     pub dropped: AtomicU64,
+    /// Vectored writes issued by the TCP writer loop (one per
+    /// `write_vectored` syscall). Zero on non-TCP transports.
+    pub writev_calls: AtomicU64,
+    /// Frames that shared a vectored write with at least one other frame —
+    /// the payoff of coalescing (frames written alone count in
+    /// `writev_calls` only).
+    pub frames_coalesced: AtomicU64,
+    /// Writer-loop flushes that found exactly one queued frame (idle path:
+    /// the frame went out immediately, protecting p50 latency).
+    pub flushes_idle: AtomicU64,
+    /// Writer-loop flushes that coalesced a multi-frame backlog (loaded
+    /// path: many frames per syscall, protecting throughput).
+    pub flushes_full: AtomicU64,
     /// Per-peer breakdown of outbound drops (messages we failed to deliver
     /// *to* a peer), so operators can spot a single slow or dead peer.
     per_peer_dropped: Mutex<HashMap<Actor, u64>>,
@@ -50,6 +63,17 @@ impl TransportStats {
             self.sent.load(Ordering::Relaxed),
             self.received.load(Ordering::Relaxed),
             self.dropped.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Snapshot of the TCP writer-loop counters:
+    /// `(writev_calls, frames_coalesced, flushes_idle, flushes_full)`.
+    pub fn writer_snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.writev_calls.load(Ordering::Relaxed),
+            self.frames_coalesced.load(Ordering::Relaxed),
+            self.flushes_idle.load(Ordering::Relaxed),
+            self.flushes_full.load(Ordering::Relaxed),
         )
     }
 
@@ -120,6 +144,20 @@ impl TransportStats {
         drops
     }
 
+    /// Accumulates this endpoint's counters into `totals` (for
+    /// cluster-wide transport reports).
+    pub fn accumulate_into(&self, totals: &mut TransportTotals) {
+        let (sent, received, dropped) = self.snapshot();
+        let (writev_calls, frames_coalesced, flushes_idle, flushes_full) = self.writer_snapshot();
+        totals.sent += sent;
+        totals.received += received;
+        totals.dropped += dropped;
+        totals.writev_calls += writev_calls;
+        totals.frames_coalesced += frames_coalesced;
+        totals.flushes_idle += flushes_idle;
+        totals.flushes_full += flushes_full;
+    }
+
     /// True at most once per drop-warn interval (one second): gates
     /// drop-warning log lines so a hot loop losing thousands of messages per
     /// second emits a bounded number of them.
@@ -133,6 +171,30 @@ impl TransportStats {
             }
         }
     }
+}
+
+/// Cluster-wide sums of [`TransportStats`] counters, accumulated across every
+/// node's endpoint with [`TransportStats::accumulate_into`]. Benchmark and
+/// chaos reports serialize this to show both delivery health (sent /
+/// received / dropped) and how the TCP writer behaved (vectored writes,
+/// coalescing, idle-vs-full flushes). On loopback clusters the writer
+/// counters stay zero.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TransportTotals {
+    /// Messages handed to transports for delivery.
+    pub sent: u64,
+    /// Messages received and handed to nodes.
+    pub received: u64,
+    /// Messages dropped (backpressure or unreachable destination).
+    pub dropped: u64,
+    /// `write_vectored` syscalls issued by TCP writer loops.
+    pub writev_calls: u64,
+    /// Frames that shared a vectored write with at least one other frame.
+    pub frames_coalesced: u64,
+    /// Writer flushes that found a single queued frame (idle path).
+    pub flushes_idle: u64,
+    /// Writer flushes that coalesced a multi-frame backlog (loaded path).
+    pub flushes_full: u64,
 }
 
 /// Logs one rate-limited warning about messages dropped towards `peer`.
