@@ -9,6 +9,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use prestige_core::batch_digest;
+use prestige_crypto::FramedHasher;
 use prestige_net::{BufferPool, FrameCodec};
 use prestige_types::{
     Actor, ClientId, Digest, Message, PartialSig, Proposal, SeqNum, ServerId, SyncKind,
@@ -321,12 +322,96 @@ fn bench_batch_digest(c: &mut Criterion) {
     }
 }
 
+/// Seal-time cost of the leader's ordering digest. The pre-PR flush re-hashed
+/// the entire batch inside the protocol loop; the incremental path absorbs
+/// each proposal into a [`FramedHasher`] as it arrives, leaving only the
+/// SHA-256 finalization on the flush critical path. The clone in the
+/// incremental benchmark copies the ~100-byte hasher state — the steady-state
+/// analogue of owning the pre-fed hasher.
+fn bench_incremental_batch_digest(c: &mut Criterion) {
+    for size in [100usize, 1000] {
+        let batch = proposals(size, 32);
+        let mut absorbed = FramedHasher::new();
+        absorbed
+            .field(b"batch")
+            .field(&View(3).0.to_be_bytes())
+            .field(&SeqNum(17).0.to_be_bytes());
+        for p in &batch {
+            absorbed
+                .field(&p.tx.client.0.to_be_bytes())
+                .field(&p.tx.timestamp.to_be_bytes());
+        }
+        // Pin: per-arrival absorption equals the seal-time re-hash bit for bit.
+        assert_eq!(
+            absorbed.clone().finish(),
+            batch_digest(View(3), SeqNum(17), &batch),
+        );
+
+        c.bench_function(format!("batch_seal_rehash_b{size}"), |b| {
+            b.iter(|| batch_digest(View(3), SeqNum(17), black_box(&batch)))
+        });
+        c.bench_function(format!("batch_seal_incremental_b{size}"), |b| {
+            b.iter(|| black_box(absorbed.clone()).finish())
+        });
+    }
+}
+
+/// The leader flush's batch-assembly + `Ord` encode path: a fresh `Vec` and a
+/// fresh frame allocation per flush (the pre-PR shape) vs. the recycled
+/// scratch buffer (`batch_scratch`) plus the codec's pooled shared frames —
+/// allocation-free in steady state.
+fn bench_pooled_proposal_encode(c: &mut Criterion) {
+    const BATCH: usize = 100;
+    let codec = FrameCodec::new();
+    let from = Actor::Server(ServerId(0));
+    let source = proposals(BATCH, 32);
+    let ord = |batch: Arc<Vec<Proposal>>| Message::Ord {
+        view: View(3),
+        n: SeqNum(17),
+        batch,
+        digest: Digest([7u8; 32]),
+        sig: [1u8; 32],
+    };
+
+    c.bench_function("proposal_flush_encode_fresh_b100", |b| {
+        b.iter(|| {
+            let mut buf = Vec::new();
+            buf.extend(source.iter().cloned());
+            let frame = codec.encode(from, &ord(Arc::new(buf))).unwrap();
+            black_box(frame.len())
+        })
+    });
+
+    let pool = BufferPool::new();
+    c.bench_function("proposal_flush_encode_pooled_b100", |b| {
+        let mut scratch: Vec<Vec<Proposal>> = Vec::new();
+        b.iter(|| {
+            let mut buf = scratch.pop().unwrap_or_default();
+            buf.extend(source.iter().cloned());
+            let batch = Arc::new(buf);
+            let frame = codec
+                .encode_shared(from, &ord(Arc::clone(&batch)), &pool)
+                .unwrap();
+            let len = frame.len();
+            // Commit-time recycling: the instance's last handle returns the
+            // buffer to the scratch pool for the next flush.
+            if let Ok(mut v) = Arc::try_unwrap(batch) {
+                v.clear();
+                scratch.push(v);
+            }
+            black_box(len)
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_encode,
     bench_decode,
     bench_round_trip,
     bench_broadcast_fanout,
-    bench_batch_digest
+    bench_batch_digest,
+    bench_incremental_batch_digest,
+    bench_pooled_proposal_encode
 );
 criterion_main!(benches);

@@ -17,6 +17,7 @@
 //! [`PrestigeServer::attach_storage`], so replay never re-appends what it
 //! reads.
 
+use crate::profile::{LoopProfile, LoopStage};
 use crate::server::{PrestigeServer, ServerRole};
 use prestige_crypto::{sign_share, FramedHasher, QcBuilder};
 use prestige_sim::Context;
@@ -62,9 +63,11 @@ impl PrestigeServer {
     /// would break the crash-restart contract.
     pub(crate) fn wal_append(&mut self, record: WalRecordRef<'_>) {
         if let Some(storage) = self.storage.as_mut() {
+            let span = LoopProfile::begin(&self.profiler);
             storage
                 .append(record)
                 .expect("WAL append failed: cannot guarantee durability");
+            LoopProfile::end_sub(&self.profiler, span, LoopStage::StorageAppend);
         }
     }
 

@@ -40,6 +40,7 @@ pub mod durability;
 pub mod faults;
 pub mod histogram;
 pub mod pacemaker;
+pub mod profile;
 pub mod server;
 pub mod storage;
 
@@ -52,6 +53,7 @@ pub use client::{ClientConfig, ClientStats, PrestigeClient};
 pub use faults::{AttackStrategy, ByzantineBehavior};
 pub use histogram::LatencyHistogram;
 pub use pacemaker::{timer_tags, Pacemaker};
+pub use profile::{LoopProfile, LoopSnapshot, LoopStage};
 pub use replication::batch_digest;
-pub use server::{PrestigeServer, ServerRole, ServerStats};
+pub use server::{ApplyOutcome, PrestigeServer, ServerRole, ServerStats};
 pub use storage::BlockStore;

@@ -8,6 +8,7 @@
 //! is refused before it can earn a phase-1 share).
 
 use super::PER_TX_CPU_MS;
+use crate::profile::{LoopProfile, LoopStage};
 use crate::server::{PendingVerify, PrestigeServer};
 use prestige_crypto::{sign_share, VerifyJob};
 use prestige_sim::Context;
@@ -107,11 +108,17 @@ impl PrestigeServer {
             return;
         }
         self.charge_verify_cost(ctx);
-        if !self.registry.verify(from, digest.as_ref(), &sig) {
-            return;
-        }
-        ctx.charge_cpu_ms(PER_TX_CPU_MS * batch.len() as f64);
-        if Self::batch_digest(view, n, &batch) != digest {
+        let span = LoopProfile::begin(&self.profiler);
+        let ok = {
+            if self.registry.verify(from, digest.as_ref(), &sig) {
+                ctx.charge_cpu_ms(PER_TX_CPU_MS * batch.len() as f64);
+                Self::batch_digest(view, n, &batch) == digest
+            } else {
+                false
+            }
+        };
+        LoopProfile::end_sub(&self.profiler, span, LoopStage::InlineVerify);
+        if !ok {
             return;
         }
         self.handle_ord_verified(from, view, n, batch, digest, ctx);
@@ -394,8 +401,9 @@ impl PrestigeServer {
         _sig: [u8; 32],
         ctx: &mut Context<Message>,
     ) {
-        if block.n <= self.store.latest_seq() {
-            return; // Stale: no point paying for crypto.
+        if block.n.0 <= self.commit_frontier() {
+            return; // Stale (committed or queued on the apply pool): no
+                    // point paying for crypto.
         }
         self.verify_and_apply_block(block, ctx);
     }

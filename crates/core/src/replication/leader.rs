@@ -3,9 +3,8 @@
 
 use super::PER_TX_CPU_MS;
 use crate::pacemaker::timer_tags;
-use crate::server::{InflightInstance, PendingVerify, PrestigeServer, ServerRole};
-use crate::storage::tx_block_digest;
-use prestige_crypto::{sign_share, QcBuilder, VerifyJob};
+use crate::server::{BatchHasher, InflightInstance, PendingVerify, PrestigeServer, ServerRole};
+use prestige_crypto::{sign_share, FramedHasher, QcBuilder, VerifyJob};
 use prestige_sim::Context;
 use prestige_types::{
     Actor, Digest, Message, PartialSig, Proposal, QcKind, QuorumCertificate, SeqNum, Transaction,
@@ -29,6 +28,7 @@ impl PrestigeServer {
     ) {
         self.charge_verify_cost(ctx);
         ctx.charge_cpu_ms(PER_TX_CPU_MS * proposals.len() as f64);
+        let absorb = self.role == ServerRole::Leader && !self.behavior.silent_as_leader();
         for proposal in proposals {
             let key = proposal.tx.key();
             if self.seen_tx.contains(&key) {
@@ -36,6 +36,9 @@ impl PrestigeServer {
             }
             self.seen_tx.insert(key);
             self.pending_proposals.push(proposal);
+            if absorb {
+                self.absorb_pending_proposal();
+            }
         }
         if self.role == ServerRole::Leader
             && !self.behavior.silent_as_leader()
@@ -43,6 +46,61 @@ impl PrestigeServer {
         {
             self.flush_ready_batches(ctx);
         }
+    }
+
+    /// Streams the just-pushed proposal into the incremental batch hasher,
+    /// seeding it when the pool was empty (the hasher must cover exactly the
+    /// pool prefix the next flush drains, bound to the view and sequence
+    /// number that flush will use). Absorption stops after one batch's worth;
+    /// losing prefix sync (a pool mutation between pushes) drops the hasher —
+    /// the flush then falls back to re-hashing, so correctness never depends
+    /// on this path.
+    fn absorb_pending_proposal(&mut self) {
+        let idx = self.pending_proposals.len() - 1;
+        if idx == 0 && self.batch_hasher.is_none() {
+            let view = self.current_view();
+            let n = self.next_seq;
+            let mut hasher = FramedHasher::new();
+            hasher
+                .field(b"batch")
+                .field(&view.0.to_be_bytes())
+                .field(&n.0.to_be_bytes());
+            self.batch_hasher = Some(BatchHasher {
+                view,
+                n,
+                count: 0,
+                hasher,
+            });
+        }
+        let Some(bh) = self.batch_hasher.as_mut() else {
+            return;
+        };
+        if bh.count != idx {
+            self.batch_hasher = None;
+            return;
+        }
+        if bh.count >= self.config.batch_size {
+            return; // Covers at most the next flush's worth.
+        }
+        let p = &self.pending_proposals[idx];
+        bh.hasher
+            .field(&p.tx.client.0.to_be_bytes())
+            .field(&p.tx.timestamp.to_be_bytes());
+        bh.count += 1;
+    }
+
+    /// Consumes the incremental hasher if it covers exactly the `take`-long
+    /// prefix the flush is draining for the view/sequence it will propose
+    /// under. Always consumed: the drain invalidates the absorbed prefix
+    /// either way.
+    fn take_batch_digest(&mut self, take: usize) -> Option<Digest> {
+        let bh = self.batch_hasher.take()?;
+        let usable = bh.view == self.current_view() && bh.n == self.next_seq && bh.count == take;
+        if !usable {
+            return None;
+        }
+        self.stats.incremental_batch_digests += 1;
+        Some(bh.hasher.finish())
     }
 
     /// Leader pipeline fill: flushes *full* batches while the in-flight
@@ -79,12 +137,19 @@ impl PrestigeServer {
             return; // Window full: wait for an in-flight instance to commit.
         }
         let take = self.pending_proposals.len().min(self.config.batch_size);
+        // The streaming hasher (fed as proposals arrived) covers exactly this
+        // prefix in the common case, saving the whole-batch re-hash.
+        let precomputed = self.take_batch_digest(take);
         // The batch is assembled exactly once and shared: the broadcast `Ord`
         // and the leader's in-flight instance reference the same allocation.
-        let batch: Arc<Vec<Proposal>> = Arc::new(self.pending_proposals.drain(..take).collect());
+        // The buffer itself is recycled from committed instances when one is
+        // available, keeping the flush hot path allocation-free.
+        let mut buf = self.batch_scratch.pop().unwrap_or_default();
+        buf.extend(self.pending_proposals.drain(..take));
+        let batch: Arc<Vec<Proposal>> = Arc::new(buf);
         let n = self.next_seq;
         self.next_seq = self.next_seq.next();
-        self.propose_batch_at(n, batch, ctx);
+        self.propose_batch_at_with_digest(n, batch, precomputed, ctx);
     }
 
     /// Leader ordering round for `batch` at sequence number `n` in the
@@ -98,11 +163,30 @@ impl PrestigeServer {
         batch: Arc<Vec<Proposal>>,
         ctx: &mut Context<Message>,
     ) {
+        self.propose_batch_at_with_digest(n, batch, None, ctx);
+    }
+
+    /// [`Self::propose_batch_at`] with an optionally precomputed ordering
+    /// digest (the incremental hasher's result). The simulated CPU charge is
+    /// identical either way, so simulator outcomes cannot depend on whether
+    /// the streaming path was hit.
+    pub(crate) fn propose_batch_at_with_digest(
+        &mut self,
+        n: SeqNum,
+        batch: Arc<Vec<Proposal>>,
+        precomputed: Option<Digest>,
+        ctx: &mut Context<Message>,
+    ) {
         if self.role != ServerRole::Leader || self.behavior.silent_as_leader() {
             return;
         }
         let view = self.current_view();
-        let digest = Self::batch_digest(view, n, &batch);
+        let digest = precomputed.unwrap_or_else(|| Self::batch_digest(view, n, &batch));
+        debug_assert_eq!(
+            digest,
+            Self::batch_digest(view, n, &batch),
+            "incremental batch digest must match the re-hash"
+        );
         ctx.charge_cpu_ms(PER_TX_CPU_MS * batch.len() as f64);
 
         let mut ordering_builder =
@@ -446,7 +530,15 @@ impl PrestigeServer {
         self.ordered_batches.remove(&n.0);
         self.ord_qcs.remove(&n.0);
         let txs: Vec<Transaction> = match Arc::try_unwrap(instance.batch) {
-            Ok(batch) => batch.into_iter().map(|p| p.tx).collect(),
+            Ok(mut batch) => {
+                let txs = batch.drain(..).map(|p| p.tx).collect();
+                // The emptied buffer keeps its capacity: recycle it into the
+                // next flush instead of allocating fresh.
+                if self.batch_scratch.len() < Self::BATCH_SCRATCH_CAP {
+                    self.batch_scratch.push(batch);
+                }
+                txs
+            }
             Err(shared) => shared.iter().map(|p| p.tx.clone()).collect(),
         };
         let mut block = TxBlock::new(view, n, txs);
@@ -454,18 +546,16 @@ impl PrestigeServer {
         block.commit_qc = Some(commit_qc);
 
         // Apply locally first: the store adopts the uniquely held block
-        // without copying and hands back the shared, chain-linked form, which
-        // the broadcast then fans out — zero deep copies end to end. The
-        // signature is computed afterwards, over the digest of exactly the
-        // block being broadcast, so receivers can verify it against the wire
-        // content (followers normalize chain pointers on insert regardless).
-        let shared = self.apply_committed_block(Arc::new(block), ctx);
-        let sig = self.sign(tx_block_digest(&shared).as_ref());
-        ctx.broadcast(
-            self.other_servers(),
-            Message::CommitBlock { block: shared, sig },
-        );
+        // without copying, and the stored, chain-linked form is what fans out
+        // as `CommitBlock` — zero deep copies end to end. With an apply pool
+        // attached, adoption (and therefore the broadcast) completes at the
+        // finish stage instead of inline.
+        self.commit_and_broadcast_block(Arc::new(block), ctx);
         // A window slot just freed up: keep the pipeline full.
         self.flush_ready_batches(ctx);
     }
+
+    /// Bound on recycled batch buffers — deeper than any pipeline window in
+    /// use, irrelevant as memory.
+    const BATCH_SCRATCH_CAP: usize = 16;
 }

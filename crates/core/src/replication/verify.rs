@@ -1,12 +1,27 @@
 //! Certificate validation and the in-order apply path, shared by live
 //! `CommitBlock` broadcasts and blocks acquired through sync.
 
-use crate::server::{PendingVerify, PrestigeServer};
+use crate::profile::{LoopProfile, LoopStage};
+use crate::server::{ApplyEntry, ApplyOutcome, PendingVerify, PrestigeServer};
+use crate::storage::tx_block_digest_with_prev;
 use prestige_crypto::VerifyJob;
 use prestige_sim::Context;
-use prestige_types::{Actor, ClientId, Message, QcKind, SyncKind, TxBlock};
+use prestige_types::{Actor, ClientId, Digest, Message, QcKind, SyncKind, TxBlock};
 use std::collections::BTreeMap;
+use std::sync::mpsc::{channel, Receiver};
 use std::sync::Arc;
+
+/// Where an off-loop apply job gets the digest of its predecessor block:
+/// resolved at submit time when the chain tip is already stored, or handed
+/// over by the previous in-flight job through a one-shot channel. The
+/// blocking `recv` is deadlock-free — apply jobs are sharded by sequence
+/// number onto per-worker FIFOs, so a job's predecessor is always at or
+/// ahead of it in some worker's queue — and a predecessor that panics drops
+/// its sender, failing the whole suffix over to the inline fallback.
+enum PrevSource {
+    Ready(Digest),
+    Chained(Receiver<Digest>),
+}
 
 impl PrestigeServer {
     /// Shared QC validation + apply path for `CommitBlock` broadcasts and
@@ -67,23 +82,63 @@ impl PrestigeServer {
         self.apply_committed_block(block, ctx);
     }
 
+    /// The commit frontier: the store tip extended through blocks queued on
+    /// the apply pool. Duplicate and gap decisions reason against this (a
+    /// block in flight is as good as committed for admission purposes);
+    /// without async apply it is exactly `store.latest_seq()`.
+    pub(crate) fn commit_frontier(&self) -> u64 {
+        let inflight_tip = self.apply_inflight.keys().next_back().copied().unwrap_or(0);
+        self.store.latest_seq().0.max(inflight_tip)
+    }
+
     /// Applies a committed block locally: store it, update bookkeeping, and
     /// notify the owning clients. Blocks arriving ahead of a gap are buffered
-    /// so every replica applies the log in the same order.
-    ///
-    /// Returns the shared block — the stored, chain-linked form when it was
-    /// applied in order — so a leader can fan it out without another copy.
+    /// so every replica applies the log in the same order. With an apply pool
+    /// attached, the CPU-heavy half of adoption (chain digesting, notification
+    /// signing) runs off-loop and the block lands in the store when the
+    /// in-order finish stage drains it.
     pub(crate) fn apply_committed_block(
         &mut self,
         block: Arc<TxBlock>,
         ctx: &mut Context<Message>,
-    ) -> Arc<TxBlock> {
-        if block.n <= self.store.latest_seq() {
-            return block;
+    ) {
+        self.enqueue_committed_block(block, false, ctx);
+    }
+
+    /// Leader variant of [`Self::apply_committed_block`]: the adopted,
+    /// chain-linked form of the block is broadcast to the other servers as
+    /// `CommitBlock` once it lands in the store (immediately on the inline
+    /// path; at the finish stage with an apply pool).
+    pub(crate) fn commit_and_broadcast_block(
+        &mut self,
+        block: Arc<TxBlock>,
+        ctx: &mut Context<Message>,
+    ) {
+        self.enqueue_committed_block(block, true, ctx);
+    }
+
+    fn enqueue_committed_block(
+        &mut self,
+        block: Arc<TxBlock>,
+        broadcast: bool,
+        ctx: &mut Context<Message>,
+    ) {
+        let frontier = self.commit_frontier();
+        if block.n.0 <= frontier {
+            // Already committed or already queued for adoption. A leader
+            // committing a duplicate still fans it out (matching the
+            // pre-apply-pool behaviour of broadcasting unconditionally).
+            if broadcast {
+                self.broadcast_commit_block(block, ctx);
+            }
+            return;
         }
-        if block.n.0 > self.store.latest_seq().0 + 1 {
-            self.pending_commit_blocks
-                .insert(block.n.0, Arc::clone(&block));
+        if block.n.0 > frontier + 1 {
+            let n = block.n.0;
+            self.pending_commit_blocks.insert(n, Arc::clone(&block));
+            if broadcast {
+                self.broadcast_commit_block(block, ctx);
+            }
             // A gap means the predecessors' broadcasts were lost (shed under
             // backpressure or cut by a partition): ask the leader to close it
             // rather than waiting forever. Rate-limited — with an off-loop
@@ -92,31 +147,157 @@ impl PrestigeServer {
             // re-asks a *rotating* peer if the leader itself is unreachable.
             // A hole wider than one serve budget (a restarted or long-cut
             // replica) escalates to snapshot sync, same as the repair timer.
-            let lo = self.store.latest_seq().0 + 1;
-            let hi = block.n.0 - 1;
+            let lo = frontier + 1;
+            let hi = n - 1;
             let kind = Self::catchup_kind(lo, hi);
             self.request_sync(Actor::Server(self.current_leader()), kind, lo, hi, ctx);
-            return block;
+            return;
         }
-        let n = block.n;
-        self.apply_in_order(block, ctx);
-        // Drain any buffered successors that are now contiguous.
+        self.start_apply(block, broadcast, ctx);
+        // Drain any buffered successors that are now contiguous with the
+        // frontier (committed, or queued behind this block on the pool).
         while let Some((&next, _)) = self.pending_commit_blocks.iter().next() {
-            if next != self.store.latest_seq().0 + 1 {
+            if next != self.commit_frontier() + 1 {
                 break;
             }
             let block = self.pending_commit_blocks.remove(&next).expect("present");
-            self.apply_in_order(block, ctx);
+            self.start_apply(block, false, ctx);
         }
-        // `n` was beyond `latest_seq` and contiguous, so `apply_in_order`
-        // inserted it (or an identical block already present won the race).
-        self.store
-            .tx_block_shared(n)
-            .expect("in-order block was just inserted")
     }
 
-    /// Applies one block whose predecessor is already committed.
-    pub(crate) fn apply_in_order(&mut self, block: Arc<TxBlock>, ctx: &mut Context<Message>) {
+    /// Adopts one frontier-contiguous block: inline when no apply pool is
+    /// attached (the simulator path — bit-identical regardless of
+    /// `apply_workers`), otherwise as an off-loop job chained to its
+    /// predecessor's digest.
+    fn start_apply(&mut self, block: Arc<TxBlock>, broadcast: bool, ctx: &mut Context<Message>) {
+        if !self.has_async_apply() {
+            let shared = self.apply_in_order(block, None, ctx);
+            if broadcast {
+                if let Some(shared) = shared {
+                    self.broadcast_commit_block(shared, ctx);
+                }
+            }
+            return;
+        }
+        let prev_source = match self.apply_chain.take() {
+            Some(rx) => PrevSource::Chained(rx),
+            None => PrevSource::Ready(self.store.latest_tx_digest()),
+        };
+        let (tx_next, rx_next) = channel();
+        self.apply_chain = Some(rx_next);
+        let token = self.next_verify_token;
+        self.next_verify_token += 1;
+        let n = block.n.0;
+        self.apply_tokens.insert(token, n);
+        self.apply_inflight.insert(
+            n,
+            ApplyEntry {
+                block: Arc::clone(&block),
+                outcome: None,
+                done: false,
+                broadcast,
+            },
+        );
+        self.stats.applies_offloaded += 1;
+        let keypair = self.keypair.clone();
+        let pool = self.apply_pool.as_ref().expect("async apply established");
+        pool.submit_sharded(
+            n,
+            token,
+            Box::new(move || {
+                let prev = match prev_source {
+                    PrevSource::Ready(d) => d,
+                    // A broken chain (predecessor job panicked) fails this
+                    // job too; the finish stage recomputes inline.
+                    PrevSource::Chained(rx) => rx.recv().ok()?,
+                };
+                let digest = tx_block_digest_with_prev(&block, prev);
+                let _ = tx_next.send(digest);
+                let notif_sig = keypair.sign(&n.to_be_bytes());
+                Some(ApplyOutcome {
+                    prev,
+                    digest,
+                    notif_sig,
+                })
+            }),
+        );
+    }
+
+    /// Completion of the apply job for block `n`: record the outcome, then
+    /// drain every finished entry that is contiguous with the store tip —
+    /// adoption lands in sequence order no matter how completions arrive.
+    pub(crate) fn finish_apply(
+        &mut self,
+        n: u64,
+        outcome: Option<ApplyOutcome>,
+        ctx: &mut Context<Message>,
+    ) {
+        if let Some(entry) = self.apply_inflight.get_mut(&n) {
+            entry.outcome = outcome;
+            entry.done = true;
+        }
+        loop {
+            let next = self.store.latest_seq().0 + 1;
+            if !matches!(self.apply_inflight.get(&next), Some(e) if e.done) {
+                return;
+            }
+            let entry = self.apply_inflight.remove(&next).expect("present");
+            let shared = self.apply_in_order(entry.block, entry.outcome, ctx);
+            if entry.broadcast {
+                if let Some(shared) = shared {
+                    self.broadcast_commit_block(shared, ctx);
+                }
+            }
+        }
+    }
+
+    /// Adopts every block still queued on the apply pool inline, without
+    /// waiting for the jobs (late completions are dropped by token). Called
+    /// at view installation: the bookkeeping there reasons about the
+    /// committed tip, so the tip must be real first.
+    pub(crate) fn flush_apply_pipeline(&mut self, ctx: &mut Context<Message>) {
+        while let Some((&n, _)) = self.apply_inflight.iter().next() {
+            let entry = self.apply_inflight.remove(&n).expect("present");
+            let shared = self.apply_in_order(entry.block, entry.outcome, ctx);
+            if entry.broadcast {
+                if let Some(shared) = shared {
+                    self.broadcast_commit_block(shared, ctx);
+                }
+            }
+        }
+        self.apply_chain = None;
+    }
+
+    /// Fans a committed block out as `CommitBlock`. Receivers validate blocks
+    /// purely through their QCs; the accompanying signature just binds the
+    /// relayer identity and is cheapest as the already-known chain digest.
+    fn broadcast_commit_block(&mut self, block: Arc<TxBlock>, ctx: &mut Context<Message>) {
+        let sig = self.sign(block.header.digest.as_ref());
+        ctx.broadcast(self.other_servers(), Message::CommitBlock { block, sig });
+    }
+
+    /// Applies one block whose predecessor is already committed, with the
+    /// off-loop `prepared` linkage when an apply job computed it. Returns the
+    /// stored, chain-linked form (`None` only on a conflicting insert, which
+    /// honest paths never produce).
+    pub(crate) fn apply_in_order(
+        &mut self,
+        block: Arc<TxBlock>,
+        prepared: Option<ApplyOutcome>,
+        ctx: &mut Context<Message>,
+    ) -> Option<Arc<TxBlock>> {
+        let span = LoopProfile::begin(&self.profiler);
+        let out = self.apply_in_order_inner(block, prepared, ctx);
+        LoopProfile::end_sub(&self.profiler, span, LoopStage::Apply);
+        out
+    }
+
+    fn apply_in_order_inner(
+        &mut self,
+        block: Arc<TxBlock>,
+        prepared: Option<ApplyOutcome>,
+        ctx: &mut Context<Message>,
+    ) -> Option<Arc<TxBlock>> {
         let n = block.n;
         let view = block.view;
         // One pass over the batch does all the per-transaction bookkeeping:
@@ -158,10 +339,16 @@ impl PrestigeServer {
         // here and the insert replays an idempotent record; one that crashed
         // *after* acting without the record would un-commit on restart.
         self.wal_append(prestige_storage::WalRecordRef::Block(block.as_ref()));
-        if !self.store.insert_tx_block(block) {
+        // The off-loop digest stays valid across the status patch above: it
+        // covers transaction identities, never statuses.
+        let inserted = match prepared {
+            Some(o) => self.store.insert_tx_block_prepared(block, o.prev, o.digest),
+            None => self.store.insert_tx_block(block),
+        };
+        if !inserted {
             // Conflicting block at `n` (never on honest paths): the keys
             // recorded above make `committed_tx_keys` a harmless superset.
-            return;
+            return None;
         }
         self.stats.committed_blocks += 1;
         self.stats.committed_tx += committed_keys.len() as u64;
@@ -187,8 +374,13 @@ impl PrestigeServer {
         }
         if !self.pending_proposals.is_empty() {
             let committed: prestige_types::KeySet<_> = committed_keys.iter().copied().collect();
+            let before = self.pending_proposals.len();
             self.pending_proposals
                 .retain(|p| !committed.contains(&p.tx.key()));
+            if self.pending_proposals.len() != before {
+                // The pool prefix changed under the streaming batch hasher.
+                self.batch_hasher = None;
+            }
         }
         // A committed block from a higher view is proof this server missed a
         // view change (it refused an uncoverable vcBlock, or the install
@@ -217,24 +409,38 @@ impl PrestigeServer {
         self.inflight.remove(&n.0);
 
         // Notify clients: one Notif per client listing its committed keys.
+        // The signature covers only the sequence number, so one signing
+        // (hoisted out of the loop, or precomputed off-loop) serves every
+        // client of the block — the deterministic MAC makes this
+        // observationally identical to signing per client.
         let mut by_client: BTreeMap<ClientId, Vec<(ClientId, u64)>> = BTreeMap::new();
         for key in committed_keys {
             by_client.entry(key.0).or_default().push(key);
         }
-        for (client, tx_keys) in by_client {
-            let sig = self.sign(&n.0.to_be_bytes());
-            ctx.send(
-                Actor::Client(client),
-                Message::Notif {
-                    tx_keys,
-                    seq: n,
-                    view,
-                    sig,
-                },
-            );
+        if !by_client.is_empty() {
+            let sig = match prepared {
+                Some(o) => o.notif_sig,
+                None => self.sign(&n.0.to_be_bytes()),
+            };
+            for (client, tx_keys) in by_client {
+                ctx.send(
+                    Actor::Client(client),
+                    Message::Notif {
+                        tx_keys,
+                        seq: n,
+                        view,
+                        sig,
+                    },
+                );
+            }
         }
 
         // Checkpoint interval reached? Sign and exchange state digests.
         self.maybe_emit_checkpoint(n, ctx);
+        Some(
+            self.store
+                .tx_block_shared(n)
+                .expect("in-order block was just inserted"),
+        )
     }
 }

@@ -10,9 +10,10 @@
 
 use crate::faults::ByzantineBehavior;
 use crate::pacemaker::{timer_tags, Pacemaker};
+use crate::profile::{LoopProfile, LoopStage};
 use crate::storage::BlockStore;
 use prestige_crypto::{
-    execute_job, FramedHasher, KeyPair, KeyRegistry, PowSolution, PowSolver, QcBuilder,
+    execute_job, FramedHasher, KeyPair, KeyRegistry, PowSolution, PowSolver, QcBuilder, TaskPool,
     ThresholdVerifier, VerifyJob, VerifyPool,
 };
 use prestige_reputation::{RefreshTracker, ReputationEngine};
@@ -113,6 +114,12 @@ pub struct ServerStats {
     /// missing range exceeded one serve budget (fresh restart from an old
     /// checkpoint, long partition).
     pub snapshot_syncs: u64,
+    /// Committed-block adoptions whose chain digest and notification
+    /// signature were computed off the protocol loop by the apply pool.
+    pub applies_offloaded: u64,
+    /// Leader batches whose ordering digest was served by the incremental
+    /// streaming hasher at flush time instead of re-hashing the whole batch.
+    pub incremental_batch_digests: u64,
 }
 
 /// A leader's in-flight replication instance (one per sequence number).
@@ -200,6 +207,52 @@ impl PendingVerify {
             PendingVerify::CommitBlock { block, .. } => block.n.0,
         }
     }
+}
+
+/// The payload an off-loop apply job computes for one committed block: the
+/// chain linkage (so the block store adopts the block without re-hashing it
+/// on the protocol loop) and the notification signature every client `Notif`
+/// for the block shares. The digest covers the transaction identities but
+/// not their `status` flags, so the on-loop duplicate-suppression patch at
+/// finish time cannot invalidate it.
+#[derive(Debug, Clone, Copy)]
+pub struct ApplyOutcome {
+    /// Digest of the predecessor block this outcome chained against.
+    pub prev: Digest,
+    /// The block's resulting chain digest.
+    pub digest: Digest,
+    /// Signature over the block's sequence number (what a `Notif` carries).
+    pub notif_sig: [u8; 32],
+}
+
+/// A committed block whose adoption is running (or queued) on the apply
+/// pool. Entries are keyed by sequence number in `apply_inflight` and
+/// drained strictly in order from the store tip.
+pub(crate) struct ApplyEntry {
+    pub(crate) block: Arc<TxBlock>,
+    /// The off-loop result; `None` until the job completes (or forever, if
+    /// the job failed — the finish path then recomputes inline).
+    pub(crate) outcome: Option<ApplyOutcome>,
+    /// Whether the job has reported back.
+    pub(crate) done: bool,
+    /// Leader path: broadcast the adopted block once applied.
+    pub(crate) broadcast: bool,
+}
+
+/// The leader's streaming ordering digest: proposals are absorbed into a
+/// [`FramedHasher`] as they arrive, and the flush that drains exactly the
+/// absorbed prefix into a batch gets its digest for free instead of
+/// re-hashing every transaction inside the hot loop. Any pool mutation that
+/// breaks prefix identity (view change, commit-time pruning, a partial
+/// drain) simply drops the hasher — correctness never depends on it.
+pub(crate) struct BatchHasher {
+    /// View the seeded digest binds.
+    pub(crate) view: View,
+    /// Sequence number the seeded digest binds (`next_seq` at seed time).
+    pub(crate) n: SeqNum,
+    /// How many proposals of the pool prefix have been absorbed.
+    pub(crate) count: usize,
+    pub(crate) hasher: FramedHasher,
 }
 
 /// The state a server keeps while campaigning (redeemer / candidate).
@@ -358,6 +411,30 @@ pub struct PrestigeServer {
     /// FIFO eviction order bounding the memo cache.
     pub(crate) verified_qcs_order: VecDeque<[u8; 32]>,
 
+    // --- apply state ---
+    /// Off-loop apply pool; `None` (or an inline pool) adopts committed
+    /// blocks on the protocol loop, which is what the simulator requires.
+    pub(crate) apply_pool: Option<Arc<TaskPool<ApplyOutcome>>>,
+    /// Committed blocks whose adoption runs off-loop, keyed by sequence
+    /// number. Keys are contiguous from the store tip by construction.
+    pub(crate) apply_inflight: BTreeMap<u64, ApplyEntry>,
+    /// Apply-job token → sequence number (tokens share the verify counter).
+    pub(crate) apply_tokens: HashMap<u64, u64>,
+    /// Receiver carrying the chain digest of the newest submitted apply job;
+    /// the next job takes it as its `prev` source, so linkage flows
+    /// job-to-job without the loop waiting on any of them.
+    pub(crate) apply_chain: Option<std::sync::mpsc::Receiver<Digest>>,
+    /// The leader's streaming ordering digest over the proposal-pool prefix.
+    pub(crate) batch_hasher: Option<BatchHasher>,
+    /// Recycled batch buffers: capacity flows from committed instances
+    /// (whose `Arc<Vec<Proposal>>` this server held the last reference to)
+    /// back into the next flush instead of a fresh allocation.
+    pub(crate) batch_scratch: Vec<Vec<Proposal>>,
+    /// Stage profiler of the driving runtime, when attached: protocol-side
+    /// sub-spans (inline verify, apply, storage append) report through it.
+    /// `None` — the simulator and unprofiled runs — records nothing.
+    pub(crate) profiler: Option<Arc<LoopProfile>>,
+
     // --- view-change state ---
     /// Views this server has voted in (criterion C1).
     pub(crate) voted_views: HashSet<u64>,
@@ -489,6 +566,13 @@ impl PrestigeServer {
             pending_ord_verifies: KeySet::default(),
             verified_qcs: KeySet::default(),
             verified_qcs_order: VecDeque::new(),
+            apply_pool: None,
+            apply_inflight: BTreeMap::new(),
+            apply_tokens: HashMap::new(),
+            apply_chain: None,
+            batch_hasher: None,
+            batch_scratch: Vec::new(),
+            profiler: None,
             voted_views: HashSet::new(),
             complaints: KeyMap::default(),
             confvc_builders: HashMap::new(),
@@ -670,6 +754,31 @@ impl PrestigeServer {
         self.verify_pool.as_ref().is_some_and(|p| p.is_async())
     }
 
+    /// Builds an apply pool and attaches it: committed-block adoption (chain
+    /// digesting and notification signing) moves off the protocol loop,
+    /// sharded by instance sequence so per-block work pipelines while the
+    /// in-order commit semantics are preserved by the on-loop finish stage.
+    /// Returns the handle the driving runtime polls for completions. With
+    /// `workers == 0` the pool is inert and adoption stays inline — the
+    /// deterministic-simulator configuration.
+    pub fn spawn_apply_pool(&mut self, workers: usize) -> Arc<TaskPool<ApplyOutcome>> {
+        let pool = Arc::new(TaskPool::new(workers, "apply"));
+        self.apply_pool = Some(Arc::clone(&pool));
+        pool
+    }
+
+    /// Whether committed-block adoption runs off the protocol loop.
+    pub(crate) fn has_async_apply(&self) -> bool {
+        self.apply_pool.as_ref().is_some_and(|p| p.is_async())
+    }
+
+    /// Attaches the driving runtime's stage profiler so protocol-side
+    /// sub-spans (inline verify, apply, storage append) report their self
+    /// time to the right buckets. Never called by the simulator.
+    pub fn attach_profiler(&mut self, profile: Arc<LoopProfile>) {
+        self.profiler = Some(profile);
+    }
+
     /// Offloads `job` to the verify pool, parking `pending` until the verdict
     /// arrives via `on_job_complete`. Callers must have established
     /// [`Self::has_async_verify`]. Jobs are sharded by instance sequence
@@ -733,10 +842,12 @@ impl PrestigeServer {
             return true;
         }
         self.charge_verify_cost(ctx);
-        if ThresholdVerifier::new(&self.registry)
+        let span = LoopProfile::begin(&self.profiler);
+        let ok = ThresholdVerifier::new(&self.registry)
             .verify(qc, threshold)
-            .is_ok()
-        {
+            .is_ok();
+        LoopProfile::end_sub(&self.profiler, span, LoopStage::InlineVerify);
+        if ok {
             self.memoize_qc(key);
             true
         } else {
@@ -746,7 +857,10 @@ impl PrestigeServer {
 
     /// Executes a verification job inline (same-thread), without the pool.
     pub(crate) fn verify_inline(&self, job: &VerifyJob) -> bool {
-        execute_job(&self.registry, job)
+        let span = LoopProfile::begin(&self.profiler);
+        let ok = execute_job(&self.registry, job);
+        LoopProfile::end_sub(&self.profiler, span, LoopStage::InlineVerify);
+        ok
     }
 
     /// The candidate-freshness claim of criterion C3: the highest sequence
@@ -767,6 +881,12 @@ impl PrestigeServer {
     /// per-view vote bookkeeping, statistics).
     pub(crate) fn note_view_installed(&mut self, ctx: &mut Context<Message>, leader: ServerId) {
         self.stats.views_installed += 1;
+        // Everything below reasons about the committed tip, so blocks still
+        // in flight on the apply pool are adopted inline first — the tip
+        // must be real before pruning against it. The streaming batch
+        // digest binds the outgoing view; drop it.
+        self.flush_apply_pipeline(ctx);
+        self.batch_hasher = None;
         // Ordered-but-uncommitted batches survive the view change keyed by
         // their sequence numbers (shared handles — no copies): they back
         // future C3 freshness claims, and an elected leader re-proposes its
@@ -1091,6 +1211,16 @@ impl Process<Message> for PrestigeServer {
     }
 
     fn on_job_complete(&mut self, token: u64, ok: bool, ctx: &mut Context<Message>) {
+        if let Some(n) = self.apply_tokens.remove(&token) {
+            // Apply-pool completion. Always collect the payload (even for a
+            // job superseded by a view-change flush) so the pool's mailbox
+            // never leaks; a failed job yields no payload and the finish
+            // stage recomputes inline.
+            let outcome = self.apply_pool.as_ref().and_then(|p| p.take(token));
+            let outcome = if ok { outcome } else { None };
+            self.finish_apply(n, outcome, ctx);
+            return;
+        }
         let Some(pending) = self.pending_verify.remove(&token) else {
             return; // Superseded (e.g. cleared by a view change) — drop.
         };

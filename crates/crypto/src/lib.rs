@@ -19,6 +19,10 @@
 //!   ordinary events, with a deterministic same-thread fallback and panic
 //!   isolation (a crashing job rejects one message instead of hanging the
 //!   node).
+//! * [`taskpool`] — a generic sibling of the verify pool ([`TaskPool`]) for
+//!   off-loop jobs that produce a payload (committed-block adoption being the
+//!   driving case), plus the [`JobSource`] polling interface node runtimes
+//!   drain completions through.
 //! * [`pow`] — the reputation-penalty proof-of-work puzzle (§4.2.2), with a
 //!   *real* solver (iterating SHA-256) and a *modeled* solver (sampling the
 //!   geometric attempt distribution) so that cluster experiments reproduce the
@@ -33,6 +37,7 @@ pub mod pool;
 pub mod pow;
 pub mod sha256;
 pub mod signature;
+pub mod taskpool;
 pub mod threshold;
 
 pub use hash::{batch_digest, digest_of, hash_many, hash_pair, FramedHasher};
@@ -40,4 +45,5 @@ pub use pool::{execute_job, VerifyJob, VerifyPool, VerifyVerdict};
 pub use pow::{PowPuzzle, PowSolution, PowSolver};
 pub use sha256::Sha256;
 pub use signature::{KeyPair, KeyRegistry, Signature};
+pub use taskpool::{JobSource, Task, TaskPool};
 pub use threshold::{qc_statement, sign_share, QcBuilder, ThresholdVerifier, QC_STATEMENT_LEN};

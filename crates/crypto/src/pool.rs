@@ -285,6 +285,16 @@ impl VerifyPool {
     }
 }
 
+impl crate::taskpool::JobSource for VerifyPool {
+    fn try_done(&self) -> Option<(u64, bool)> {
+        self.try_completion().map(|v| (v.token, v.ok))
+    }
+
+    fn pending(&self) -> usize {
+        VerifyPool::pending(self)
+    }
+}
+
 impl Drop for VerifyPool {
     fn drop(&mut self) {
         if let Some(set) = self.workers.take() {

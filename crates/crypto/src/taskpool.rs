@@ -1,0 +1,323 @@
+//! Generic off-loop task pool: arbitrary payload-producing jobs on worker
+//! threads, mirroring the [`VerifyPool`](crate::VerifyPool) design.
+//!
+//! The verify pool is specialized to crypto checks whose whole result is one
+//! boolean. Other hot-path work — committed-block adoption being the driving
+//! case — produces a *payload* (a chain digest, a precomputed signature) that
+//! the protocol thread consumes when the completion event arrives. A
+//! [`TaskPool`] carries that payload: jobs are boxed closures returning
+//! `Option<T>` (`None` = failure), completions surface as `(token, ok)`
+//! events for the runtime to feed through `Process::on_job_complete`, and the
+//! payload is claimed separately via [`TaskPool::take`].
+//!
+//! Design points shared with the verify pool:
+//!
+//! * **Same-thread fallback** — `workers == 0` executes jobs at submit time.
+//!   The deterministic simulator never attaches an asynchronous pool, so
+//!   simulated runs are bit-identical for any configured worker count.
+//! * **Sharded queues** — every worker owns a private FIFO;
+//!   [`TaskPool::submit_sharded`] routes by `shard % workers`, so jobs
+//!   sharing a shard execute in submission order while distinct shards run
+//!   concurrently.
+//! * **Panic isolation** — a panicking job completes as a failure (`ok =
+//!   false`, no payload); the worker survives.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+/// How many queued tasks one worker drains per wakeup (see the verify pool's
+/// `WORKER_BATCH` for the rationale).
+const WORKER_BATCH: usize = 4;
+
+/// One unit of off-loop work: runs on any thread, yields a payload on
+/// success.
+pub type Task<T> = Box<dyn FnOnce() -> Option<T> + Send + 'static>;
+
+/// A source of finished off-loop jobs, polled by the node runtime. Both
+/// [`VerifyPool`](crate::VerifyPool) and [`TaskPool`] implement this, so the
+/// event loop drains every attached pool through one interface and feeds
+/// each `(token, ok)` pair to `Process::on_job_complete`.
+pub trait JobSource: Send + Sync {
+    /// Pops one finished completion, if any.
+    fn try_done(&self) -> Option<(u64, bool)>;
+    /// Jobs submitted whose completions have not been consumed yet.
+    fn pending(&self) -> usize;
+}
+
+/// A pool of task workers with an inline (same-thread) fallback and a
+/// payload mailbox.
+pub struct TaskPool<T> {
+    /// Tasks submitted but whose completions have not been consumed yet.
+    in_flight: AtomicUsize,
+    done_tx: Sender<(u64, Option<T>)>,
+    done_rx: Mutex<Receiver<(u64, Option<T>)>>,
+    /// Payloads of completed-but-unclaimed tasks, keyed by token. Bounded in
+    /// practice by the single-threaded consumer: the runtime pops a
+    /// completion and the node claims the payload in the same event.
+    ready: Mutex<HashMap<u64, T>>,
+    /// `None` in inline mode.
+    workers: Option<WorkerSet<T>>,
+}
+
+struct WorkerSet<T> {
+    job_txs: Vec<Sender<(u64, Task<T>)>>,
+    handles: Vec<JoinHandle<()>>,
+    next: AtomicUsize,
+}
+
+impl<T: Send + 'static> TaskPool<T> {
+    /// Creates a pool with `workers` threads; `0` yields the inline
+    /// (same-thread) fallback.
+    pub fn new(workers: usize, name: &str) -> Self {
+        let (done_tx, done_rx) = channel();
+        let worker_set = (workers > 0).then(|| {
+            let mut job_txs = Vec::with_capacity(workers);
+            let handles = (0..workers)
+                .map(|i| {
+                    let (job_tx, job_rx) = channel::<(u64, Task<T>)>();
+                    job_txs.push(job_tx);
+                    let done_tx = done_tx.clone();
+                    std::thread::Builder::new()
+                        .name(format!("prestige-{name}-{i}"))
+                        .spawn(move || worker_loop(&job_rx, &done_tx))
+                        .expect("spawn task worker")
+                })
+                .collect();
+            WorkerSet {
+                job_txs,
+                handles,
+                next: AtomicUsize::new(0),
+            }
+        });
+        TaskPool {
+            in_flight: AtomicUsize::new(0),
+            done_tx,
+            done_rx: Mutex::new(done_rx),
+            ready: Mutex::new(HashMap::new()),
+            workers: worker_set,
+        }
+    }
+
+    /// Number of worker threads (0 = inline).
+    pub fn workers(&self) -> usize {
+        self.workers.as_ref().map_or(0, |w| w.job_txs.len())
+    }
+
+    /// Whether tasks run off the submitting thread.
+    pub fn is_async(&self) -> bool {
+        self.workers.is_some()
+    }
+
+    /// Submits a task with no ordering requirement (round-robin placement).
+    pub fn submit(&self, token: u64, task: Task<T>) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        match &self.workers {
+            Some(set) => {
+                let slot = set.next.fetch_add(1, Ordering::Relaxed) % set.job_txs.len();
+                self.dispatch(set, slot, token, task);
+            }
+            None => {
+                let payload = run_guarded(task);
+                let _ = self.done_tx.send((token, payload));
+            }
+        }
+    }
+
+    /// Submits a task pinned to the shard `shard % workers`: tasks sharing a
+    /// shard key execute on one worker in submission order.
+    pub fn submit_sharded(&self, shard: u64, token: u64, task: Task<T>) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        match &self.workers {
+            Some(set) => {
+                let slot = (shard % set.job_txs.len() as u64) as usize;
+                self.dispatch(set, slot, token, task);
+            }
+            None => {
+                let payload = run_guarded(task);
+                let _ = self.done_tx.send((token, payload));
+            }
+        }
+    }
+
+    fn dispatch(&self, set: &WorkerSet<T>, slot: usize, token: u64, task: Task<T>) {
+        if set.job_txs[slot].send((token, task)).is_err() {
+            // Workers are gone (shutdown race): fail rather than hang.
+            let _ = self.done_tx.send((token, None));
+        }
+    }
+
+    /// Claims the payload of a completed task. Available from the moment the
+    /// task's completion was popped (via [`JobSource::try_done`]) until
+    /// claimed; failed tasks have no payload.
+    pub fn take(&self, token: u64) -> Option<T> {
+        self.ready.lock().expect("task payload lock").remove(&token)
+    }
+}
+
+impl<T: Send + 'static> JobSource for TaskPool<T> {
+    fn try_done(&self) -> Option<(u64, bool)> {
+        let (token, payload) = self
+            .done_rx
+            .lock()
+            .expect("task completion queue lock")
+            .try_recv()
+            .ok()?;
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        let ok = payload.is_some();
+        if let Some(payload) = payload {
+            self.ready
+                .lock()
+                .expect("task payload lock")
+                .insert(token, payload);
+        }
+        Some((token, ok))
+    }
+
+    fn pending(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+}
+
+impl<T> Drop for TaskPool<T> {
+    fn drop(&mut self) {
+        if let Some(set) = self.workers.take() {
+            drop(set.job_txs); // Disconnect: workers drain and exit.
+            for handle in set.handles {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// Executes one task, mapping a panic to a failed completion.
+fn run_guarded<T>(task: Task<T>) -> Option<T> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(task))
+        .ok()
+        .flatten()
+}
+
+fn worker_loop<T>(job_rx: &Receiver<(u64, Task<T>)>, done_tx: &Sender<(u64, Option<T>)>) {
+    let mut batch: Vec<(u64, Task<T>)> = Vec::with_capacity(WORKER_BATCH);
+    loop {
+        match job_rx.recv() {
+            Ok(job) => batch.push(job),
+            Err(_) => return, // Pool dropped.
+        }
+        while batch.len() < WORKER_BATCH {
+            match job_rx.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        for (token, task) in batch.drain(..) {
+            let payload = run_guarded(task);
+            if done_tx.send((token, payload)).is_err() {
+                return; // Consumer gone.
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    fn wait_done(pool: &TaskPool<u64>, n: usize) -> Vec<(u64, bool)> {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut out = Vec::new();
+        while out.len() < n && Instant::now() < deadline {
+            match pool.try_done() {
+                Some(d) => out.push(d),
+                None => std::thread::sleep(Duration::from_micros(50)),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn inline_pool_completes_at_submit_time() {
+        let pool: TaskPool<u64> = TaskPool::new(0, "test");
+        assert!(!pool.is_async());
+        pool.submit_sharded(3, 7, Box::new(|| Some(41 + 1)));
+        assert_eq!(pool.pending(), 1);
+        let done = pool.try_done().expect("inline completion is immediate");
+        assert_eq!(done, (7, true));
+        assert_eq!(pool.take(7), Some(42));
+        assert_eq!(pool.take(7), None, "payload is claimed exactly once");
+        assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    fn worker_pool_delivers_payloads() {
+        let pool: TaskPool<u64> = TaskPool::new(2, "test");
+        assert_eq!(pool.workers(), 2);
+        for t in 0..8u64 {
+            pool.submit_sharded(t, t, Box::new(move || Some(t * 10)));
+        }
+        let done = wait_done(&pool, 8);
+        assert_eq!(done.len(), 8);
+        assert!(done.iter().all(|(_, ok)| *ok));
+        for (token, _) in done {
+            assert_eq!(pool.take(token), Some(token * 10));
+        }
+    }
+
+    #[test]
+    fn failing_and_panicking_tasks_complete_without_payload() {
+        for workers in [0usize, 2] {
+            let pool: TaskPool<u64> = TaskPool::new(workers, "test");
+            pool.submit(1, Box::new(|| None));
+            pool.submit(2, Box::new(|| panic!("task panic probe")));
+            let mut done = wait_done(&pool, 2);
+            done.sort();
+            assert_eq!(
+                done,
+                vec![(1, false), (2, false)],
+                "failure/panic with {workers} workers must surface as ok=false"
+            );
+            assert_eq!(pool.take(1), None);
+            assert_eq!(pool.take(2), None);
+            // Workers survive the panic.
+            pool.submit(3, Box::new(|| Some(9)));
+            assert_eq!(wait_done(&pool, 1), vec![(3, true)]);
+            assert_eq!(pool.take(3), Some(9));
+        }
+    }
+
+    #[test]
+    fn sharded_tasks_preserve_per_shard_order() {
+        let pool: TaskPool<u64> = TaskPool::new(3, "test");
+        // Tasks on one shard chain through a channel: each sends its token to
+        // the next, which only succeeds if execution follows submission order
+        // (a reordering would make the chained recv observe the wrong value).
+        let (tx, rx) = channel::<u64>();
+        let rx = std::sync::Arc::new(Mutex::new(rx));
+        tx.send(0).unwrap();
+        for t in 1..=16u64 {
+            let tx = tx.clone();
+            let rx = std::sync::Arc::clone(&rx);
+            pool.submit_sharded(
+                5,
+                t,
+                Box::new(move || {
+                    let prev = rx.lock().unwrap().recv().ok()?;
+                    if prev + 1 != t {
+                        return None;
+                    }
+                    tx.send(t).ok()?;
+                    Some(t)
+                }),
+            );
+        }
+        let done = wait_done(&pool, 16);
+        assert!(
+            done.iter().all(|(_, ok)| *ok),
+            "per-shard submission order must hold: {done:?}"
+        );
+    }
+}

@@ -28,6 +28,7 @@
 //! See `docs/ATTACKS.md` for the scenario vocabulary and the mapping to the
 //! paper's experiments.
 
+use prestige_core::LoopStage;
 use prestige_metrics::Json;
 use prestige_net::cluster::{LocalCluster, StoragePlan};
 use prestige_net::config::{parse_toml, TomlDoc, TomlValue};
@@ -98,6 +99,7 @@ struct Scenario {
     rotation_ms: Option<f64>,
     pipeline_depth: usize,
     verify_workers: usize,
+    apply_workers: usize,
     fault_plan: FaultPlan,
     strategy_label: String,
     delay_ms: f64,
@@ -252,6 +254,7 @@ impl Scenario {
             rotation_ms: (rotation > 0.0).then_some(rotation),
             pipeline_depth: get_u64(&doc, "scenario", "pipeline_depth", 4)? as usize,
             verify_workers: get_u64(&doc, "scenario", "verify_workers", 0)? as usize,
+            apply_workers: get_u64(&doc, "scenario", "apply_workers", 0)? as usize,
             fault_plan,
             strategy_label,
             delay_ms: get_f64(&doc, "chaos", "delay_ms", 0.0)?,
@@ -310,7 +313,8 @@ impl Scenario {
             .with_payload_size(self.payload_size)
             .with_timeouts(self.timeouts.clone())
             .with_pipeline_depth(self.pipeline_depth)
-            .with_verify_workers(self.verify_workers);
+            .with_verify_workers(self.verify_workers)
+            .with_apply_workers(self.apply_workers);
         if let Some(interval_ms) = self.rotation_ms {
             config.policy = ViewChangePolicy::Timing { interval_ms };
         }
@@ -866,6 +870,23 @@ fn run(scenario: &Scenario, out_path: &str) -> Result<(), Vec<String>> {
 
     // Cluster-wide transport counters (loopback: writer counters stay 0, the
     // delivery counters still expose chaos-induced drops per run).
+    // Merged event-loop stage profile across the live servers (the always-on
+    // profiler costs <1% and answers "where did the chaos push the time?").
+    let loop_snapshot = cluster.loop_profile();
+    let mut stages_obj = Json::obj();
+    for stage in LoopStage::ALL {
+        let mut s = Json::obj();
+        s.push("ns", loop_snapshot.stage_nanos(stage))
+            .push("events", loop_snapshot.stage_events(stage));
+        stages_obj.push(stage.name(), s);
+    }
+    let mut profile_obj = Json::obj();
+    profile_obj
+        .push("total_ns", loop_snapshot.total_nanos)
+        .push("busy_ns", loop_snapshot.busy_nanos())
+        .push("coverage", loop_snapshot.coverage())
+        .push("stages", stages_obj);
+
     let totals = cluster.transport_totals();
     let mut transport_obj = Json::obj();
     transport_obj
@@ -915,6 +936,7 @@ fn run(scenario: &Scenario, out_path: &str) -> Result<(), Vec<String>> {
                 Err(_) => Json::Null,
             },
         )
+        .push("loop_profile", profile_obj)
         .push("nodes", Json::Arr(server_reports))
         .push("liveness", Json::Arr(liveness))
         .push("assertions_passed", failures.is_empty());

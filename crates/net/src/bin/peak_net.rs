@@ -27,7 +27,7 @@
 //! sample buffers, so tail percentiles stay meaningful at hundreds of
 //! thousands of commits per window.
 
-use prestige_core::{ClientStats, LatencyHistogram};
+use prestige_core::{ClientStats, LatencyHistogram, LoopSnapshot, LoopStage};
 use prestige_net::cluster::{LocalCluster, StoragePlan, TcpCluster};
 use prestige_net::TransportTotals;
 use prestige_types::{ClientId, ClusterConfig, ServerId};
@@ -41,6 +41,7 @@ struct Options {
     payload: usize,
     pipeline: usize,
     verify_workers: usize,
+    apply_workers: usize,
     warmup_s: f64,
     duration_s: f64,
     durable: bool,
@@ -49,6 +50,7 @@ struct Options {
     sweep_pipeline: Vec<usize>,
     sweep_verify: Vec<usize>,
     checkpoint_interval: u64,
+    profile: bool,
     out: String,
 }
 
@@ -60,12 +62,15 @@ impl Default for Options {
             concurrency: 512,
             batch_size: 500,
             payload: 32,
-            // Defaults tuned for the 1-core benchmark container: a deep-ish
-            // window and inline verification (worker threads only pay off
-            // when there are spare cores — pass --verify-workers N to use
-            // them).
-            pipeline: 8,
+            // Defaults tuned for the 1-core benchmark container: a modest
+            // window and inline verification/apply (worker threads only pay
+            // off when there are spare cores — pass --verify-workers /
+            // --apply-workers N to use them). The sweep showed pipeline 4
+            // beats 8 on one core: the shallower window keeps client bundles
+            // from convoying behind a long uncommitted tail.
+            pipeline: 4,
             verify_workers: 0,
+            apply_workers: 0,
             warmup_s: 2.0,
             duration_s: 10.0,
             durable: false,
@@ -74,6 +79,7 @@ impl Default for Options {
             sweep_pipeline: vec![4, 8, 16],
             sweep_verify: vec![0, 1, 2],
             checkpoint_interval: 64,
+            profile: true,
             out: "BENCH_peak.json".to_string(),
         }
     }
@@ -113,6 +119,11 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("{e}"))?
             }
+            "--apply-workers" => {
+                opts.apply_workers = need("--apply-workers")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
             "--warmup" => opts.warmup_s = need("--warmup")?.parse().map_err(|e| format!("{e}"))?,
             "--duration" => {
                 opts.duration_s = need("--duration")?.parse().map_err(|e| format!("{e}"))?
@@ -139,6 +150,10 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 opts.checkpoint_interval = need("--checkpoint-interval")?
                     .parse()
                     .map_err(|e| format!("{e}"))?
+            }
+            "--no-profile" => {
+                opts.profile = false;
+                i -= 1;
             }
             "--out" => opts.out = need("--out")?.clone(),
             other => return Err(format!("unknown argument `{other}`")),
@@ -191,6 +206,13 @@ impl Bench {
         }
     }
 
+    fn loop_profile(&self) -> LoopSnapshot {
+        match self {
+            Bench::Loopback(c) => c.loop_profile(),
+            Bench::Tcp(c) => c.loop_profile(),
+        }
+    }
+
     fn shutdown(self) -> Vec<ClientStats> {
         let stats = match self {
             Bench::Loopback(c) => c.shutdown(),
@@ -219,6 +241,7 @@ struct Point {
     max_ms: f64,
     totals: TransportTotals,
     storage: Option<StorageSummary>,
+    profile: Option<LoopSnapshot>,
 }
 
 /// Launches one cluster with the given hot-path knobs, runs
@@ -228,7 +251,8 @@ fn run_point(opts: &Options, pipeline: usize, verify_workers: usize) -> Point {
         .with_batch_size(opts.batch_size)
         .with_payload_size(opts.payload)
         .with_pipeline_depth(pipeline)
-        .with_verify_workers(verify_workers);
+        .with_verify_workers(verify_workers)
+        .with_apply_workers(opts.apply_workers);
     if opts.durable {
         config = config.with_checkpoint_interval(opts.checkpoint_interval);
     }
@@ -245,7 +269,8 @@ fn run_point(opts: &Options, pipeline: usize, verify_workers: usize) -> Point {
         root
     });
     let cluster = if opts.tcp {
-        match TcpCluster::launch(config, 7, opts.clients, opts.concurrency) {
+        match TcpCluster::launch_configured(config, 7, opts.clients, opts.concurrency, opts.profile)
+        {
             Ok(c) => Bench::Tcp(c),
             Err(e) => {
                 eprintln!("peak_net: failed to bind TCP cluster: {e}");
@@ -253,21 +278,17 @@ fn run_point(opts: &Options, pipeline: usize, verify_workers: usize) -> Point {
             }
         }
     } else {
-        match &wal_root {
-            Some(root) => Bench::Loopback(LocalCluster::launch_durable(
-                config,
-                7,
-                opts.clients,
-                opts.concurrency,
-                StoragePlan::new(root.clone()),
-            )),
-            None => Bench::Loopback(LocalCluster::launch(
-                config,
-                7,
-                opts.clients,
-                opts.concurrency,
-            )),
-        }
+        let storage = wal_root.as_ref().map(|root| StoragePlan::new(root.clone()));
+        Bench::Loopback(LocalCluster::launch_configured(
+            config,
+            7,
+            opts.clients,
+            opts.concurrency,
+            &[],
+            None,
+            storage,
+            opts.profile,
+        ))
     };
 
     let committed_snapshot = |c: &Bench| -> u64 {
@@ -288,6 +309,7 @@ fn run_point(opts: &Options, pipeline: usize, verify_workers: usize) -> Point {
     let elapsed = t0.elapsed().as_secs_f64();
     let committed = committed_snapshot(&cluster).saturating_sub(before);
     let totals = cluster.transport_totals();
+    let profile = opts.profile.then(|| cluster.loop_profile());
 
     // Storage-plane totals across servers (durable runs only), gathered
     // while the nodes are still alive.
@@ -349,7 +371,34 @@ fn run_point(opts: &Options, pipeline: usize, verify_workers: usize) -> Point {
         max_ms: hist.max_ms(),
         totals,
         storage,
+        profile,
     }
+}
+
+/// Serializes a merged [`LoopSnapshot`] as the `loop_profile` JSON object:
+/// per-stage nanoseconds + event counts, the busy total, and the fraction of
+/// busy time the stages account for.
+fn loop_profile_json(snap: &LoopSnapshot, indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    let stages: Vec<String> = LoopStage::ALL
+        .iter()
+        .map(|s| {
+            format!(
+                "\"{}\": {{\"ns\": {}, \"events\": {}}}",
+                s.name(),
+                snap.stage_nanos(*s),
+                snap.stage_events(*s)
+            )
+        })
+        .collect();
+    format!(
+        "{pad}\"loop_profile\": {{\"total_ns\": {}, \"busy_ns\": {}, \
+         \"coverage\": {:.4}, \"stages\": {{{}}}}}",
+        snap.total_nanos,
+        snap.busy_nanos(),
+        snap.coverage(),
+        stages.join(", ")
+    )
 }
 
 /// The shared metric fields of one point, at `indent` spaces (the top-level
@@ -365,7 +414,7 @@ fn metrics_json(point: &Point, indent: usize) -> String {
          {pad}\"latency_max_ms\": {:.3},\n\
          {pad}\"transport_stats\": {{\"sent\": {}, \"received\": {}, \"dropped\": {}, \
          \"writev_calls\": {}, \"frames_coalesced\": {}, \"flushes_idle\": {}, \
-         \"flushes_full\": {}}}",
+         \"flushes_full\": {}}}{}",
         point.elapsed,
         point.committed,
         point.tps,
@@ -382,6 +431,10 @@ fn metrics_json(point: &Point, indent: usize) -> String {
         t.frames_coalesced,
         t.flushes_idle,
         t.flushes_full,
+        match &point.profile {
+            Some(snap) => format!(",\n{}", loop_profile_json(snap, indent)),
+            None => String::new(),
+        },
     )
 }
 
@@ -393,9 +446,10 @@ fn main() {
             eprintln!("peak_net: {message}");
             eprintln!(
                 "usage: peak_net [--servers N] [--clients N] [--concurrency N] [--batch N] \
-                 [--payload BYTES] [--pipeline N] [--verify-workers N] [--warmup SECS] \
-                 [--duration SECS] [--durable] [--tcp] [--sweep] [--sweep-pipeline A,B,..] \
-                 [--sweep-verify A,B,..] [--checkpoint-interval N] [--out PATH]"
+                 [--payload BYTES] [--pipeline N] [--verify-workers N] [--apply-workers N] \
+                 [--warmup SECS] [--duration SECS] [--durable] [--tcp] [--sweep] \
+                 [--sweep-pipeline A,B,..] [--sweep-verify A,B,..] \
+                 [--checkpoint-interval N] [--no-profile] [--out PATH]"
             );
             std::process::exit(1);
         }
@@ -445,10 +499,21 @@ fn main() {
             opts.warmup_s, opts.duration_s
         );
         let point = run_point(&opts, pipeline, verify_workers);
-        eprintln!(
-            "peak_net:   -> {:.0} tx/s, p50 {:.3} ms, p99 {:.3} ms",
-            point.tps, point.p50_ms, point.p99_ms
-        );
+        match &point.profile {
+            Some(snap) => eprintln!(
+                "peak_net:   -> {:.0} tx/s, p50 {:.3} ms, p99 {:.3} ms, p99.9 {:.3} ms \
+                 (profile coverage {:.0}%)",
+                point.tps,
+                point.p50_ms,
+                point.p99_ms,
+                point.p999_ms,
+                snap.coverage() * 100.0
+            ),
+            None => eprintln!(
+                "peak_net:   -> {:.0} tx/s, p50 {:.3} ms, p99 {:.3} ms, p99.9 {:.3} ms",
+                point.tps, point.p50_ms, point.p99_ms, point.p999_ms
+            ),
+        }
         points.push(point);
     }
     let committed_point = &points[0];
@@ -495,7 +560,7 @@ fn main() {
         "{{\n  \"bench\": \"peak_net\",\n  \"transport\": \"{transport}\",\n  \
          \"servers\": {},\n  \"clients\": {},\n  \"concurrency\": {},\n  \
          \"batch_size\": {},\n  \"payload_bytes\": {},\n  \
-         \"pipeline_depth\": {},\n  \"verify_workers\": {},\n  \
+         \"pipeline_depth\": {},\n  \"verify_workers\": {},\n  \"apply_workers\": {},\n  \
          \"cpu_cores\": {cpu_cores},\n{}{}{}\n}}\n",
         opts.servers,
         opts.clients,
@@ -504,6 +569,7 @@ fn main() {
         opts.payload,
         committed_point.pipeline,
         committed_point.verify_workers,
+        opts.apply_workers,
         storage_json,
         metrics_json(committed_point, 2),
         sweep_json,

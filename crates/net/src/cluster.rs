@@ -20,9 +20,10 @@ use crate::runtime::NodeHandle;
 use crate::tcp::{TcpConfig, TcpTransport};
 use crate::transport::{LoopbackNet, Transport, TransportStats, TransportTotals};
 use prestige_core::{
-    ByzantineBehavior, ClientConfig, ClientStats, PrestigeClient, PrestigeServer, ServerStats,
+    ByzantineBehavior, ClientConfig, ClientStats, LoopProfile, LoopSnapshot, PrestigeClient,
+    PrestigeServer, ServerStats,
 };
-use prestige_crypto::KeyRegistry;
+use prestige_crypto::{JobSource, KeyRegistry};
 use prestige_storage::{StorageStats, Wal, WalOptions};
 use prestige_types::{Actor, ClientId, ClusterConfig, Digest, Message, ServerId, View};
 use std::collections::HashMap;
@@ -130,6 +131,11 @@ pub struct LocalCluster {
     /// chaos wrapper, which shares its inner endpoint's stats). Entries
     /// survive crashes so reports still cover dead nodes' traffic.
     transport_stats: HashMap<Actor, Arc<TransportStats>>,
+    /// Per-server event-loop stage profiles (entries survive crashes;
+    /// restarts replace them with the fresh node's profile). Empty when the
+    /// cluster was launched with profiling off.
+    profiles: HashMap<ServerId, Arc<LoopProfile>>,
+    profiling: bool,
 }
 
 /// Builds one server node — fresh or restarted — optionally replaying and
@@ -144,7 +150,12 @@ fn spawn_server(
     net: &LoopbackNet<Message>,
     chaos: &Option<NetChaos>,
     storage: &Option<StoragePlan>,
-) -> (NodeHandle<Message>, Arc<TransportStats>) {
+    profiling: bool,
+) -> (
+    NodeHandle<Message>,
+    Arc<TransportStats>,
+    Option<Arc<LoopProfile>>,
+) {
     let mut server =
         PrestigeServer::with_behavior(id, config.clone(), registry.clone(), seed, behavior);
     if let Some(plan) = storage {
@@ -157,15 +168,27 @@ fn spawn_server(
         server.replay_wal(records);
         server.attach_storage(Box::new(wal));
     }
-    // `verify_workers > 0` moves signature/QC checks off the protocol
-    // loop; the runtime polls the pool and feeds verdicts back as
-    // events.
-    let pool = (config.verify_workers > 0).then(|| server.spawn_verify_pool(config.verify_workers));
+    // `verify_workers > 0` moves signature/QC checks off the protocol loop,
+    // `apply_workers > 0` moves committed-block adoption off it; the runtime
+    // polls each pool and feeds completions back as events.
+    let mut sources: Vec<Arc<dyn JobSource>> = Vec::new();
+    if config.verify_workers > 0 {
+        sources.push(server.spawn_verify_pool(config.verify_workers));
+    }
+    if config.apply_workers > 0 {
+        sources.push(server.spawn_apply_pool(config.apply_workers));
+    }
+    let profile = profiling.then(|| {
+        let p = Arc::new(LoopProfile::default());
+        server.attach_profiler(Arc::clone(&p));
+        p
+    });
     let endpoint = net.endpoint(Actor::Server(id));
     let transport = maybe_chaotic(endpoint, chaos, seed, id.0 as u64);
     let stats = transport.stats();
-    let handle = NodeHandle::spawn_with_pool(Box::new(server), transport, seed, pool);
-    (handle, stats)
+    let handle =
+        NodeHandle::spawn_instrumented(Box::new(server), transport, seed, sources, profile.clone());
+    (handle, stats, profile)
 }
 
 impl LocalCluster {
@@ -206,7 +229,9 @@ impl LocalCluster {
     }
 
     /// The full launcher: Byzantine behaviours, chaos, and durable storage
-    /// in any combination.
+    /// in any combination. Stage profiling is on (it costs well under 1%,
+    /// see the runtime docs); use [`Self::launch_configured`] to switch it
+    /// off for overhead comparisons.
     pub fn launch_full(
         config: ClusterConfig,
         seed: u64,
@@ -216,20 +241,48 @@ impl LocalCluster {
         chaos: Option<NetChaos>,
         storage: Option<StoragePlan>,
     ) -> Self {
+        Self::launch_configured(
+            config,
+            seed,
+            clients,
+            concurrency,
+            behaviors,
+            chaos,
+            storage,
+            true,
+        )
+    }
+
+    /// [`Self::launch_full`] with an explicit profiling switch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch_configured(
+        config: ClusterConfig,
+        seed: u64,
+        clients: u64,
+        concurrency: usize,
+        behaviors: &[ByzantineBehavior],
+        chaos: Option<NetChaos>,
+        storage: Option<StoragePlan>,
+        profiling: bool,
+    ) -> Self {
         let registry = KeyRegistry::new(seed, config.n(), clients);
         let net: LoopbackNet<Message> = LoopbackNet::new();
 
         let mut behavior_map = HashMap::new();
         let mut servers = HashMap::new();
         let mut transport_stats = HashMap::new();
+        let mut profiles = HashMap::new();
         for i in 0..config.n() {
             let id = ServerId(i);
             let behavior = behaviors.get(i as usize).copied().unwrap_or_default();
             behavior_map.insert(id, behavior);
-            let (handle, stats) = spawn_server(
-                id, &config, &registry, seed, behavior, &net, &chaos, &storage,
+            let (handle, stats, profile) = spawn_server(
+                id, &config, &registry, seed, behavior, &net, &chaos, &storage, profiling,
             );
             transport_stats.insert(Actor::Server(id), stats);
+            if let Some(profile) = profile {
+                profiles.insert(id, profile);
+            }
             servers.insert(id, handle);
         }
 
@@ -261,6 +314,8 @@ impl LocalCluster {
             servers,
             clients: client_handles,
             transport_stats,
+            profiles,
+            profiling,
         }
     }
 
@@ -302,6 +357,21 @@ impl LocalCluster {
     /// crashes; restarts replace them with the fresh endpoint's counters).
     pub fn transport_stats_of(&self, actor: Actor) -> Option<Arc<TransportStats>> {
         self.transport_stats.get(&actor).map(Arc::clone)
+    }
+
+    /// Server `id`'s event-loop stage profile (`None` with profiling off).
+    pub fn loop_profile_of(&self, id: ServerId) -> Option<LoopSnapshot> {
+        self.profiles.get(&id).map(|p| p.snapshot())
+    }
+
+    /// The cluster-wide event-loop stage profile: every server's counters
+    /// merged. Empty (all zeros) with profiling off.
+    pub fn loop_profile(&self) -> LoopSnapshot {
+        let mut merged = LoopSnapshot::default();
+        for profile in self.profiles.values() {
+            merged.merge(&profile.snapshot());
+        }
+        merged
     }
 
     /// Cluster-wide transport counter sums (servers and clients). On the
@@ -422,7 +492,7 @@ impl LocalCluster {
             "restart_server({id:?}): crash it first"
         );
         let behavior = self.behavior_of(id);
-        let (handle, stats) = spawn_server(
+        let (handle, stats, profile) = spawn_server(
             id,
             &self.config,
             &self.registry,
@@ -431,8 +501,12 @@ impl LocalCluster {
             &self.net,
             &self.chaos,
             &self.storage,
+            self.profiling,
         );
         self.transport_stats.insert(Actor::Server(id), stats);
+        if let Some(profile) = profile {
+            self.profiles.insert(id, profile);
+        }
         self.servers.insert(id, handle);
     }
 
@@ -562,6 +636,7 @@ pub fn launch_tcp_server(
     let transport: TcpTransport<Message> =
         TcpTransport::bind(Actor::Server(id), TcpConfig::new(listen, peers))?;
     let verify_workers = config.verify_workers;
+    let apply_workers = config.apply_workers;
     let mut server = PrestigeServer::with_behavior(id, config, registry, seed, behavior);
     if let Some(plan) = &storage {
         let dir = plan.server_dir(id);
@@ -571,12 +646,21 @@ pub fn launch_tcp_server(
         server.replay_wal(records);
         server.attach_storage(Box::new(wal));
     }
-    let pool = (verify_workers > 0).then(|| server.spawn_verify_pool(verify_workers));
-    Ok(NodeHandle::spawn_with_pool(
+    let mut sources: Vec<Arc<dyn JobSource>> = Vec::new();
+    if verify_workers > 0 {
+        sources.push(server.spawn_verify_pool(verify_workers));
+    }
+    if apply_workers > 0 {
+        sources.push(server.spawn_apply_pool(apply_workers));
+    }
+    let profile = Arc::new(LoopProfile::default());
+    server.attach_profiler(Arc::clone(&profile));
+    Ok(NodeHandle::spawn_instrumented(
         Box::new(server),
         Box::new(transport),
         seed,
-        pool,
+        sources,
+        Some(profile),
     ))
 }
 
@@ -618,6 +702,8 @@ pub struct TcpCluster {
     servers: HashMap<ServerId, NodeHandle<Message>>,
     clients: HashMap<ClientId, NodeHandle<Message>>,
     transport_stats: HashMap<Actor, Arc<TransportStats>>,
+    /// Per-server event-loop stage profiles (empty with profiling off).
+    profiles: HashMap<ServerId, Arc<LoopProfile>>,
 }
 
 impl TcpCluster {
@@ -631,6 +717,17 @@ impl TcpCluster {
         seed: u64,
         clients: u64,
         concurrency: usize,
+    ) -> std::io::Result<Self> {
+        Self::launch_configured(config, seed, clients, concurrency, true)
+    }
+
+    /// [`Self::launch`] with an explicit stage-profiling switch.
+    pub fn launch_configured(
+        config: ClusterConfig,
+        seed: u64,
+        clients: u64,
+        concurrency: usize,
+        profiling: bool,
     ) -> std::io::Result<Self> {
         let registry = KeyRegistry::new(seed, config.n(), clients);
 
@@ -662,6 +759,7 @@ impl TcpCluster {
 
         let mut servers = HashMap::new();
         let mut transport_stats = HashMap::new();
+        let mut profiles = HashMap::new();
         for i in 0..config.n() {
             let id = ServerId(i);
             let me = Actor::Server(id);
@@ -675,11 +773,30 @@ impl TcpCluster {
                 seed,
                 ByzantineBehavior::Correct,
             );
-            let pool = (config.verify_workers > 0)
-                .then(|| server.spawn_verify_pool(config.verify_workers));
+            let mut sources: Vec<Arc<dyn JobSource>> = Vec::new();
+            if config.verify_workers > 0 {
+                sources.push(server.spawn_verify_pool(config.verify_workers));
+            }
+            if config.apply_workers > 0 {
+                sources.push(server.spawn_apply_pool(config.apply_workers));
+            }
+            let profile = profiling.then(|| {
+                let p = Arc::new(LoopProfile::default());
+                server.attach_profiler(Arc::clone(&p));
+                p
+            });
+            if let Some(p) = &profile {
+                profiles.insert(id, Arc::clone(p));
+            }
             servers.insert(
                 id,
-                NodeHandle::spawn_with_pool(Box::new(server), Box::new(transport), seed, pool),
+                NodeHandle::spawn_instrumented(
+                    Box::new(server),
+                    Box::new(transport),
+                    seed,
+                    sources,
+                    profile,
+                ),
             );
         }
 
@@ -709,6 +826,7 @@ impl TcpCluster {
             servers,
             clients: client_handles,
             transport_stats,
+            profiles,
         })
     }
 
@@ -798,6 +916,21 @@ impl TcpCluster {
     /// The transport counters of `actor`'s endpoint.
     pub fn transport_stats_of(&self, actor: Actor) -> Option<Arc<TransportStats>> {
         self.transport_stats.get(&actor).map(Arc::clone)
+    }
+
+    /// Server `id`'s event-loop stage profile (`None` with profiling off).
+    pub fn loop_profile_of(&self, id: ServerId) -> Option<LoopSnapshot> {
+        self.profiles.get(&id).map(|p| p.snapshot())
+    }
+
+    /// The cluster-wide event-loop stage profile: every server's counters
+    /// merged. Empty (all zeros) with profiling off.
+    pub fn loop_profile(&self) -> LoopSnapshot {
+        let mut merged = LoopSnapshot::default();
+        for profile in self.profiles.values() {
+            merged.merge(&profile.snapshot());
+        }
+        merged
     }
 
     /// Cluster-wide transport counter sums — over TCP the writer-loop

@@ -16,21 +16,38 @@
 //!   loop when due (cancellations respected);
 //! * `ctx.charge_cpu(..)` — ignored: real CPU time passes by itself.
 //!
-//! When the node offloads crypto to a [`VerifyPool`], the event loop also
-//! drains the pool's completion queue and feeds each verdict back through
-//! `Process::on_job_complete` — verification results are ordinary events,
-//! interleaved with deliveries and timers on the same single protocol thread.
-//! The pool itself is *sharded by consensus instance* (see
-//! `VerifyPool::submit_sharded`): each worker owns a private queue, all
-//! checks for one instance land on one worker in submission order, and
-//! distinct instances verify concurrently — so follower-side verification
-//! scales across cores while this event loop, which only consumes verdicts
-//! and applies state, stays single-threaded and deterministic. This runtime
-//! seam is the *only* place sharding exists; the simulator never attaches an
+//! When the node offloads work to background pools — crypto checks to a
+//! [`VerifyPool`], committed-block adoption to an apply `TaskPool` — the
+//! event loop also drains each pool's completion queue (any number of
+//! [`JobSource`]s) and feeds every `(token, ok)` pair back through
+//! `Process::on_job_complete` — completions are ordinary events, interleaved
+//! with deliveries and timers on the same single protocol thread. The pools
+//! are *sharded by consensus instance* (see `VerifyPool::submit_sharded`):
+//! each worker owns a private queue, all jobs for one instance land on one
+//! worker in submission order, and distinct instances proceed concurrently —
+//! so follower-side verification and leader/follower block adoption scale
+//! across cores while this event loop, which only consumes completions and
+//! applies state, stays single-threaded and deterministic. This runtime seam
+//! is the *only* place sharding exists; the simulator never attaches an
 //! async pool, so simulated runs are bit-identical for any worker count.
+//!
+//! # Profiling
+//!
+//! When a [`LoopProfile`] is attached (see [`NodeHandle::spawn_instrumented`]),
+//! the loop buckets its wall time by stage: every handler invocation runs
+//! under a root span (messages → `guards`, timer fires → `timer`, completion
+//! events → `guards`, control drains → `control`), the protocol core opens
+//! sub-spans for the expensive interior work (`inline_verify`, `apply`,
+//! `storage_append`), the effects writer opens an `encode_broadcast`
+//! sub-span, and waits land in `idle` (a queued message's receive cost lands
+//! in `decode`). Sub-span self time is subtracted from the enclosing root, so
+//! the stages *partition* busy time — summing them never double counts. Cost
+//! when attached is two monotonic clock reads per span; when absent
+//! (`--no-profile`, the simulator) the spans compile to a `None` check.
 
 use crate::transport::Transport;
-use prestige_crypto::VerifyPool;
+use prestige_core::{LoopProfile, LoopStage};
+use prestige_crypto::{JobSource, VerifyPool};
 use prestige_sim::{Context, Effects, Emission, Process, SimRng, SimTime, TimerId};
 use prestige_types::{Actor, Wire};
 use std::collections::{BinaryHeap, HashSet};
@@ -111,7 +128,7 @@ impl<M: Wire + Send + 'static> NodeHandle<M> {
         transport: Box<dyn Transport<M>>,
         seed: u64,
     ) -> Self {
-        Self::spawn_with_pool(node, transport, seed, None)
+        Self::spawn_instrumented(node, transport, seed, Vec::new(), None)
     }
 
     /// [`Self::spawn`] with an attached verification pool: the event loop
@@ -120,15 +137,31 @@ impl<M: Wire + Send + 'static> NodeHandle<M> {
     /// node submits to (e.g. from `PrestigeServer::spawn_verify_pool`).
     pub fn spawn_with_pool(
         node: Box<dyn Process<M> + Send>,
-        mut transport: Box<dyn Transport<M>>,
+        transport: Box<dyn Transport<M>>,
         seed: u64,
         pool: Option<Arc<VerifyPool>>,
+    ) -> Self {
+        let sources: Vec<Arc<dyn JobSource>> =
+            pool.into_iter().map(|p| p as Arc<dyn JobSource>).collect();
+        Self::spawn_instrumented(node, transport, seed, sources, None)
+    }
+
+    /// The general spawn: any number of completion sources (verify pool,
+    /// apply pool, …) drained as `Process::on_job_complete` events, plus an
+    /// optional always-on stage profiler (see the module docs' *Profiling*
+    /// section). Pass the same pool handles the node submits to.
+    pub fn spawn_instrumented(
+        node: Box<dyn Process<M> + Send>,
+        mut transport: Box<dyn Transport<M>>,
+        seed: u64,
+        sources: Vec<Arc<dyn JobSource>>,
+        profile: Option<Arc<LoopProfile>>,
     ) -> Self {
         let actor = transport.me();
         let (ctl_tx, ctl_rx) = channel();
         let join = std::thread::Builder::new()
             .name(format!("prestige-node-{actor}"))
-            .spawn(move || run_event_loop(node, &mut *transport, seed, ctl_rx, pool))
+            .spawn(move || run_event_loop(node, &mut *transport, seed, ctl_rx, sources, profile))
             .expect("spawn node runtime thread");
         NodeHandle {
             actor,
@@ -204,7 +237,8 @@ fn run_event_loop<M: Wire + Send + 'static>(
     transport: &mut dyn Transport<M>,
     seed: u64,
     ctl: Receiver<Control<M>>,
-    pool: Option<Arc<VerifyPool>>,
+    sources: Vec<Arc<dyn JobSource>>,
+    profile: Option<Arc<LoopProfile>>,
 ) -> Box<dyn Process<M> + Send> {
     let me = transport.me();
     let epoch = Instant::now();
@@ -225,6 +259,7 @@ fn run_event_loop<M: Wire + Send + 'static>(
                  timers: &mut BinaryHeap<PendingTimer>,
                  cancelled: &mut HashSet<TimerId>,
                  transport: &mut dyn Transport<M>,
+                 profile: &Option<Arc<LoopProfile>>,
                  at: SimTime| {
         for id in effects.cancels {
             cancelled.insert(id);
@@ -236,14 +271,20 @@ fn run_event_loop<M: Wire + Send + 'static>(
                 tag,
             });
         }
-        for emission in effects.emissions {
-            match emission {
-                Emission::Send(to, message) => transport.send(to, message),
-                // Fan-out goes through the transport's broadcast so an
-                // encode-once implementation serializes the payload a single
-                // time for all recipients.
-                Emission::Broadcast(tos, message) => transport.broadcast(&tos, message),
+        if !effects.emissions.is_empty() {
+            // Serialization + socket handoff, carved out of the handler's
+            // root span so it shows up as its own stage.
+            let span = LoopProfile::begin(profile);
+            for emission in effects.emissions {
+                match emission {
+                    Emission::Send(to, message) => transport.send(to, message),
+                    // Fan-out goes through the transport's broadcast so an
+                    // encode-once implementation serializes the payload a
+                    // single time for all recipients.
+                    Emission::Broadcast(tos, message) => transport.broadcast(&tos, message),
+                }
             }
+            LoopProfile::end_sub(profile, span, LoopStage::EncodeBroadcast);
         }
         // effects.cpu intentionally ignored: real time already passed.
     };
@@ -254,14 +295,18 @@ fn run_event_loop<M: Wire + Send + 'static>(
         let t = now(epoch);
         let mut ctx = Context::new(t, me, &mut rng, &mut next_timer_id, &mut effects);
         node.on_start(&mut ctx);
-        apply(effects, &mut timers, &mut cancelled, transport, t);
+        apply(effects, &mut timers, &mut cancelled, transport, &profile, t);
     }
 
     loop {
         // Control messages first so stop/inspect stay responsive under load.
+        let span = LoopProfile::begin(&profile);
         loop {
             match ctl.try_recv() {
                 Ok(Control::Stop) => {
+                    if let Some(p) = &profile {
+                        p.set_total(epoch.elapsed().as_nanos() as u64);
+                    }
                     transport.shutdown();
                     return node;
                 }
@@ -269,23 +314,33 @@ fn run_event_loop<M: Wire + Send + 'static>(
                 Err(_) => break,
             }
         }
+        LoopProfile::end_root(&profile, span, LoopStage::Control);
 
-        // Deliver finished verification verdicts as ordinary events (bounded
-        // per iteration so a hot pool cannot starve timers).
-        if let Some(pool) = &pool {
+        // Deliver finished off-loop jobs (verify verdicts, apply outcomes) as
+        // ordinary events, bounded per iteration so a hot pool cannot starve
+        // timers. The handler's own bookkeeping lands in `guards`; its heavy
+        // interior (apply, storage) carves itself out via sub-spans.
+        for source in &sources {
             for _ in 0..VERIFY_BURST {
-                let Some(verdict) = pool.try_completion() else {
+                let Some((token, ok)) = source.try_done() else {
                     break;
                 };
+                let span = LoopProfile::begin(&profile);
                 let t = now(epoch);
                 let mut effects = Effects::new();
                 let mut ctx = Context::new(t, me, &mut rng, &mut next_timer_id, &mut effects);
-                node.on_job_complete(verdict.token, verdict.ok, &mut ctx);
-                apply(effects, &mut timers, &mut cancelled, transport, t);
+                node.on_job_complete(token, ok, &mut ctx);
+                apply(effects, &mut timers, &mut cancelled, transport, &profile, t);
+                LoopProfile::end_root(&profile, span, LoopStage::Guards);
             }
         }
 
         let t = now(epoch);
+        if let Some(p) = &profile {
+            // Keep the loop's wall-time total fresh so live snapshots (taken
+            // while the cluster runs) see a consistent busy/idle split.
+            p.set_total(t.0);
+        }
 
         // Fire every timer that is due (skipping cancelled ones).
         while let Some(head) = timers.peek() {
@@ -298,14 +353,16 @@ fn run_event_loop<M: Wire + Send + 'static>(
             }
             // Handlers observe actual wall-clock time, not the scheduled due
             // time — real runtimes cannot hide scheduling lag.
+            let span = LoopProfile::begin(&profile);
             let mut effects = Effects::new();
             let mut ctx = Context::new(t, me, &mut rng, &mut next_timer_id, &mut effects);
             node.on_timer(id, tag, &mut ctx);
-            apply(effects, &mut timers, &mut cancelled, transport, t);
+            apply(effects, &mut timers, &mut cancelled, transport, &profile, t);
+            LoopProfile::end_root(&profile, span, LoopStage::Timer);
         }
 
         // Sleep until the next timer (bounded by the idle tick), waking early
-        // for any inbound message; while crypto verdicts are outstanding the
+        // for any inbound message; while off-loop jobs are outstanding the
         // wait is capped so completions are consumed promptly.
         let mut wait = match timers.peek() {
             Some(head) => {
@@ -314,26 +371,50 @@ fn run_event_loop<M: Wire + Send + 'static>(
             }
             None => IDLE_TICK,
         };
-        if pool.as_ref().is_some_and(|p| p.pending() > 0) {
+        if sources.iter().any(|s| s.pending() > 0) {
             wait = wait.min(VERIFY_POLL_TICK);
         }
-        if let Some((from, message)) = transport.recv_timeout(wait) {
+        // A zero-timeout poll first: a message already queued charges its
+        // receive to `decode`; only an actually-empty queue pays the blocking
+        // wait, which is `idle` whether or not a message ends the wait.
+        let mut span = LoopProfile::begin(&profile);
+        let received = match transport.recv_timeout(Duration::ZERO) {
+            Some(m) => {
+                span = LoopProfile::rollover(&profile, span, LoopStage::Decode);
+                Some(m)
+            }
+            None => {
+                let got = transport.recv_timeout(wait);
+                if got.is_some() {
+                    span = LoopProfile::rollover(&profile, span, LoopStage::Idle);
+                } else {
+                    LoopProfile::end_root(&profile, span.take(), LoopStage::Idle);
+                }
+                got
+            }
+        };
+        if let Some((from, message)) = received {
             let t = now(epoch);
             let mut effects = Effects::new();
             let mut ctx = Context::new(t, me, &mut rng, &mut next_timer_id, &mut effects);
             node.on_message(from, message, &mut ctx);
-            apply(effects, &mut timers, &mut cancelled, transport, t);
+            apply(effects, &mut timers, &mut cancelled, transport, &profile, t);
+            LoopProfile::end_root(&profile, span, LoopStage::Guards);
             // Under load, drain a bounded burst of already-queued messages
             // before paying for the timer/control bookkeeping again.
             for _ in 0..MESSAGE_BURST {
+                let span = LoopProfile::begin(&profile);
                 let Some((from, message)) = transport.recv_timeout(Duration::ZERO) else {
+                    LoopProfile::end_root(&profile, span, LoopStage::Decode);
                     break;
                 };
+                let span = LoopProfile::rollover(&profile, span, LoopStage::Decode);
                 let t = now(epoch);
                 let mut effects = Effects::new();
                 let mut ctx = Context::new(t, me, &mut rng, &mut next_timer_id, &mut effects);
                 node.on_message(from, message, &mut ctx);
-                apply(effects, &mut timers, &mut cancelled, transport, t);
+                apply(effects, &mut timers, &mut cancelled, transport, &profile, t);
+                LoopProfile::end_root(&profile, span, LoopStage::Guards);
             }
         }
     }

@@ -141,6 +141,79 @@ fn pipelined_cluster_with_verify_pool_commits_and_survives_leader_kill() {
 }
 
 #[test]
+fn cluster_with_apply_workers_survives_leader_kill_without_fork() {
+    // The off-loop apply stage end to end: committed-block adoption runs on
+    // two worker threads, sharded by instance, while the protocol loop keeps
+    // handling messages. The cluster must commit, survive a leader kill, and
+    // — the ordering proof — every survivor's digest-chained log must agree
+    // at every shared height.
+    let config = fast_config(4)
+        .with_pipeline_depth(4)
+        .with_verify_workers(2)
+        .with_apply_workers(2);
+    let mut cluster = LocalCluster::launch(config, 42, 2, 100);
+
+    let reached = cluster.wait_until(Duration::from_secs(60), |c| c.total_committed() >= 1000);
+    let committed_before = cluster.total_committed();
+    assert!(
+        reached,
+        "apply-worker cluster must commit >= 1000 transactions, got {committed_before}"
+    );
+
+    // Adoption must actually run off-loop somewhere.
+    let offloaded: u64 = cluster
+        .live_servers()
+        .iter()
+        .filter_map(|&id| cluster.server_stats(id))
+        .map(|s| s.applies_offloaded)
+        .sum();
+    assert!(
+        offloaded > 0,
+        "apply pool attached but no blocks were adopted off-loop"
+    );
+
+    // The always-on profiler must be attributing the loop's busy time.
+    let profile = cluster.loop_profile();
+    assert!(profile.busy_nanos() > 0, "profiler saw no busy time");
+    assert!(
+        profile.coverage() >= 0.90,
+        "stage coverage too low: {:.3}",
+        profile.coverage()
+    );
+
+    let (view_before, leader_before) = cluster.view_of(ServerId(1)).expect("server 1 answers");
+    cluster.crash_server(leader_before);
+    let survived = cluster.wait_until(Duration::from_secs(60), |c| {
+        c.live_servers().iter().all(|&id| {
+            c.view_of(id)
+                .map(|(view, leader)| view > view_before && leader != leader_before)
+                .unwrap_or(false)
+        })
+    });
+    assert!(
+        survived,
+        "apply-worker cluster must elect a new leader after the kill"
+    );
+    let resumed = cluster.wait_until(Duration::from_secs(60), |c| {
+        c.total_committed() >= committed_before + 200
+    });
+    assert!(
+        resumed,
+        "commits must resume with off-loop apply: stuck at {}",
+        cluster.total_committed()
+    );
+
+    // Fork-freedom across survivors: identical digests at every shared
+    // height, hence identical commit order.
+    let survivors = cluster.live_servers();
+    let common = cluster
+        .verify_no_fork(&survivors)
+        .expect("survivors' logs must agree");
+    assert!(common > 0, "survivors must share a committed prefix");
+    cluster.shutdown();
+}
+
+#[test]
 fn cluster_reports_consistent_progress_across_servers() {
     // Smaller smoke check: all four servers observe committed transactions,
     // not just the leader, and client latency statistics are populated.

@@ -116,6 +116,81 @@ fn tcp_cluster_with_sharded_verify_survives_leader_kill_without_reorder() {
 }
 
 #[test]
+fn tcp_cluster_with_apply_workers_survives_leader_kill_without_fork() {
+    // The off-loop apply stage over real sockets: committed-block adoption
+    // runs on two worker threads sharded by instance while frames cross TCP.
+    // Commit order must survive both the concurrency and a leader kill —
+    // proven by identical digest chains at every shared height.
+    let config = sharded_config(4)
+        .with_pipeline_depth(4)
+        .with_apply_workers(2);
+    let mut cluster = TcpCluster::launch(config, 42, 2, 64).expect("bind TCP cluster on loopback");
+
+    let reached = cluster.wait_until(Duration::from_secs(60), |c| c.total_committed() >= 600);
+    let committed_before = cluster.total_committed();
+    assert!(
+        reached,
+        "TCP apply-worker cluster must commit >= 600 transactions, got {committed_before}"
+    );
+
+    // Adoption must actually run off-loop somewhere in the cluster.
+    let offloaded: u64 = cluster
+        .live_servers()
+        .iter()
+        .filter_map(|&id| cluster.server_stats(id))
+        .map(|s| s.applies_offloaded)
+        .sum();
+    assert!(
+        offloaded > 0,
+        "apply pool attached but no blocks were adopted off-loop"
+    );
+
+    // The always-on profiler must be attributing the loop's busy time.
+    let profile = cluster.loop_profile();
+    assert!(profile.busy_nanos() > 0, "profiler saw no busy time");
+    assert!(
+        profile.coverage() >= 0.90,
+        "stage coverage too low: {:.3}",
+        profile.coverage()
+    );
+
+    let (view_before, leader_before) = cluster.view_of(ServerId(1)).expect("server 1 answers");
+    cluster.crash_server(leader_before);
+    let survived = cluster.wait_until(Duration::from_secs(60), |c| {
+        c.live_servers().iter().all(|&id| {
+            c.view_of(id)
+                .map(|(view, leader)| view > view_before && leader != leader_before)
+                .unwrap_or(false)
+        })
+    });
+    assert!(
+        survived,
+        "survivors must elect a new leader over TCP after the kill"
+    );
+    let resumed = cluster.wait_until(Duration::from_secs(60), |c| {
+        c.total_committed() >= committed_before + 200
+    });
+    assert!(
+        resumed,
+        "commits must resume with off-loop apply: stuck at {}",
+        cluster.total_committed()
+    );
+
+    let survivors = cluster.live_servers();
+    for &id in &survivors {
+        assert_strictly_ordered(id, &cluster.committed_chain(id).expect("chain snapshot"));
+    }
+    let common = cluster
+        .verify_no_fork(&survivors)
+        .expect("no fork across survivors");
+    assert!(
+        common > 0,
+        "survivors must share a non-empty committed prefix"
+    );
+    cluster.shutdown();
+}
+
+#[test]
 fn tcp_and_loopback_clusters_agree_on_commit_safety_with_sharded_verify() {
     // The same configuration on both transports: the runtime seam (sharded
     // pool, refill batching) must behave identically whether frames cross a
